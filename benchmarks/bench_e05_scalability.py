@@ -1,0 +1,43 @@
+"""E5 — Runtime scalability vs dataset size.
+
+Canonical table: Mondrian scales near n·log n; Datafly is a small number of
+full-table passes; Incognito's cost is dominated by the lattice, not n. The
+bench times each algorithm at three sizes and asserts sub-quadratic growth.
+"""
+
+import time
+
+from conftest import print_series
+
+from repro import Datafly, Incognito, KAnonymity, Mondrian
+from repro.data import adult_hierarchies, adult_schema, load_adult
+
+SIZES = [500, 1000, 2000]
+
+
+def _time(algo, table, schema, hierarchies):
+    start = time.perf_counter()
+    algo.anonymize(table, schema, hierarchies, [KAnonymity(5)])
+    return time.perf_counter() - start
+
+
+def test_e05_scalability(benchmark):
+    schema = adult_schema()
+    hierarchies = adult_hierarchies()
+    rows = []
+    timings = {}
+    for n in SIZES:
+        table = load_adult(n_rows=n, seed=1)
+        for algo in (Mondrian(), Datafly(), Incognito(max_suppression=0.02)):
+            elapsed = _time(algo, table, schema, hierarchies)
+            rows.append((n, algo.name, elapsed))
+            timings.setdefault(algo.name, []).append(elapsed)
+    print_series("E5: runtime vs n (seconds)", ["n", "algorithm", "seconds"], rows)
+
+    # Shape: quadrupling n must not blow up any algorithm by > ~16x
+    # (sub-quadratic growth; generous bound for timer noise).
+    for name, series in timings.items():
+        assert series[-1] <= max(16 * series[0], series[0] + 2.0), name
+
+    table = load_adult(n_rows=1000, seed=1)
+    benchmark(lambda: Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(5)]))

@@ -1,0 +1,67 @@
+"""E11 — Differential privacy: error vs ε and composition accounting.
+
+Canonical figure: Laplace count error (MAE) = 1/ε exactly in expectation;
+sequential composition spends linearly while advanced composition is
+sublinear; a budget accountant blocks over-spending.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_series
+
+from repro.dp import (
+    BudgetAccountant,
+    LaplaceMechanism,
+    advanced_composition_epsilon,
+    dp_histogram,
+)
+from repro.errors import BudgetError
+
+EPSILONS = [0.05, 0.1, 0.5, 1.0, 5.0]
+
+
+def test_e11_dp_error_vs_epsilon(medical_env, benchmark):
+    table, _, _ = medical_env
+    rng = np.random.default_rng(31)
+    truth = np.bincount(
+        table.codes("disease"), minlength=len(table.column("disease").categories)
+    ).astype(float)
+
+    rows = []
+    maes = []
+    for epsilon in EPSILONS:
+        mech = LaplaceMechanism(epsilon)
+        errors = [
+            np.abs(mech.randomize(truth, rng) - truth).mean() for _ in range(300)
+        ]
+        mae = float(np.mean(errors))
+        rows.append((epsilon, mae, mech.expected_absolute_error()))
+        maes.append(mae)
+    print_series(
+        "E11a: Laplace histogram MAE vs epsilon",
+        ["epsilon", "measured_MAE", "theory (1/eps)"],
+        rows,
+    )
+    for (epsilon, mae, theory) in rows:
+        assert mae == pytest.approx(theory, rel=0.25)
+    assert maes == sorted(maes, reverse=True)
+
+    comp_rows = []
+    for k in (1, 10, 100):
+        sequential = k * 0.1
+        advanced = advanced_composition_epsilon(0.1, k, delta_slack=1e-6)
+        comp_rows.append((k, sequential, advanced))
+    print_series(
+        "E11b: composition of k mechanisms at eps=0.1",
+        ["k", "sequential_eps", "advanced_eps"],
+        comp_rows,
+    )
+    assert comp_rows[2][2] < comp_rows[2][1]  # advanced beats naive at k=100
+
+    # Accountant blocks the over-budget release.
+    accountant = BudgetAccountant(epsilon_cap=1.0)
+    dp_histogram(table, "disease", epsilon=0.6, rng=rng, accountant=accountant)
+    with pytest.raises(BudgetError):
+        dp_histogram(table, "disease", epsilon=0.6, rng=rng, accountant=accountant)
+
+    benchmark(lambda: dp_histogram(table, "disease", epsilon=1.0, rng=rng))

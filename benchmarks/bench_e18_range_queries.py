@@ -1,0 +1,65 @@
+"""E18 — DP range queries: flat vs hierarchical histograms.
+
+Canonical figure (Hay et al. / Qardaji et al.): short ranges favor the flat
+histogram; long ranges favor the hierarchical method (error grows ~log n
+instead of ~√L), with higher branching factors shifting the crossover left.
+"""
+
+import numpy as np
+from conftest import print_series
+
+from repro.dp import FlatRangeHistogram, HierarchicalRangeHistogram
+
+DOMAIN = 4096
+EPSILON = 0.5
+LENGTHS = [16, 256, 2048]
+
+
+def measure(counts, histogram, length, rng, n_queries=300):
+    errors = []
+    for _ in range(n_queries):
+        lo = int(rng.integers(0, DOMAIN - length))
+        hi = lo + length
+        errors.append(abs(histogram.range_count(lo, hi) - counts[lo:hi].sum()))
+    return float(np.mean(errors))
+
+
+def test_e18_range_query_error(benchmark):
+    rng = np.random.default_rng(0)
+    counts = rng.poisson(10, DOMAIN).astype(float)
+    flat = FlatRangeHistogram(counts, EPSILON, rng=np.random.default_rng(1))
+    hier_b2 = HierarchicalRangeHistogram(counts, EPSILON, branching=2,
+                                         rng=np.random.default_rng(2))
+    hier_b16 = HierarchicalRangeHistogram(counts, EPSILON, branching=16,
+                                          rng=np.random.default_rng(3))
+    hier_nocons = HierarchicalRangeHistogram(counts, EPSILON, branching=16,
+                                             consistency=False,
+                                             rng=np.random.default_rng(3))
+    rows = []
+    table = {}
+    for length in LENGTHS:
+        query_rng = np.random.default_rng(100 + length)
+        row = (
+            length,
+            measure(counts, flat, length, query_rng),
+            measure(counts, hier_b2, length, query_rng),
+            measure(counts, hier_b16, length, query_rng),
+            measure(counts, hier_nocons, length, query_rng),
+        )
+        rows.append(row)
+        table[length] = row
+    print_series(
+        "E18: mean absolute range-query error (n=4096, eps=0.5)",
+        ["range_len", "flat", "hier b=2", "hier b=16", "b=16 no-consistency"],
+        rows,
+    )
+    # Shapes: flat wins short ranges; hierarchical wins long ranges; higher
+    # branching helps; the consistency pass never hurts.
+    assert table[16][1] < table[16][3]          # flat wins at L=16
+    assert table[2048][3] < table[2048][1]      # hier b=16 wins at L=2048
+    assert table[2048][2] < table[2048][1]      # even b=2 wins at L=2048
+    assert table[2048][3] <= table[2048][4] * 1.1  # consistency helps (or ties)
+
+    benchmark(lambda: HierarchicalRangeHistogram(
+        counts, EPSILON, branching=16, rng=np.random.default_rng(5)
+    ).range_count(100, 3000))

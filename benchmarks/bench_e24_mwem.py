@@ -1,0 +1,58 @@
+"""E24 — Workload-adaptive DP synthesis: MWEM vs chain synthesizer vs baselines.
+
+Canonical figure (MWEM paper): on its own marginal workload, MWEM's average
+query error falls with ε and with iterations, beating both the uniform
+distribution and a workload-oblivious synthesizer; at very small ε the
+per-measurement noise floor dominates and extra iterations stop helping.
+"""
+
+import numpy as np
+from conftest import print_series
+
+from repro.dp import ChainSynthesizer, MWEM, marginal_workload, workload_avg_error
+from repro.dp.mwem import _Domain
+
+COLUMNS = ["sex", "race", "marital_status"]
+
+
+def test_e24_mwem(adult, benchmark):
+    table = adult.select(COLUMNS)
+    workload = marginal_workload(table, COLUMNS)
+    domain = _Domain(table, COLUMNS)
+    true_hist = domain.histogram(table)
+    uniform = np.full(domain.n_cells, true_hist.sum() / domain.n_cells)
+
+    rows = []
+    for eps in (0.1, 0.5, 1.0, 4.0):
+        mwem = MWEM(epsilon=eps, n_iterations=10, seed=0).fit(table, COLUMNS, workload)
+        chain = ChainSynthesizer(epsilon=eps, seed=0).fit_sample(table, COLUMNS)
+        chain_hist = domain.histogram(chain)
+        rows.append(
+            (
+                eps,
+                workload_avg_error(true_hist, mwem.synthetic_histogram, workload),
+                workload_avg_error(true_hist, chain_hist, workload),
+                workload_avg_error(true_hist, uniform, workload),
+            )
+        )
+    print_series(
+        "E24a: avg workload error vs epsilon (n=%d)" % table.n_rows,
+        ["epsilon", "mwem", "chain_synth", "uniform"],
+        rows,
+    )
+    # MWEM beats the uniform baseline at moderate budgets.
+    assert rows[-1][1] < rows[-1][3]
+    # Error shrinks as epsilon grows.
+    assert rows[-1][1] < rows[0][1]
+
+    iter_rows = []
+    for t in (2, 5, 10, 20):
+        mwem = MWEM(epsilon=1.0, n_iterations=t, seed=1).fit(table, COLUMNS, workload)
+        iter_rows.append(
+            (t, workload_avg_error(true_hist, mwem.synthetic_histogram, workload))
+        )
+    print_series("E24b: error vs iterations at epsilon=1", ["iterations", "mwem"], iter_rows)
+
+    benchmark(
+        lambda: MWEM(epsilon=1.0, n_iterations=10, seed=0).fit(table, COLUMNS, workload)
+    )

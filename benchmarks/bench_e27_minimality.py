@@ -1,0 +1,81 @@
+"""E27 — Minimality attack: posterior lift over the 1/ℓ guarantee.
+
+Canonical table (minimality-attack paper): against a *minimal* publisher the
+adversary's posterior on merged classes breaks the 1/ℓ bound. The key driver
+is *pair asymmetry*: an all-sensitive group of size 2 merged with an
+equal-size clean sibling yields posterior exactly 1/2 (symmetric splits are
+indistinguishable), but merged with a *larger* clean sibling the violating
+split becomes uniquely identifiable — full disclosure. The randomized
+publisher (voluntary merges) breaks the "merge ⇒ violation" implication and
+the lift stays bounded by 1.
+"""
+
+import numpy as np
+from conftest import print_series
+
+from repro.attacks import MinimalPublisher, attack_lift, minimality_posterior, naive_posterior
+
+
+def _population(n_pairs, clean_size, seed):
+    """Sibling pairs (violator-or-clean of size 2, clean of ``clean_size``).
+
+    Every 5th pair's first group is an all-sensitive 2-diversity violator;
+    its sibling is sensitive-free. With equal sizes the merged class admits
+    a mirrored split (either side could have been the violator); once the
+    sibling is larger, the clean side can no longer account for the merge
+    and the violating split is identified uniquely.
+    """
+    qi, sens = [], []
+    group = 0
+    for pair in range(n_pairs):
+        violator = pair % 5 == 0
+        qi.extend([group] * 2)
+        sens.extend([violator, violator])
+        group += 1
+        qi.extend([group] * clean_size)
+        sens.extend([False] * clean_size)
+        group += 1
+    return np.array(qi), np.array(sens, dtype=bool)
+
+
+def test_e27_minimality(benchmark):
+    ell = 2
+    rows = []
+    lifts = {}
+    for clean_size in (2, 4, 6, 8):
+        qi, sens = _population(40, clean_size, seed=clean_size)
+        minimal = MinimalPublisher(ell=ell).publish(qi, sens)
+        randomized = MinimalPublisher(ell=ell, randomize_merges=True, seed=0).publish(qi, sens)
+
+        merged = [ec for ec in minimal if ec.merged]
+        max_naive = max((naive_posterior(ec) for ec in merged), default=0.0)
+        max_minimality = max(
+            (max(minimality_posterior(ec, ell)) for ec in merged), default=0.0
+        )
+        lifts[clean_size] = attack_lift(minimal, ell)
+        rows.append(
+            (
+                f"2 vs {clean_size}",
+                len(merged),
+                max_naive,
+                max_minimality,
+                lifts[clean_size],
+                attack_lift(randomized, ell, publisher_is_minimal=False),
+            )
+        )
+    print_series(
+        "E27: minimality attack vs pair asymmetry (ell=2, violators all-sensitive)",
+        ["pair_sizes", "merged", "naive_max", "minimality_max", "lift_minimal", "lift_randomized"],
+        rows,
+    )
+    # Symmetric pairs are safe; asymmetric pairs break the 1/ell bound.
+    assert lifts[2] <= 1.0 + 1e-9
+    for clean_size in (4, 6, 8):
+        assert lifts[clean_size] > 1.0
+    # The naive belief and the randomized publisher always stay within it.
+    for row in rows:
+        assert row[2] <= 1.0 / ell + 1e-9
+        assert row[5] <= 1.0 + 1e-9
+
+    qi, sens = _population(40, 6, seed=1)
+    benchmark(lambda: attack_lift(MinimalPublisher(ell=ell).publish(qi, sens), ell))

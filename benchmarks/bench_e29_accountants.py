@@ -1,0 +1,62 @@
+"""E29 — Privacy accountants: basic vs advanced vs zCDP vs RDP composition.
+
+Canonical figure (the accounting literature): total ε at fixed δ as the
+number of Gaussian releases k grows. Basic composition is linear in k,
+advanced composition ~√k with big constants, zCDP/RDP track the true
+Gaussian cost — an order of magnitude tighter at large k. Also reports the
+analytic-vs-classical Gaussian calibration gap.
+"""
+
+import math
+
+from conftest import print_series
+
+from repro.dp import (
+    RDPAccountant,
+    ZCDPAccountant,
+    advanced_composition_epsilon,
+    analytic_gaussian_sigma,
+    classical_gaussian_sigma,
+)
+
+
+def test_e29_accountants(benchmark):
+    sigma, delta = 10.0, 1e-6
+
+    rows = []
+    series = {}
+    for k in (1, 10, 50, 200, 1000):
+        per_eps = math.sqrt(2 * math.log(1.25 / (delta / (2 * k)))) / sigma
+        basic = k * per_eps
+        advanced = advanced_composition_epsilon(per_eps, k, delta / 2)
+        zcdp = ZCDPAccountant().add_gaussian(sigma=sigma, count=k).epsilon(delta)
+        rdp = RDPAccountant().add_gaussian(sigma=sigma, count=k).epsilon(delta)
+        series[k] = (basic, advanced, zcdp, rdp)
+        rows.append((k, basic, advanced, zcdp, rdp))
+    print_series(
+        f"E29a: total epsilon of k Gaussian releases (sigma={sigma}, delta={delta})",
+        ["k", "basic", "advanced", "zCDP", "RDP"],
+        rows,
+    )
+    # At large k the modern accountants win by a wide margin.
+    basic, advanced, zcdp, rdp = series[1000]
+    assert rdp < 0.25 * min(basic, advanced)
+    assert zcdp < 0.25 * min(basic, advanced)
+    # RDP and zCDP agree closely for pure-Gaussian pipelines.
+    assert abs(rdp - zcdp) / zcdp < 0.10
+
+    calib_rows = []
+    for eps in (0.1, 0.5, 1.0, 2.0, 8.0):
+        classical = classical_gaussian_sigma(min(eps, 1.0), delta)
+        analytic = analytic_gaussian_sigma(eps, delta)
+        calib_rows.append((eps, classical, analytic, classical / analytic))
+    print_series(
+        "E29b: Gaussian sigma calibration (classical valid only for eps<=1)",
+        ["epsilon", "classical", "analytic", "ratio"],
+        calib_rows,
+    )
+    assert all(row[2] <= row[1] + 1e-9 for row in calib_rows if row[0] <= 1.0)
+
+    benchmark(
+        lambda: RDPAccountant().add_gaussian(sigma=sigma, count=1000).epsilon(delta)
+    )

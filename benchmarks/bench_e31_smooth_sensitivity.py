@@ -1,0 +1,79 @@
+"""E31 — Smooth sensitivity: DP median error vs the global-sensitivity baseline.
+
+Canonical figure (NRS 2007): on concentrated data the median's smooth
+sensitivity is orders of magnitude below the global sensitivity, so the
+calibrated-noise median is dramatically more accurate; error falls with ε
+for all mechanisms; the exponential-mechanism quantile is the competitive
+alternative the later literature recommends.
+"""
+
+import numpy as np
+from conftest import print_series
+
+from repro.dp import (
+    dp_median_global,
+    dp_median_smooth,
+    dp_quantile,
+    smooth_sensitivity_median,
+)
+
+LO, HI = 0.0, 1000.0
+
+
+def _mae(fn, trials, seed):
+    rng = np.random.default_rng(seed)
+    return float(np.mean([abs(fn(rng)) for _ in range(trials)]))
+
+
+def test_e31_smooth_sensitivity(benchmark):
+    rng = np.random.default_rng(11)
+    data = np.clip(rng.normal(500, 10, 801), LO, HI)
+    true = float(np.median(data))
+    trials = 80
+
+    # The headline ratio: smooth vs global sensitivity on this sample.
+    s_smooth = smooth_sensitivity_median(data, beta=0.05, lo=LO, hi=HI)
+    print(f"\nsensitivity: global={HI - LO:.0f}, smooth(beta=0.05)={s_smooth:.3f} "
+          f"({(HI - LO) / s_smooth:.0f}x smaller)")
+    assert s_smooth < (HI - LO) / 50
+
+    rows = []
+    errors = {}
+    for eps in (0.1, 0.5, 2.0):
+        global_err = _mae(
+            lambda r: dp_median_global(data, eps, LO, HI, rng=r) - true, trials, 0
+        )
+        smooth_err = _mae(
+            lambda r: dp_median_smooth(data, eps, LO, HI, delta=1e-6, rng=r) - true,
+            trials, 1,
+        )
+        cauchy_answers = np.random.default_rng(2)
+        cauchy_err = float(np.median([
+            abs(dp_median_smooth(data, eps, LO, HI, delta=None, rng=cauchy_answers) - true)
+            for _ in range(trials)
+        ]))
+        expmech_err = _mae(
+            lambda r: dp_quantile(data, 0.5, eps, LO, HI, rng=r) - true, trials, 3
+        )
+        errors[eps] = (global_err, smooth_err)
+        rows.append((eps, global_err, smooth_err, cauchy_err, expmech_err))
+    print_series(
+        f"E31: DP median MAE (n={data.size}, concentrated at 500±10, range [0,1000])",
+        ["epsilon", "global_laplace", "smooth_laplace", "smooth_cauchy*", "exp_mechanism"],
+        rows,
+    )
+    print("  (*median absolute error over trials: Cauchy noise has heavy tails)")
+
+    # Smooth beats global by orders of magnitude at moderate budgets; at
+    # eps=0.1 the (eps,delta) smoothing parameter beta = eps/(2 ln(2/delta))
+    # collapses and the Laplace variant loses most of its edge (the NRS
+    # caveat) — it still never does worse than the baseline.
+    for eps in (0.5, 2.0):
+        assert errors[eps][1] < errors[eps][0] / 50
+    assert errors[0.1][1] <= errors[0.1][0]
+    # Error falls with epsilon for both.
+    assert errors[2.0][0] < errors[0.1][0]
+    assert errors[2.0][1] < errors[0.1][1]
+
+    benchmark(lambda: dp_median_smooth(data, 0.5, LO, HI, delta=1e-6,
+                                       rng=np.random.default_rng(0)))

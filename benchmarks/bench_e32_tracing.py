@@ -1,0 +1,72 @@
+"""E32 — Membership tracing from released frequencies (Homer et al.).
+
+Canonical figures: the tracing test's power (best-threshold TPR − FPR)
+grows with the number of published statistics m, falls with the study size
+n, and is destroyed by DP noise on the released frequencies — the reason
+aggregate statistics moved behind DP after 2008.
+"""
+
+import numpy as np
+from conftest import print_series
+
+from repro.attacks import trace_membership
+
+
+def _population(n, m, seed):
+    rng = np.random.default_rng(seed)
+    freqs = rng.uniform(0.15, 0.85, m)
+    return (rng.random((n, m)) < freqs).astype(np.int8)
+
+
+def test_e32_tracing(benchmark):
+    # Power vs number of released statistics.
+    rows_m = []
+    adv_by_m = {}
+    for m in (25, 100, 400, 1000):
+        population = _population(3000, m, seed=m)
+        result = trace_membership(
+            population[:100], population[200:1800], population[1800:1950]
+        )
+        adv_by_m[m] = result.best_advantage
+        rows_m.append((m, result.best_advantage, result.mean_statistic_in,
+                       result.mean_statistic_out))
+    print_series(
+        "E32a: tracing power vs released statistics (study n=100)",
+        ["m", "best_advantage", "mean_T_in", "mean_T_out"],
+        rows_m,
+    )
+    assert adv_by_m[25] < adv_by_m[1000]
+
+    # Power vs study size.
+    rows_n = []
+    adv_by_n = {}
+    population = _population(4000, 300, seed=7)
+    for n in (40, 150, 600):
+        result = trace_membership(
+            population[:n], population[1000:3000], population[3000:3200]
+        )
+        adv_by_n[n] = result.best_advantage
+        rows_n.append((n, result.best_advantage))
+    print_series("E32b: tracing power vs study size (m=300)", ["n", "best_advantage"], rows_n)
+    assert adv_by_n[600] < adv_by_n[40]
+
+    # DP release vs exact release.
+    rows_eps = []
+    population = _population(3000, 200, seed=9)
+    study, reference, out = population[:150], population[200:1800], population[1800:1950]
+    exact = trace_membership(study, reference, out)
+    rows_eps.append(("exact", exact.best_advantage))
+    adv_by_eps = {}
+    for eps in (10.0, 1.0, 0.25):
+        result = trace_membership(study, reference, out, epsilon=eps,
+                                  rng=np.random.default_rng(0))
+        adv_by_eps[eps] = result.best_advantage
+        rows_eps.append((eps, result.best_advantage))
+    print_series(
+        "E32c: tracing power vs DP budget on the frequency release",
+        ["epsilon", "best_advantage"],
+        rows_eps,
+    )
+    assert adv_by_eps[0.25] < exact.best_advantage / 2
+
+    benchmark(lambda: trace_membership(study, reference, out))

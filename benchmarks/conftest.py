@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures: datasets sized for quick, stable runs."""
+
+import pytest
+
+from repro.data import (
+    adult_hierarchies,
+    adult_schema,
+    load_adult,
+    load_medical,
+    medical_hierarchies,
+    medical_schema,
+)
+
+
+@pytest.fixture(scope="session")
+def adult():
+    return load_adult(n_rows=2000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def adult_env(adult):
+    return adult, adult_schema(), adult_hierarchies()
+
+
+@pytest.fixture(scope="session")
+def medical():
+    return load_medical(n_rows=2000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def medical_env(medical):
+    return medical, medical_schema(), medical_hierarchies()
+
+
+def print_series(title, header, rows):
+    """Render an experiment series as the table the paper would show."""
+    print(f"\n=== {title} ===")
+    print(" | ".join(f"{h:>16}" for h in header))
+    for row in rows:
+        print(" | ".join(f"{_fmt(v):>16}" for v in row))
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

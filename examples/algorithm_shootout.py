@@ -1,0 +1,85 @@
+"""Algorithm shootout: every anonymizer on the same task, one table.
+
+Runs Datafly, Bottom-Up Generalization, Incognito, Flash, Mondrian (both
+modes), TDS, Anatomy, and MDAV
+against 5-anonymity (or their closest native guarantee) on the same census
+extract, and prints the standard metric battery for each — the quick way to
+pick an algorithm for a new dataset.
+
+Run with::
+
+    python examples/algorithm_shootout.py
+"""
+
+import time
+
+from repro import (
+    Anatomy,
+    BottomUpGeneralization,
+    Datafly,
+    Flash,
+    Incognito,
+    KAnonymity,
+    MDAVMicroaggregation,
+    Mondrian,
+    TopDownSpecialization,
+)
+from repro.attacks import linkage_risks
+from repro.data import adult_hierarchies, adult_schema, load_adult
+from repro.metrics import discernibility_of_release, gcp, non_uniform_entropy
+
+K = 5
+
+
+def main() -> None:
+    table = load_adult(n_rows=3000, seed=9)
+    schema = adult_schema()
+    hierarchies = adult_hierarchies()
+
+    algorithms = [
+        Datafly(),
+        BottomUpGeneralization(),
+        Incognito(max_suppression=0.02),
+        Flash(max_suppression=0.02),
+        Mondrian("strict"),
+        Mondrian("relaxed"),
+        TopDownSpecialization(target="salary"),
+    ]
+
+    header = f"{'algorithm':>22} | {'time':>7} | {'classes':>7} | {'GCP':>6} | {'entropy':>7} | {'DM':>10} | {'max risk':>8}"
+    print(header)
+    print("-" * len(header))
+    for algo in algorithms:
+        start = time.perf_counter()
+        release = algo.anonymize(table, schema, hierarchies, [KAnonymity(K)])
+        elapsed = time.perf_counter() - start
+        print(
+            f"{algo.name:>22} | {elapsed:6.2f}s | {len(release.partition()):>7} | "
+            f"{gcp(table, release, hierarchies):6.3f} | "
+            f"{non_uniform_entropy(table, release, hierarchies):7.3f} | "
+            f"{discernibility_of_release(release):10.0f} | "
+            f"{linkage_risks(release)['prosecutor_max_risk']:8.3f}"
+        )
+
+    # Anatomy and MDAV provide different guarantees; report them separately.
+    start = time.perf_counter()
+    anatomy_release = Anatomy(l=5).anonymize(table, schema, hierarchies)
+    print(
+        f"\nanatomy[l=5]: {time.perf_counter() - start:.2f}s, "
+        f"{len(anatomy_release.info['anatomized'].st)} groups, "
+        f"{anatomy_release.suppressed} residual rows dropped "
+        "(publishes exact QIs + separated sensitive table)"
+    )
+
+    start = time.perf_counter()
+    mdav_release = MDAVMicroaggregation(K).anonymize(table, schema, hierarchies)
+    print(
+        f"mdav[k={K}]: {time.perf_counter() - start:.2f}s, "
+        f"{len(mdav_release.info['groups'])} groups, "
+        f"SSE {mdav_release.info['sse']:.0f} "
+        "(replaces numeric QIs by group centroids, keeps them numeric)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Continuous (multi-version) publishing with m-invariance.
+
+A hospital republishes its inpatient table monthly: patients are admitted
+and discharged between versions. This example shows:
+
+1. the cross-version intersection attack succeeding against naive
+   per-version bucketization, and
+2. the m-invariant publisher defeating it with a handful of counterfeit
+   records.
+
+Run with::
+
+    python examples/continuous_publishing.py
+"""
+
+import numpy as np
+
+from repro.sequential import MInvariance, MInvariantPublisher, cross_version_attack
+
+DISEASES = ["flu", "bronchitis", "gastritis", "heart-disease", "diabetes", "asthma"]
+
+
+def simulate_patients(n_versions, n_patients, churn, publisher_factory, seed):
+    rng = np.random.default_rng(seed)
+    records = {i: DISEASES[rng.integers(len(DISEASES))] for i in range(n_patients)}
+    publisher = publisher_factory(0)
+    releases = []
+    next_id = n_patients
+    for version in range(n_versions):
+        if version:
+            records = {
+                rid: d for rid, d in records.items() if rng.random() > churn
+            }
+            admissions = {
+                next_id + i: DISEASES[rng.integers(len(DISEASES))]
+                for i in range(int(n_patients * churn))
+            }
+            next_id += len(admissions)
+            records.update(admissions)
+            if publisher_factory(version) is not publisher:
+                publisher = publisher_factory(version) or publisher
+        releases.append(publisher.publish(dict(records)))
+    return releases
+
+
+def main() -> None:
+    m, churn, n = 3, 0.35, 600
+
+    # Naive custodian: re-buckets from scratch every month.
+    naive_publishers = {}
+
+    def fresh_each_month(version):
+        naive_publishers[version] = MInvariantPublisher(m=m, seed=100 + version)
+        return naive_publishers[version]
+
+    naive = simulate_patients(4, n, churn, fresh_each_month, seed=7)
+    attack_naive = cross_version_attack(naive)
+    print("naive monthly rebucketization (each version individually "
+          f"{m}-diverse):")
+    print(f"  surviving patients observed in >= 2 versions: "
+          f"{attack_naive['n_survivors']}")
+    print(f"  diagnosis pinned by intersection: "
+          f"{attack_naive['pinned_fraction']:.1%}")
+    print(f"  avg candidate diagnoses left:    "
+          f"{attack_naive['avg_candidates']:.2f}")
+
+    # m-invariant custodian: one publisher maintaining signatures.
+    keeper = MInvariantPublisher(m=m, seed=7)
+    invariant = simulate_patients(4, n, churn, lambda v: keeper, seed=7)
+    attack_invariant = cross_version_attack(invariant)
+    counterfeits = sum(r.counterfeits for r in invariant)
+    total_published = sum(r.n_records() for r in invariant)
+    assert MInvariance(m).check(invariant)
+    print(f"\n{m}-invariant publishing (signatures frozen across versions):")
+    print(f"  diagnosis pinned by intersection: "
+          f"{attack_invariant['pinned_fraction']:.1%}")
+    print(f"  avg candidate diagnoses left:    "
+          f"{attack_invariant['avg_candidates']:.2f}")
+    print(f"  price: {counterfeits} counterfeit records among "
+          f"{total_published} published ({counterfeits / total_published:.2%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Hospital discharge publishing: defeating the homogeneity and skewness
+attacks.
+
+Walks the ℓ-diversity / t-closeness motivating scenario end to end:
+
+1. publish with k-anonymity only and *run the attacks* to show the leak;
+2. add distinct ℓ-diversity — homogeneity attack dies, skew remains;
+3. add t-closeness — skewness attack dies too;
+4. compare the information-loss bill for each step.
+
+Run with::
+
+    python examples/hospital_release.py
+"""
+
+from repro import (
+    Anonymizer,
+    DistinctLDiversity,
+    KAnonymity,
+    TCloseness,
+)
+from repro.attacks import homogeneity_attack, skewness_gain
+from repro.data import load_medical, medical_hierarchies, medical_schema
+from repro.metrics import gcp
+
+
+def audit(name, table, hierarchies, release):
+    homogeneity = homogeneity_attack(release, confidence=0.95)
+    skew = skewness_gain(release)
+    loss = gcp(table, release, hierarchies)
+    print(f"\n--- {name} ---")
+    print(f"  classes: {len(release.partition())}, min size: "
+          f"{release.equivalence_class_sizes().min()}")
+    print(f"  homogeneity: {homogeneity['exposed_fraction']:.1%} of patients in "
+          f">=95%-confident classes (max confidence "
+          f"{homogeneity['max_inference_confidence']:.2f})")
+    print(f"  skewness: max EMD from global disease distribution "
+          f"{skew['max_emd']:.3f}, belief amplification "
+          f"{skew['max_belief_amplification']:.1f}x")
+    print(f"  information loss (GCP): {loss:.3f}")
+
+
+def main() -> None:
+    table = load_medical(n_rows=4000, seed=3)
+    schema = medical_schema()
+    hierarchies = medical_hierarchies()
+    anonymizer = Anonymizer(table, schema, hierarchies)
+
+    # Step 1: k-anonymity alone. Identity is protected, the disease is not:
+    # some 4-person classes are all "Flu" — anyone placed there is outed.
+    k_only = anonymizer.apply(KAnonymity(4))
+    audit("k=4 only", table, hierarchies, k_only)
+
+    # Step 2: require 3 distinct diseases per class.
+    diverse = anonymizer.apply(KAnonymity(4), DistinctLDiversity(3, "disease"))
+    audit("k=4 + distinct 3-diversity", table, hierarchies, diverse)
+
+    # Step 3: additionally bound each class's disease distribution to stay
+    # within EMD 0.2 of the hospital-wide distribution.
+    close = anonymizer.apply(
+        KAnonymity(4),
+        DistinctLDiversity(3, "disease"),
+        TCloseness(0.2, "disease"),
+    )
+    audit("k=4 + 3-diversity + 0.2-closeness", table, hierarchies, close)
+
+    print(
+        "\nEach step buys a strictly stronger attacker guarantee and costs "
+        "strictly more utility — the PPDP tradeoff in one screen."
+    )
+
+
+if __name__ == "__main__":
+    main()

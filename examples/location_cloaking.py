@@ -1,0 +1,80 @@
+"""Location privacy: spatial k-anonymity for a location-based service.
+
+A navigation app forwards user queries ("nearest pharmacy?") through a
+cloaking anonymizer so the service never sees exact positions. This example
+builds a city with a dense downtown and sparse suburbs, cloaks a query from
+every user with the adaptive quadtree, audits the release with the
+location-linkage attack, and shows why a fixed-resolution grid is the wrong
+tool for clustered populations.
+
+Run with::
+
+    python examples/location_cloaking.py
+"""
+
+import numpy as np
+
+from repro.spatial import (
+    BoundingBox,
+    GridCloak,
+    QuadTreeCloak,
+    location_linkage_attack,
+)
+
+CITY = BoundingBox(0.0, 10.0, 0.0, 10.0)  # a 10km x 10km city
+
+
+def build_city(seed: int = 0):
+    """2,000 downtown users in ~1 km², 500 spread across the city."""
+    rng = np.random.default_rng(seed)
+    downtown = rng.normal([3.0, 3.0], 0.35, (2000, 2))
+    suburbs = rng.uniform(0, 10, (500, 2))
+    pts = np.clip(np.vstack([downtown, suburbs]), 0.0, 10.0)
+    return pts[:, 0], pts[:, 1]
+
+
+def main() -> None:
+    x, y = build_city()
+    k = 20
+    print(f"city: {x.size} users, k = {k}")
+
+    # 1. Cloak one downtown query and one suburban query.
+    cloak = QuadTreeCloak(x, y, k=k, max_depth=9, bounds=CITY)
+    for label, user in [("downtown", 0), ("suburban", 2400)]:
+        q = cloak.cloak(user)
+        r = q.region
+        print(
+            f"\n{label} user at ({x[user]:.2f}, {y[user]:.2f}) km -> region "
+            f"[{r.x_lo:.2f}-{r.x_hi:.2f}] x [{r.y_lo:.2f}-{r.y_hi:.2f}] km "
+            f"({r.area:.3f} km², {q.k_achieved} users inside)"
+        )
+
+    # 2. Audit the whole batch with the linkage attack.
+    queries = cloak.cloak_all()
+    audit = location_linkage_attack(queries, x, y, k, CITY)
+    print(
+        f"\nlinkage audit over {audit.n_queries} queries: "
+        f"min candidates {audit.min_candidates} (need >= {k}), "
+        f"max pin-down probability {audit.max_pin_probability:.4f}, "
+        f"violations {audit.violations}"
+    )
+    assert audit.k_anonymous
+
+    # 3. Average region size: adaptivity vs fixed grids.
+    dense = np.mean([queries[u].region.area for u in range(2000)])
+    sparse = np.mean([queries[u].region.area for u in range(2000, 2500)])
+    print(f"\nadaptive quadtree: downtown avg {dense:.4f} km², suburbs avg {sparse:.3f} km²")
+    print("fixed grids (downtown avg area):")
+    for resolution in (4, 8, 16, 64):
+        grid = GridCloak(x, y, k=k, resolution=resolution, bounds=CITY)
+        g_dense = np.mean([grid.cloak(u).region.area for u in range(2000)])
+        cell = (10.0 / resolution) ** 2
+        print(f"  res {resolution:>2} ({cell:6.3f} km² cells): {g_dense:.4f} km²")
+    print(
+        "\na coarse grid over-cloaks downtown; a fine grid must be re-tuned as"
+        "\ndensity shifts — the quadtree adapts per query with one parameter."
+    )
+
+
+if __name__ == "__main__":
+    main()

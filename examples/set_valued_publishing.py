@@ -1,0 +1,81 @@
+"""Publishing market-basket (set-valued) data with kᵐ-anonymity.
+
+Transaction data has no fixed quasi-identifier schema — any m items an
+attacker observed (a neighbour's shopping, a pharmacy visit) can identify a
+basket. This example builds a purchase log over a product taxonomy, shows a
+concrete m-item re-identification, then anonymizes to kᵐ-anonymity and
+reports the utility bill.
+
+Run with::
+
+    python examples/set_valued_publishing.py
+"""
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.transactions import KmAnonymity, TransactionDB, km_violations
+
+
+def build_taxonomy() -> Hierarchy:
+    return Hierarchy.from_tree(
+        {
+            "pharmacy": {
+                "chronic": ["insulin", "statins", "antiretrovirals"],
+                "everyday": ["aspirin", "vitamins", "bandages"],
+            },
+            "grocery": {
+                "fresh": ["milk", "eggs", "apples", "lettuce"],
+                "packaged": ["pasta", "cereal", "coffee"],
+            },
+        }
+    )
+
+
+def main() -> None:
+    taxonomy = build_taxonomy()
+    items = list(taxonomy.ground)
+    rng = np.random.default_rng(13)
+    popularity = 1.0 / np.arange(1, len(items) + 1) ** 1.1
+    popularity /= popularity.sum()
+    baskets = []
+    for _ in range(500):
+        size = int(rng.integers(2, 6))
+        picks = rng.choice(len(items), size=size, replace=False, p=popularity)
+        baskets.append({items[i] for i in picks})
+    db = TransactionDB(baskets, taxonomy)
+
+    k, m = 5, 2
+    model = KmAnonymity(k=k, m=m)
+    raw_levels = np.zeros(len(items), dtype=np.int64)
+    violations = km_violations(db.generalized(raw_levels), k, m)
+    print(f"{len(baskets)} baskets over {len(items)} products")
+    print(f"raw data: {len(violations)} item combinations of size <= {m} "
+          f"match fewer than {k} baskets")
+    example = violations[-1]  # tokens are (level, code) pairs
+    names = sorted(str(taxonomy.labels(level)[code]) for level, code in example)
+    print(f"  e.g. an attacker who saw someone buy {names} can "
+          f"narrow them to < {k} baskets — and read the rest of the basket")
+
+    levels = model.anonymize(db)
+    assert model.check(db, levels)
+    loss = model.utility_loss(db, levels)
+    print(f"\nafter {model.name} generalization: 0 violating combinations")
+    print(f"per-item-occurrence information loss (NCP): {loss:.3f}")
+
+    raised = {
+        items[i]: int(levels[i]) for i in range(len(items)) if levels[i] > 0
+    }
+    print(f"items generalized ({len(raised)}/{len(items)}):")
+    for item, level in sorted(raised.items(), key=lambda kv: -kv[1])[:8]:
+        label_code = taxonomy.map_codes(
+            np.array([items.index(item)], dtype=np.int32), level
+        )[0]
+        print(f"  {item:>16} -> {taxonomy.labels(level)[label_code]}")
+
+    sample = db.generalized_names(levels)[0]
+    print(f"\nfirst published basket: {sorted(str(x) for x in sample)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Continuous publishing: anonymize a live record stream with CASTLE.
+
+A hospital admission feed must be published to a research consumer within a
+bounded delay — no batching over the whole day. CASTLE clusters arriving
+records and releases each one generalized to a region shared by at least k
+peers. This example streams admissions, shows the emitted generalized
+records, and compares information loss across delay budgets against the
+batch (Mondrian) lower bound.
+
+Run with::
+
+    python examples/stream_publishing.py
+"""
+
+import numpy as np
+
+from repro import KAnonymity, Mondrian, Schema
+from repro.core import Column, Hierarchy, IntervalHierarchy, Table
+from repro.metrics import gcp
+from repro.streams import Castle, StreamTuple
+
+WARDS = {
+    "surgical": ["orthopedics", "cardiac-surgery"],
+    "medical": ["cardiology", "oncology"],
+    "acute": ["emergency", "intensive-care"],
+}
+
+
+def admissions(n: int, seed: int):
+    """Synthetic admission feed: (age, ward) per arriving patient."""
+    rng = np.random.default_rng(seed)
+    wards = sorted(w for group in WARDS.values() for w in group)
+    for position in range(n):
+        yield StreamTuple(
+            position=position,
+            numeric={"age": float(np.clip(rng.normal(55, 18), 0, 100))},
+            categorical={"ward": int(rng.integers(0, len(wards)))},
+            payload=f"admission-{position}",
+        )
+
+
+def run_stream(delta: int, n: int = 1500, k: int = 5):
+    ward_hierarchy = Hierarchy.from_tree(WARDS, root="hospital")
+    castle = Castle(
+        k=k,
+        delta=delta,
+        numeric_ranges={"age": (0, 100)},
+        hierarchies={"ward": ward_hierarchy},
+        beta=20,
+    )
+    emitted = []
+    for record in admissions(n, seed=42):
+        emitted.extend(castle.push(record))
+    emitted.extend(castle.flush())
+    return emitted, castle
+
+
+def main() -> None:
+    k, n = 5, 1500
+
+    # 1. Stream with a mid-sized delay budget; inspect the first emissions.
+    emitted, castle = run_stream(delta=60, n=n, k=k)
+    print(f"streamed {n} admissions, emitted {len(emitted)} (k={k}, delta=60)")
+    print(f"cluster activity: {castle.stats}")
+    print("\nfirst three published records:")
+    for record in emitted[:3]:
+        lo, hi = record.generalized["age"]
+        print(
+            f"  {record.payload}: age=[{lo:.0f}-{hi:.0f}], "
+            f"ward={record.generalized['ward']}, "
+            f"shared by {record.cluster_size} patients (loss={record.loss:.3f})"
+        )
+
+    # 2. The privacy/latency dial: loss falls as the delay budget grows.
+    print("\navg information loss vs delay budget:")
+    for delta in (10, 30, 60, 150, 400):
+        records, _ = run_stream(delta=delta, n=n, k=k)
+        loss = float(np.mean([r.loss for r in records]))
+        print(f"  delta={delta:>4}: {loss:.4f}")
+
+    # 3. Batch lower bound: Mondrian over the complete table.
+    rng = np.random.default_rng(42)
+    rows = list(admissions(n, seed=42))
+    wards = sorted(w for group in WARDS.values() for w in group)
+    table = Table(
+        [
+            Column.numeric("age", [r.numeric["age"] for r in rows]),
+            Column.categorical("ward", [wards[r.categorical["ward"]] for r in rows]),
+        ]
+    )
+    schema = Schema.build(quasi_identifiers=["ward"], numeric_quasi_identifiers=["age"])
+    hierarchies = {
+        "ward": Hierarchy.from_tree(WARDS, root="hospital"),
+        "age": IntervalHierarchy.uniform(0, 100, 20),
+    }
+    release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(k)])
+    print(f"\nbatch Mondrian GCP (sees the whole table): {gcp(table, release, hierarchies):.4f}")
+    print("a streaming publisher can approach, but not beat, the batch loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Differentially private synthetic data: MWEM vs chain synthesizer.
+
+A statistics office wants to release a fully synthetic microdata file under
+a fixed privacy budget. Two strategies are on the table:
+
+* **ChainSynthesizer** (PrivBayes-style): fixes a Bayesian chain of noisy
+  2-way marginals — workload-oblivious, scales to many columns.
+* **MWEM**: adapts to a declared query workload — tighter on those queries,
+  but confined to a low-dimensional cross domain.
+
+This example fits both at several budgets, scores them on workload error
+and on distributional utility (marginal TV distance, pairwise association
+preservation), and tracks the cumulative spend with RDP-style accounting.
+
+Run with::
+
+    python examples/synthetic_data_comparison.py
+"""
+
+import numpy as np
+
+from repro.data import load_adult
+from repro.dp import (
+    BudgetAccountant,
+    ChainSynthesizer,
+    MWEM,
+    marginal_workload,
+    workload_avg_error,
+)
+from repro.dp.mwem import _Domain
+from repro.metrics import distribution_report
+
+COLUMNS = ["sex", "race", "marital_status", "workclass"]
+
+
+def main() -> None:
+    table = load_adult(n_rows=8000, seed=0).select(COLUMNS)
+    workload = marginal_workload(table, COLUMNS, ways=(1, 2))
+    domain = _Domain(table, COLUMNS)
+    true_hist = domain.histogram(table)
+    print(f"original: {table}")
+    print(f"domain cells: {domain.n_cells}, workload queries: {len(workload)}")
+
+    accountant = BudgetAccountant(epsilon_cap=20.0)
+
+    print(f"\n{'epsilon':>8} | {'mwem err':>9} | {'chain err':>9} | {'mwem tv':>8} | {'chain tv':>8} | {'mwem assoc':>10} | {'chain assoc':>11}")
+    for epsilon in (0.25, 1.0, 4.0):
+        mwem = MWEM(epsilon=epsilon, n_iterations=30, seed=0).fit(
+            table, COLUMNS, workload, accountant=accountant
+        )
+        mwem_table = mwem.sample(table.n_rows, seed=1)
+
+        chain = ChainSynthesizer(epsilon=epsilon, seed=0)
+        chain_table = chain.fit_sample(table, COLUMNS, accountant=accountant)
+
+        mwem_err = workload_avg_error(true_hist, mwem.synthetic_histogram, workload)
+        chain_err = workload_avg_error(true_hist, domain.histogram(chain_table), workload)
+
+        mwem_report = distribution_report(table, mwem_table, COLUMNS)
+        chain_report = distribution_report(table, chain_table, COLUMNS)
+        print(
+            f"{epsilon:>8} | {mwem_err:>9.1f} | {chain_err:>9.1f} | "
+            f"{mwem_report['avg_tv']:>8.4f} | {chain_report['avg_tv']:>8.4f} | "
+            f"{mwem_report['association_error']:>10.4f} | {chain_report['association_error']:>11.4f}"
+        )
+
+    print(f"\ncumulative budget spent (basic composition): eps = {accountant.spent_epsilon():.2f}")
+
+    # Peek at a few synthetic rows from the strongest release.
+    mwem = MWEM(epsilon=4.0, n_iterations=30, seed=0).fit(table, COLUMNS, workload)
+    synthetic = mwem.sample(5, seed=7)
+    print("\nsample synthetic records (eps=4 MWEM):")
+    for row in synthetic.to_rows():
+        print(f"  {row}")
+
+    # The uniform straw man, for scale.
+    uniform = np.full(domain.n_cells, true_hist.sum() / domain.n_cells)
+    print(f"\nuniform-distribution workload error: {workload_avg_error(true_hist, uniform, workload):.1f}")
+    print("both synthesizers sit far below this; with enough iterations MWEM")
+    print("overtakes the chain on its declared workload at moderate budgets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Publishing location trajectories under the LKC adversary model.
+
+A transit operator wants to release rider trajectories (location, time
+doublets) for urban-planning research. An adversary who physically observed
+a victim at L points can use them as a subsequence query. This example:
+
+1. quantifies raw re-identification with the subsequence-linkage attack,
+2. anonymizes with greedy global doublet suppression to LKC-privacy,
+3. re-runs the attack and reports the utility retained.
+
+Run with::
+
+    python examples/trajectory_release.py
+"""
+
+from repro.trajectories import (
+    TrajectoryLKC,
+    generate_trajectories,
+    subsequence_linkage_attack,
+)
+
+
+def main() -> None:
+    db = generate_trajectories(
+        n_records=400, grid=6, n_times=8, walk_length=7, seed=17
+    )
+    print(f"{len(db)} trajectories, {db.n_doublets()} doublets, "
+          f"{len(db.doublet_universe())} distinct (location, time) pairs")
+
+    l = 2
+    raw = subsequence_linkage_attack(db, db, l=l, n_victims=200, seed=3)
+    print(f"\nattack with L={l} observed doublets, raw release:")
+    print(f"  uniquely re-identified: {raw['unique_match_rate']:.1%}")
+    print(f"  avg candidate set:      {raw['avg_candidates']:.1f}")
+    print(f"  sensitive confidence:   {raw['avg_sensitive_confidence']:.2f}")
+
+    for k in (5, 20):
+        model = TrajectoryLKC(l=l, k=k, c=0.8)
+        anonymized, info = model.anonymize(db)
+        attack = subsequence_linkage_attack(db, anonymized, l=l, n_victims=200, seed=3)
+        print(f"\nafter {model.name} (global suppression of "
+              f"{len(info['suppressed_doublets'])} doublets):")
+        print(f"  uniquely re-identified: {attack['unique_match_rate']:.1%}")
+        print(f"  min candidate set:      {attack['min_candidates']}")
+        print(f"  sensitive confidence:   {attack['avg_sensitive_confidence']:.2f}")
+        print(f"  doublet instances kept: {info['instances_retained']:.1%}")
+        print(f"  emptied trajectories:   {info['empty_trajectories']}")
+
+    print(
+        "\nTradeoff: raising K strengthens the linkage bound but suppresses "
+        "more of the movement data — the LKC dial for trajectory publishing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — a privacy-preserving data publishing (PPDP) library.
+
+Implements the canonical PPDP toolbox: generalization-based anonymization
+algorithms (Datafly, Incognito, Mondrian, Top-Down Specialization, Anatomy,
+MDAV), privacy models (k-anonymity, ℓ-diversity, t-closeness, δ-presence,
+(α,k)-anonymity, ε-differential privacy), attack simulators (record /
+attribute / table linkage, composition), and the standard information-loss
+metrics — all on a self-contained numpy column store.
+
+Quickstart::
+
+    from repro import Anonymizer, KAnonymity, Mondrian
+    from repro.data import load_adult, adult_schema, adult_hierarchies
+
+    table = load_adult(n_rows=5000, seed=0)
+    anon = Anonymizer(table, adult_schema(), adult_hierarchies())
+    release = anon.apply(KAnonymity(10), algorithm=Mondrian())
+    print(release.summary())
+    print(anon.risk_report(release))
+"""
+
+from .algorithms import (
+    Anatomy,
+    BottomUpGeneralization,
+    Datafly,
+    Flash,
+    Incognito,
+    KMemberClustering,
+    MDAVMicroaggregation,
+    Mondrian,
+    OLA,
+    TopDownSpecialization,
+)
+from .core import (
+    AttributeType,
+    Column,
+    GeneralizationLattice,
+    Hierarchy,
+    IntervalHierarchy,
+    Release,
+    Schema,
+    Table,
+    partition_by_qi,
+)
+from .core.anonymizer import Anonymizer
+from .errors import (
+    BudgetError,
+    HierarchyError,
+    InfeasibleError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+)
+from .privacy import (
+    AlphaKAnonymity,
+    CompositeModel,
+    DeltaPresence,
+    DistinctLDiversity,
+    EntropyLDiversity,
+    GuardingNode,
+    KAnonymity,
+    KEAnonymity,
+    LKCPrivacy,
+    PersonalizedPrivacy,
+    RecursiveCLDiversity,
+    TCloseness,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlphaKAnonymity",
+    "Anatomy",
+    "Anonymizer",
+    "AttributeType",
+    "BudgetError",
+    "Column",
+    "CompositeModel",
+    "BottomUpGeneralization",
+    "Datafly",
+    "DeltaPresence",
+    "Flash",
+    "DistinctLDiversity",
+    "EntropyLDiversity",
+    "GeneralizationLattice",
+    "GuardingNode",
+    "Hierarchy",
+    "HierarchyError",
+    "Incognito",
+    "InfeasibleError",
+    "IntervalHierarchy",
+    "KAnonymity",
+    "KEAnonymity",
+    "KMemberClustering",
+    "LKCPrivacy",
+    "MDAVMicroaggregation",
+    "Mondrian",
+    "NotFittedError",
+    "OLA",
+    "PersonalizedPrivacy",
+    "RecursiveCLDiversity",
+    "Release",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "TCloseness",
+    "Table",
+    "TopDownSpecialization",
+    "partition_by_qi",
+    "__version__",
+]

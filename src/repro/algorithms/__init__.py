@@ -1,0 +1,34 @@
+"""Anonymization algorithms."""
+
+from .anatomy import AnatomizedRelease, Anatomy
+from .bug import BottomUpGeneralization
+from .base import AnonymizationAlgorithm, prepare_input, suppress_failing
+from .datafly import Datafly
+from .flash import Flash
+from .incognito import Incognito
+from .kmember import KMemberClustering
+from .microaggregation import MDAVMicroaggregation, within_group_sse
+from .mondrian import Mondrian
+from .ola import OLA
+from .slicing import SlicedRelease, Slicing
+from .topdown import TopDownSpecialization
+
+__all__ = [
+    "AnatomizedRelease",
+    "Anatomy",
+    "AnonymizationAlgorithm",
+    "BottomUpGeneralization",
+    "Datafly",
+    "Flash",
+    "Incognito",
+    "KMemberClustering",
+    "MDAVMicroaggregation",
+    "Mondrian",
+    "OLA",
+    "SlicedRelease",
+    "Slicing",
+    "TopDownSpecialization",
+    "prepare_input",
+    "suppress_failing",
+    "within_group_sse",
+]

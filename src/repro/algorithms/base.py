@@ -1,0 +1,104 @@
+"""Algorithm protocol and shared machinery.
+
+Every anonymization algorithm takes an original :class:`~repro.core.Table`,
+a :class:`~repro.core.Schema`, the generalization hierarchies, and one or
+more privacy models; it returns a :class:`~repro.core.Release`.
+
+Shared here:
+
+* :func:`prepare_input` — validates the schema, strips identifying columns.
+* :func:`suppress_failing` — standard record-suppression step: drop the rows
+  of equivalence classes that still violate the models, within a suppression
+  budget.
+* :class:`AnonymizationAlgorithm` — the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..core.generalize import HierarchyLike
+from ..core.partition import EquivalenceClasses, partition_by_qi
+from ..core.release import Release
+from ..core.schema import Schema
+from ..core.table import Table
+from ..errors import InfeasibleError
+from ..privacy.base import PrivacyModel, failing_rows
+
+__all__ = [
+    "AnonymizationAlgorithm",
+    "prepare_input",
+    "suppress_failing",
+    "check_models",
+    "failing_of_models",
+]
+
+
+@runtime_checkable
+class AnonymizationAlgorithm(Protocol):
+    """Protocol all algorithms implement."""
+
+    name: str
+
+    def anonymize(
+        self,
+        table: Table,
+        schema: Schema,
+        hierarchies: Mapping[str, HierarchyLike],
+        models: Sequence[PrivacyModel],
+    ) -> Release:
+        ...
+
+
+def prepare_input(table: Table, schema: Schema, hierarchies: Mapping[str, HierarchyLike]) -> Table:
+    """Validate and strip direct identifiers from the input table."""
+    schema.validate(table)
+    for name in schema.categorical_quasi_identifiers:
+        if name not in hierarchies:
+            raise InfeasibleError(f"no hierarchy supplied for categorical QI {name!r}")
+    if schema.identifying:
+        table = table.drop(*schema.identifying)
+    return table
+
+
+def check_models(table: Table, partition: EquivalenceClasses, models: Sequence[PrivacyModel]) -> bool:
+    return all(model.check(table, partition) for model in models)
+
+
+def failing_of_models(
+    table: Table, partition: EquivalenceClasses, models: Sequence[PrivacyModel]
+) -> list[int]:
+    failing: set[int] = set()
+    for model in models:
+        failing.update(model.failing_groups(table, partition))
+    return sorted(failing)
+
+
+def suppress_failing(
+    table: Table,
+    qi_names: Sequence[str],
+    models: Sequence[PrivacyModel],
+    max_suppression: float,
+) -> tuple[Table, np.ndarray, int]:
+    """Drop rows of equivalence classes that violate the models.
+
+    Returns ``(kept_table, kept_row_indices, n_suppressed)``. Raises
+    :class:`InfeasibleError` if suppression would exceed
+    ``max_suppression * n_rows`` or would empty the table.
+    """
+    partition = partition_by_qi(table, qi_names)
+    failing = failing_of_models(table, partition, models)
+    drop = failing_rows(partition, failing)
+    if drop.size > max_suppression * table.n_rows:
+        raise InfeasibleError(
+            f"suppressing {drop.size}/{table.n_rows} rows exceeds the "
+            f"{max_suppression:.0%} suppression budget"
+        )
+    if drop.size == table.n_rows:
+        raise InfeasibleError("every record would be suppressed")
+    keep = np.ones(table.n_rows, dtype=bool)
+    keep[drop] = False
+    kept_indices = np.flatnonzero(keep)
+    return table.take(kept_indices), kept_indices, int(drop.size)

@@ -1,0 +1,174 @@
+"""Greedy k-member clustering (Byun et al.).
+
+A clustering-based anonymizer for mixed categorical+numeric QIs: build
+clusters of exactly ``k`` records by repeatedly picking the record farthest
+from the previous cluster and greedily adding the record whose inclusion
+minimizes the cluster's information loss; leftover records join the cluster
+whose loss they increase least. Clusters become equivalence classes via
+local recoding (hierarchy covers for categorical QIs, min-max intervals for
+numeric).
+
+Distance/loss follows the paper: for numeric attributes, range/span; for
+categorical attributes, (subtree-height of the minimal covering node) /
+(hierarchy height).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.generalize import HierarchyLike, apply_partition_recoding
+from ..core.hierarchy import Hierarchy
+from ..core.release import Release
+from ..core.schema import Schema
+from ..core.table import Table
+from ..errors import InfeasibleError
+from ..privacy.base import PrivacyModel
+from .base import prepare_input
+
+__all__ = ["KMemberClustering"]
+
+
+class KMemberClustering:
+    """Greedy loss-minimizing clusters of exactly k records."""
+
+    def __init__(self, k: int, sample_candidates: int = 64, seed: int = 0):
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        self.k = int(k)
+        # Evaluating every remaining record per addition is O(n^2 k); we
+        # evaluate a random sample of candidates instead, which preserves
+        # the greedy quality on real data at a fraction of the cost.
+        self.sample_candidates = int(sample_candidates)
+        self.seed = seed
+        self.name = f"kmember[k={k}]"
+
+    def anonymize(
+        self,
+        table: Table,
+        schema: Schema,
+        hierarchies: Mapping[str, HierarchyLike],
+        models: Sequence[PrivacyModel] = (),
+    ) -> Release:
+        original = prepare_input(table, schema, hierarchies)
+        if original.n_rows < self.k:
+            raise InfeasibleError(f"table has fewer than k={self.k} rows")
+
+        loss_model = _LossModel(original, schema, hierarchies)
+        rng = np.random.default_rng(self.seed)
+
+        remaining = list(range(original.n_rows))
+        rng.shuffle(remaining)
+        remaining_set = set(remaining)
+        clusters: list[list[int]] = []
+        anchor = remaining[0]
+
+        while len(remaining_set) >= self.k:
+            anchor = loss_model.farthest_from(anchor, remaining_set, rng, self.sample_candidates)
+            cluster = [anchor]
+            remaining_set.discard(anchor)
+            while len(cluster) < self.k:
+                best = loss_model.cheapest_addition(
+                    cluster, remaining_set, rng, self.sample_candidates
+                )
+                cluster.append(best)
+                remaining_set.discard(best)
+            clusters.append(cluster)
+
+        for row in list(remaining_set):
+            best_cluster = min(
+                range(len(clusters)),
+                key=lambda ci: loss_model.marginal_loss(clusters[ci], row),
+            )
+            clusters[best_cluster].append(row)
+        groups = [np.sort(np.array(c, dtype=np.int64)) for c in clusters]
+
+        categorical = {
+            name: hierarchies[name] for name in schema.categorical_quasi_identifiers
+        }
+        recoded = apply_partition_recoding(
+            original,
+            groups,
+            categorical_qis=categorical,  # type: ignore[arg-type]
+            numeric_qis=schema.numeric_quasi_identifiers,
+        )
+        return Release(
+            table=recoded,
+            schema=schema,
+            algorithm=self.name,
+            node=None,
+            suppressed=0,
+            original_n_rows=original.n_rows,
+            kept_rows=None,
+            info={"n_clusters": len(groups), "total_loss": loss_model.total(groups)},
+        )
+
+    def __repr__(self) -> str:
+        return f"KMemberClustering(k={self.k})"
+
+
+class _LossModel:
+    """Cluster information loss over mixed QIs (Byun et al.'s IL)."""
+
+    def __init__(self, table: Table, schema: Schema, hierarchies: Mapping[str, HierarchyLike]):
+        self.numeric: dict[str, np.ndarray] = {}
+        self.spans: dict[str, float] = {}
+        for name in schema.numeric_quasi_identifiers:
+            values = table.values(name).astype(np.float64)
+            self.numeric[name] = values
+            span = float(values.max() - values.min())
+            self.spans[name] = span if span > 0 else 1.0
+        self.categorical: dict[str, tuple[np.ndarray, Hierarchy]] = {}
+        for name in schema.categorical_quasi_identifiers:
+            hierarchy = hierarchies[name]
+            assert isinstance(hierarchy, Hierarchy)
+            # Remap column codes into hierarchy ground codes once.
+            col = table.column(name)
+            index = {value: code for code, value in enumerate(hierarchy.ground)}
+            translate = np.array([index[v] for v in col.categories], dtype=np.int64)
+            self.categorical[name] = (translate[col.codes], hierarchy)
+
+    def cluster_loss(self, rows: Sequence[int]) -> float:
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        loss = 0.0
+        for name, values in self.numeric.items():
+            subset = values[rows_arr]
+            loss += float(subset.max() - subset.min()) / self.spans[name]
+        for name, (codes, hierarchy) in self.categorical.items():
+            distinct = np.unique(codes[rows_arr])
+            loss += _covering_level(hierarchy, distinct) / max(hierarchy.height, 1)
+        return loss
+
+    def marginal_loss(self, cluster: Sequence[int], candidate: int) -> float:
+        return self.cluster_loss(list(cluster) + [candidate]) - self.cluster_loss(cluster)
+
+    def cheapest_addition(self, cluster, remaining_set, rng, sample_size) -> int:
+        candidates = _sample(remaining_set, rng, sample_size)
+        return min(candidates, key=lambda row: self.marginal_loss(cluster, row))
+
+    def farthest_from(self, anchor: int, remaining_set, rng, sample_size) -> int:
+        candidates = _sample(remaining_set, rng, sample_size)
+        return max(candidates, key=lambda row: self.cluster_loss([anchor, row]))
+
+    def total(self, groups: Sequence[np.ndarray]) -> float:
+        return sum(self.cluster_loss(list(g)) * len(g) for g in groups)
+
+
+def _covering_level(hierarchy: Hierarchy, distinct_codes: np.ndarray) -> int:
+    """Lowest level whose mapping unifies the distinct ground codes."""
+    if distinct_codes.size <= 1:
+        return 0
+    for level in range(1, hierarchy.height + 1):
+        if np.unique(hierarchy.map_codes(distinct_codes.astype(np.int32), level)).size == 1:
+            return level
+    return hierarchy.height
+
+
+def _sample(remaining_set: set, rng: np.random.Generator, size: int) -> list[int]:
+    if len(remaining_set) <= size:
+        return list(remaining_set)
+    as_list = list(remaining_set)
+    picks = rng.choice(len(as_list), size=size, replace=False)
+    return [as_list[i] for i in picks]

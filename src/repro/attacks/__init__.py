@@ -1,0 +1,71 @@
+"""Attack simulators: linkage, attribute disclosure, membership, composition."""
+
+from .attribute import background_knowledge_attack, homogeneity_attack, skewness_gain
+from .composition import intersection_attack
+from .definetti import definetti_attack
+from .linkage import journalist_risks, linkage_risks, simulate_linkage
+from .minimality import (
+    MergedClass,
+    MinimalPublisher,
+    attack_lift,
+    minimality_posterior,
+    naive_posterior,
+    violates_simple_l_diversity,
+)
+from .reconstruction import (
+    ReconstructionResult,
+    least_squares_reconstruct,
+    noisy_answers,
+    reconstruction_attack,
+    subset_sum_queries,
+)
+from .probabilistic_linkage import (
+    FellegiSunter,
+    LinkageResult,
+    compare_tables,
+    probabilistic_linkage_attack,
+)
+from .tracing import TracingResult, dp_frequency_release, homer_statistic, trace_membership
+from .membership import membership_attack, membership_beliefs
+from .uniqueness import (
+    poisson_population_uniques,
+    sample_uniques,
+    uniqueness_report,
+    zayatz_population_uniques,
+)
+
+__all__ = [
+    "background_knowledge_attack",
+    "definetti_attack",
+    "homogeneity_attack",
+    "intersection_attack",
+    "journalist_risks",
+    "linkage_risks",
+    "MergedClass",
+    "MinimalPublisher",
+    "ReconstructionResult",
+    "attack_lift",
+    "least_squares_reconstruct",
+    "membership_attack",
+    "minimality_posterior",
+    "naive_posterior",
+    "noisy_answers",
+    "reconstruction_attack",
+    "subset_sum_queries",
+    "FellegiSunter",
+    "LinkageResult",
+    "TracingResult",
+    "compare_tables",
+    "probabilistic_linkage_attack",
+    "dp_frequency_release",
+    "homer_statistic",
+    "trace_membership",
+    "violates_simple_l_diversity",
+    "membership_beliefs",
+    "poisson_population_uniques",
+    "sample_uniques",
+    "simulate_linkage",
+    "skewness_gain",
+    "uniqueness_report",
+    "zayatz_population_uniques",
+]

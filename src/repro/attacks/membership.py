@@ -1,0 +1,89 @@
+"""Table-linkage (membership-inference) attack.
+
+The attacker holds a population table and a target individual known to be in
+the population, and wants to decide whether the target is in the published
+research subset. For a target whose generalized QI signature matches a
+release class with ``r`` records and ``p`` population records, the optimal
+attacker guesses "member" with belief ``r / p``.
+
+:func:`membership_attack` simulates this against a labelled population
+(members vs. non-members) and reports the attacker's *advantage*
+(true-positive rate minus false-positive rate at the optimal belief
+threshold) — the quantity δ-presence bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.release import Release
+from ..core.table import Table
+
+__all__ = ["membership_attack", "membership_beliefs"]
+
+
+def membership_beliefs(
+    release: Release, population: Table, qi_names: Sequence[str] | None = None
+) -> np.ndarray:
+    """Per-population-row belief ``r / p`` of being in the release.
+
+    The population table must carry the same generalized QI labels as the
+    release (generalize it with the release's node first).
+    """
+    qi_names = list(qi_names) if qi_names is not None else list(release.schema.quasi_identifiers)
+    release_counts = _signature_counts(release.table, qi_names)
+    population_signatures = _signatures(population, qi_names)
+    population_counts: dict = {}
+    for signature in population_signatures:
+        population_counts[signature] = population_counts.get(signature, 0) + 1
+    beliefs = np.empty(len(population_signatures))
+    for i, signature in enumerate(population_signatures):
+        r = release_counts.get(signature, 0)
+        p = population_counts[signature]
+        beliefs[i] = min(r / p, 1.0)
+    return beliefs
+
+
+def membership_attack(
+    release: Release,
+    population: Table,
+    member_mask: np.ndarray,
+    qi_names: Sequence[str] | None = None,
+) -> dict:
+    """Advantage of the optimal-threshold membership attacker.
+
+    ``member_mask[i]`` is True iff population row ``i`` is actually in the
+    published subset. Returns attacker advantage (TPR - FPR maximized over
+    thresholds), plus the AUC-like mean belief gap.
+    """
+    beliefs = membership_beliefs(release, population, qi_names)
+    member_mask = np.asarray(member_mask, dtype=bool)
+    member_beliefs = beliefs[member_mask]
+    non_member_beliefs = beliefs[~member_mask]
+    if member_beliefs.size == 0 or non_member_beliefs.size == 0:
+        return {"advantage": 0.0, "mean_belief_gap": 0.0}
+
+    thresholds = np.unique(beliefs)
+    best_advantage = 0.0
+    for threshold in thresholds:
+        tpr = float((member_beliefs >= threshold).mean())
+        fpr = float((non_member_beliefs >= threshold).mean())
+        best_advantage = max(best_advantage, tpr - fpr)
+    return {
+        "advantage": best_advantage,
+        "mean_belief_gap": float(member_beliefs.mean() - non_member_beliefs.mean()),
+    }
+
+
+def _signatures(table: Table, qi_names: Sequence[str]) -> list[tuple]:
+    decoded = [table.column(name).decode() for name in qi_names]
+    return list(zip(*decoded))
+
+
+def _signature_counts(table: Table, qi_names: Sequence[str]) -> dict:
+    counts: dict = {}
+    for signature in _signatures(table, qi_names):
+        counts[signature] = counts.get(signature, 0) + 1
+    return counts

@@ -1,0 +1,200 @@
+"""Minimality attack (Wong, Fu, Wang & Pei, VLDB 2007).
+
+Anonymization algorithms advertise *minimality*: they generalize no more
+than needed to meet the privacy model. That very guarantee leaks. If an
+adversary (who knows every individual's quasi-identifier — the standard
+assumption) sees two QI groups merged in the release, minimality tells them
+**at least one of the constituent groups must have violated the model on its
+own** — otherwise the publisher would not have merged. Conditioning on that
+event skews the posterior over sensitive values well past the bound the
+model claims.
+
+This module implements the attack against *simple ℓ-diversity* (each EC may
+contain at most a ``1/ℓ`` fraction of the sensitive value), the setting of
+the original paper:
+
+* :class:`MinimalPublisher` — a deliberately minimal global-recoding
+  publisher: partitions by the QI, then merges sibling groups (per a fixed
+  pairing) only where the model fails.
+* :func:`minimality_posterior` — the adversary's exact posterior, computed
+  by enumerating pre-merge sensitive splits weighted hypergeometrically and
+  conditioning on "some side violated".
+* :func:`naive_posterior` — what a minimality-unaware adversary concludes
+  (the EC's sensitive fraction, ≤ 1/ℓ by construction).
+
+The attack "lift" — max posterior over the naive 1/ℓ bound — is what
+experiment E27 reports; the paper's fix (don't be minimal: randomize or
+over-generalize) is demonstrated by the ``randomize_merges`` publisher
+option, which kills the inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "MergedClass",
+    "MinimalPublisher",
+    "violates_simple_l_diversity",
+    "minimality_posterior",
+    "naive_posterior",
+]
+
+
+def violates_simple_l_diversity(n_sensitive: int, n_total: int, ell: int) -> bool:
+    """Simple ℓ-diversity: the sensitive fraction must not exceed 1/ℓ."""
+    if n_total == 0:
+        return False
+    return n_sensitive * ell > n_total
+
+
+@dataclass(frozen=True)
+class MergedClass:
+    """One published equivalence class: constituent group sizes + counts.
+
+    ``group_sizes[j]`` is the number of individuals from original QI group
+    ``j``; ``sensitive_total`` is the published count of the sensitive value
+    in the merged class; ``merged`` is False for classes published as-is.
+    """
+
+    group_sizes: tuple[int, ...]
+    sensitive_total: int
+    merged: bool
+    label: str = ""
+
+    @property
+    def n_total(self) -> int:
+        return sum(self.group_sizes)
+
+
+class MinimalPublisher:
+    """A minimal simple-ℓ-diversity publisher over a single categorical QI.
+
+    Groups are paired as siblings ``(0,1), (2,3), …`` in QI-code order
+    (standing in for a two-level generalization hierarchy). A pair is merged
+    only if at least one side violates the model; a merged pair that *still*
+    violates is suppressed. With ``randomize_merges`` the publisher also
+    merges non-violating pairs with probability ½ — the paper's randomness
+    countermeasure, which breaks the "merge ⇒ violation" implication.
+    """
+
+    def __init__(self, ell: int, randomize_merges: bool = False, seed: int | None = 0):
+        if ell < 2:
+            raise ValueError(f"ell must be >= 2, got {ell}")
+        self.ell = int(ell)
+        self.randomize_merges = bool(randomize_merges)
+        self.seed = seed
+
+    def publish(
+        self, qi_codes: np.ndarray, sensitive: np.ndarray
+    ) -> list[MergedClass]:
+        """Anonymize and return the published classes (suppressing failures)."""
+        qi_codes = np.asarray(qi_codes)
+        sensitive = np.asarray(sensitive).astype(bool)
+        if qi_codes.shape != sensitive.shape:
+            raise ValueError("qi_codes and sensitive must be parallel arrays")
+        rng = np.random.default_rng(self.seed)
+        n_groups = int(qi_codes.max()) + 1 if qi_codes.size else 0
+        sizes = np.bincount(qi_codes, minlength=n_groups)
+        s_counts = np.bincount(qi_codes, weights=sensitive, minlength=n_groups).astype(int)
+
+        published: list[MergedClass] = []
+        for left in range(0, n_groups, 2):
+            right = left + 1
+            if right >= n_groups or sizes[right] == 0:
+                if sizes[left] and not violates_simple_l_diversity(
+                    s_counts[left], sizes[left], self.ell
+                ):
+                    published.append(
+                        MergedClass((int(sizes[left]),), int(s_counts[left]), False, f"q{left}")
+                    )
+                continue
+            left_bad = violates_simple_l_diversity(s_counts[left], sizes[left], self.ell)
+            right_bad = violates_simple_l_diversity(s_counts[right], sizes[right], self.ell)
+            must_merge = left_bad or right_bad
+            voluntary = self.randomize_merges and rng.random() < 0.5
+            if must_merge or voluntary:
+                total_s = int(s_counts[left] + s_counts[right])
+                total_n = int(sizes[left] + sizes[right])
+                if violates_simple_l_diversity(total_s, total_n, self.ell):
+                    continue  # merged pair still violates: suppress it
+                published.append(
+                    MergedClass(
+                        (int(sizes[left]), int(sizes[right])),
+                        total_s,
+                        True,
+                        f"q{left}|q{right}",
+                    )
+                )
+            else:
+                for g in (left, right):
+                    if sizes[g]:
+                        published.append(
+                            MergedClass((int(sizes[g]),), int(s_counts[g]), False, f"q{g}")
+                        )
+        return published
+
+
+def naive_posterior(ec: MergedClass) -> float:
+    """The minimality-unaware belief: uniform within the published class."""
+    if ec.n_total == 0:
+        return 0.0
+    return ec.sensitive_total / ec.n_total
+
+
+def minimality_posterior(ec: MergedClass, ell: int, publisher_is_minimal: bool = True) -> list[float]:
+    """Per-group posterior P(individual has the sensitive value | release).
+
+    For a merged pair the adversary enumerates every split ``(m₁, m₂)`` of
+    the published sensitive count across the two constituent groups, weights
+    each split hypergeometrically (``C(n₁,m₁)·C(n₂,m₂)`` assignments), and —
+    if the publisher is known minimal — keeps only splits where **some side
+    violates** simple ℓ-diversity. The posterior for a member of group j is
+    the conditional expectation of ``mⱼ/nⱼ``.
+
+    With ``publisher_is_minimal=False`` (the randomized publisher) no split
+    can be excluded, and the posterior collapses back to the naive value.
+    """
+    if len(ec.group_sizes) == 1 or not ec.merged:
+        return [naive_posterior(ec)] * len(ec.group_sizes)
+    if len(ec.group_sizes) != 2:
+        raise ValueError("minimality_posterior handles pairwise merges")
+    n1, n2 = ec.group_sizes
+    m = ec.sensitive_total
+    weights, splits = [], []
+    for m1 in range(max(0, m - n2), min(m, n1) + 1):
+        m2 = m - m1
+        admissible = True
+        if publisher_is_minimal:
+            admissible = violates_simple_l_diversity(m1, n1, ell) or violates_simple_l_diversity(
+                m2, n2, ell
+            )
+        if admissible:
+            weights.append(comb(n1, m1) * comb(n2, m2))
+            splits.append((m1, m2))
+    if not weights:
+        # No admissible pre-merge state: adversary's model is inconsistent
+        # with the release (voluntary merge); fall back to naive.
+        return [naive_posterior(ec)] * 2
+    total = float(sum(weights))
+    post1 = sum(w * (m1 / n1) for w, (m1, _) in zip(weights, splits)) / total
+    post2 = sum(w * (m2 / n2) for w, (_, m2) in zip(weights, splits)) / total
+    return [post1, post2]
+
+
+def attack_lift(
+    classes: Sequence[MergedClass], ell: int, publisher_is_minimal: bool = True
+) -> float:
+    """Max minimality posterior over all groups, divided by the 1/ℓ bound."""
+    best = 0.0
+    for ec in classes:
+        for p in minimality_posterior(ec, ell, publisher_is_minimal):
+            best = max(best, p)
+    return best * ell
+
+
+__all__.append("attack_lift")

@@ -1,0 +1,29 @@
+"""Core substrate: table engine, schema, hierarchies, lattice, partitions."""
+
+from .generalize import apply_node, apply_partition_recoding, generalized_qi_table
+from .hierarchy import Hierarchy, IntervalHierarchy, suppression_hierarchy
+from .io import read_csv, write_csv
+from .lattice import GeneralizationLattice
+from .partition import EquivalenceClasses, partition_by_qi
+from .release import Release
+from .schema import AttributeType, Schema
+from .table import Column, Table
+
+__all__ = [
+    "AttributeType",
+    "Column",
+    "EquivalenceClasses",
+    "GeneralizationLattice",
+    "Hierarchy",
+    "IntervalHierarchy",
+    "Release",
+    "Schema",
+    "Table",
+    "apply_node",
+    "apply_partition_recoding",
+    "generalized_qi_table",
+    "partition_by_qi",
+    "read_csv",
+    "suppression_hierarchy",
+    "write_csv",
+]

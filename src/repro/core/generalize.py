@@ -1,0 +1,112 @@
+"""Applying generalizations to tables.
+
+Two styles, matching the survey's operation taxonomy:
+
+* **full-domain** (:func:`apply_node`) — a lattice node assigns one level per
+  QI; every value of that attribute is mapped through its hierarchy at that
+  level. Used by Datafly, Incognito, and the lattice searches.
+* **local recoding** (:func:`apply_partition_recoding`) — each equivalence
+  class gets its own representative value per QI (the minimal hierarchy node
+  covering the class, or the min-max interval for numeric QIs). Used by
+  Mondrian and microaggregation, which produce multidimensional regions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import HierarchyError
+from .hierarchy import Hierarchy, IntervalHierarchy
+from .table import Column, Table
+
+__all__ = ["apply_node", "apply_partition_recoding", "generalized_qi_table"]
+
+HierarchyLike = Hierarchy | IntervalHierarchy
+
+
+def apply_node(
+    table: Table,
+    hierarchies: Mapping[str, HierarchyLike],
+    attributes: Sequence[str],
+    node: Sequence[int],
+) -> Table:
+    """Generalize ``attributes`` of ``table`` to the levels in ``node``."""
+    if len(attributes) != len(node):
+        raise HierarchyError("attributes and node levels must be parallel")
+    new_columns = []
+    for name, level in zip(attributes, node):
+        hierarchy = hierarchies[name]
+        new_columns.append(hierarchy.generalize_column(table.column(name), int(level)))
+    return table.replace(*new_columns)
+
+
+def generalized_qi_table(
+    table: Table,
+    hierarchies: Mapping[str, HierarchyLike],
+    attributes: Sequence[str],
+    node: Sequence[int],
+) -> Table:
+    """Like :func:`apply_node` but projected to the QIs only (hot path)."""
+    return apply_node(table.select(list(attributes)), hierarchies, attributes, node)
+
+
+def apply_partition_recoding(
+    table: Table,
+    groups: Sequence[np.ndarray],
+    categorical_qis: Mapping[str, Hierarchy],
+    numeric_qis: Sequence[str] = (),
+    precision: int = 6,
+) -> Table:
+    """Local recoding: give each group a shared representative per QI.
+
+    * Categorical QIs: the lowest hierarchy level at which the group's values
+      collapse to a single generalized value; the group is recoded to that
+      value's label.
+    * Numeric QIs: the group's ``[min-max]`` interval label (point values stay
+      numeric-looking strings only when min == max).
+
+    Returns a new table where each recoded QI is a categorical column.
+    """
+    n_rows = table.n_rows
+    covered = np.zeros(n_rows, dtype=bool)
+    for group in groups:
+        covered[group] = True
+    if not covered.all():
+        raise HierarchyError("groups do not cover every row")
+
+    new_columns: list[Column] = []
+    for name, hierarchy in categorical_qis.items():
+        codes = table.codes(name)
+        out = [""] * n_rows
+        for group in groups:
+            label = _categorical_group_label(hierarchy, codes[group])
+            for row in group:
+                out[row] = label
+        new_columns.append(Column.categorical(name, out))
+
+    fmt = f"%.{precision}g"
+    for name in numeric_qis:
+        values = table.values(name)
+        out = [""] * n_rows
+        for group in groups:
+            lo, hi = float(values[group].min()), float(values[group].max())
+            label = fmt % lo if lo == hi else f"[{fmt % lo}-{fmt % hi}]"
+            for row in group:
+                out[row] = label
+        new_columns.append(Column.categorical(name, out))
+
+    return table.replace(*new_columns)
+
+
+def _categorical_group_label(hierarchy: Hierarchy, group_codes: np.ndarray) -> str:
+    """Label of the minimal hierarchy value covering all codes in the group."""
+    distinct = np.unique(group_codes)
+    if distinct.size == 1:
+        return str(hierarchy.ground[int(distinct[0])])
+    for level in range(1, hierarchy.height + 1):
+        mapped = np.unique(hierarchy.map_codes(distinct, level))
+        if mapped.size == 1:
+            return str(hierarchy.labels(level)[int(mapped[0])])
+    raise HierarchyError("hierarchy top level does not unify the domain")  # pragma: no cover

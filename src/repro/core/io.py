@@ -1,0 +1,97 @@
+"""CSV import/export for tables.
+
+Minimal, dependency-free CSV round-tripping so the CLI (and downstream
+users without pandas) can anonymize real files:
+
+* :func:`read_csv` — header-based load with optional explicit column kinds;
+  unspecified columns are sniffed (all-numeric → numeric, else categorical).
+* :func:`write_csv` — writes decoded values.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+from ..errors import SchemaError
+from .table import Column, Table
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def read_csv(
+    path: str | os.PathLike,
+    categorical: Sequence[str] = (),
+    numeric: Sequence[str] = (),
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV with a header row into a :class:`Table`.
+
+    Columns named in ``categorical``/``numeric`` are typed accordingly;
+    every other column is numeric if all its values parse as floats, else
+    categorical. Values are stripped of surrounding whitespace.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = [name.strip() for name in next(reader)]
+        except StopIteration:
+            raise SchemaError(f"{path}: empty file") from None
+        rows = [[cell.strip() for cell in row] for row in reader if row]
+    if not rows:
+        raise SchemaError(f"{path}: no data rows")
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise SchemaError(
+                f"{path}: row {i + 2} has {len(row)} cells, header has {len(header)}"
+            )
+
+    columns: list[Column] = []
+    by_name = {name: [row[j] for row in rows] for j, name in enumerate(header)}
+    declared = set(categorical) | set(numeric)
+    unknown = declared - set(header)
+    if unknown:
+        raise SchemaError(f"declared columns {sorted(unknown)} not in CSV header {header}")
+    for name in header:
+        values = by_name[name]
+        if name in categorical:
+            columns.append(Column.categorical(name, values))
+        elif name in numeric:
+            columns.append(Column.numeric(name, [_parse_number(name, v) for v in values]))
+        elif all(_is_number(v) for v in values):
+            columns.append(Column.numeric(name, [float(v) for v in values]))
+        else:
+            columns.append(Column.categorical(name, values))
+    return Table(columns)
+
+
+def write_csv(table: Table, path: str | os.PathLike, delimiter: str = ",") -> None:
+    """Write a table (decoded values) to a CSV file with a header row."""
+    decoded = {name: table.column(name).decode() for name in table.column_names}
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        for i in range(table.n_rows):
+            writer.writerow([_render(decoded[name][i]) for name in table.column_names])
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _parse_number(name: str, text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise SchemaError(f"column {name!r}: {text!r} is not numeric") from None
+
+
+def _render(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,22 @@
+"""Datasets: synthetic Adult census, hospital discharge, generic generators."""
+
+from .adult import ADULT_CATEGORICAL, ADULT_NUMERIC, adult_schema, load_adult, load_adult_file
+from .adult_hierarchy import adult_hierarchies
+from .medical import DISEASES, load_medical, medical_hierarchies, medical_schema
+from .synthetic import gaussian_numeric, random_scenario, zipf_categorical
+
+__all__ = [
+    "ADULT_CATEGORICAL",
+    "ADULT_NUMERIC",
+    "DISEASES",
+    "adult_hierarchies",
+    "adult_schema",
+    "gaussian_numeric",
+    "load_adult",
+    "load_adult_file",
+    "load_medical",
+    "medical_hierarchies",
+    "medical_schema",
+    "random_scenario",
+    "zipf_categorical",
+]

@@ -1,0 +1,78 @@
+"""Standard generalization hierarchies for the Adult schema.
+
+These mirror the hierarchies ARX and the PPDP papers ship for Adult:
+work class into sector, education into stage, marital status into
+civil state, country into region, race/sex into suppression-only, and
+age into widening intervals (5 → 10 → 20 → 40 → all).
+"""
+
+from __future__ import annotations
+
+from ..core.hierarchy import Hierarchy, IntervalHierarchy
+from .adult import EDUCATION, MARITAL, NATIVE_COUNTRY, RACE, SEX, WORKCLASS, OCCUPATION
+
+__all__ = ["adult_hierarchies"]
+
+
+def adult_hierarchies() -> dict:
+    """Hierarchies keyed by column name, covering every Adult QI."""
+    workclass = Hierarchy.from_tree(
+        {
+            "Government": ["Federal-gov", "Local-gov", "State-gov"],
+            "Private-sector": ["Private"],
+            "Self-employed": ["Self-emp-not-inc", "Self-emp-inc"],
+            "Unpaid": ["Without-pay"],
+        },
+        root="*",
+    )
+    education = Hierarchy.from_tree(
+        {
+            "No-HS": ["Preschool", "Primary", "Some-HS"],
+            "HS-level": ["HS-grad", "Some-college", "Assoc"],
+            "Higher-ed": ["Bachelors", "Masters", "Prof-school", "Doctorate"],
+        },
+        root="*",
+    )
+    marital = Hierarchy.from_tree(
+        {
+            "Alone": ["Never-married", "Divorced", "Separated", "Widowed"],
+            "Partnered": ["Married"],
+        },
+        root="*",
+    )
+    country = Hierarchy.from_tree(
+        {
+            "North-America": ["United-States", "Canada", "Mexico", "Cuba"],
+            "Asia": ["Philippines", "India", "China"],
+            "Europe": ["Germany", "England"],
+            "Elsewhere": ["Other"],
+        },
+        root="*",
+    )
+    occupation = Hierarchy.from_tree(
+        {
+            "White-collar": [
+                "Tech-support", "Sales", "Exec-managerial",
+                "Prof-specialty", "Adm-clerical",
+            ],
+            "Blue-collar": [
+                "Craft-repair", "Handlers-cleaners", "Machine-op-inspct",
+                "Farming-fishing", "Transport-moving",
+            ],
+            "Service": ["Other-service", "Protective-serv"],
+        },
+        root="*",
+    )
+    race = Hierarchy.flat(RACE)
+    sex = Hierarchy.flat(SEX)
+    age = IntervalHierarchy.uniform(15, 95, n_bins=16, merge_factor=2)  # 5y → 10y → 20y → 40y → *
+    return {
+        "workclass": workclass,
+        "education": education,
+        "marital_status": marital,
+        "native_country": country,
+        "occupation": occupation,
+        "race": race,
+        "sex": sex,
+        "age": age,
+    }

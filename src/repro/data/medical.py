@@ -1,0 +1,110 @@
+"""Synthetic hospital-discharge dataset.
+
+The ℓ-diversity and t-closeness papers motivate their models with a small
+hospital inpatient table: quasi-identifiers (zipcode, age, nationality) and
+a sensitive ``disease`` column whose distribution is skewed (a few common
+conditions, a long tail of rare ones). This generator reproduces that
+scenario at configurable scale, including:
+
+* zipcode prefixes correlated with nationality (so generalizing zipcodes
+  genuinely mixes nationalities — the structure the homogeneity attack
+  exploits);
+* disease prevalence dependent on age band (the skew the t-closeness
+  similarity/skewness attacks exploit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hierarchy import Hierarchy, IntervalHierarchy
+from ..core.schema import Schema
+from ..core.table import Column, Table
+
+__all__ = ["load_medical", "medical_schema", "medical_hierarchies", "DISEASES"]
+
+DISEASES = [
+    "Flu", "Bronchitis", "Pneumonia", "Gastritis", "Ulcer",
+    "Heart-disease", "Cancer", "HIV",
+]
+# Base prevalence — deliberately skewed (the skewness-attack precondition).
+DISEASE_P = [0.30, 0.18, 0.12, 0.14, 0.08, 0.10, 0.06, 0.02]
+
+NATIONALITIES = ["American", "Japanese", "Indian", "Russian", "Brazilian"]
+ZIP_PREFIXES = {  # nationality → likely 3-digit zip prefixes
+    "American": ["130", "131", "144"],
+    "Japanese": ["130", "148"],
+    "Indian": ["148", "149"],
+    "Russian": ["144", "145"],
+    "Brazilian": ["145", "149"],
+}
+
+
+def medical_schema() -> Schema:
+    return Schema.build(
+        quasi_identifiers=["zipcode", "nationality"],
+        numeric_quasi_identifiers=["age"],
+        sensitive=["disease"],
+    )
+
+
+def medical_hierarchies() -> dict:
+    """Zipcode digit-masking hierarchy, nationality tree, age intervals."""
+    zipcodes = sorted(
+        {prefix + suffix for prefixes in ZIP_PREFIXES.values() for prefix in prefixes
+         for suffix in ("05", "21", "48", "77")}
+    )
+    rows = {z: [z[:4] + "*", z[:3] + "**", z[:2] + "***", "*"] for z in zipcodes}
+    zipcode = Hierarchy.from_levels(rows)
+    nationality = Hierarchy.from_tree(
+        {
+            "Americas": ["American", "Brazilian"],
+            "Asia": ["Japanese", "Indian"],
+            "Europe": ["Russian"],
+        },
+        root="*",
+    )
+    age = IntervalHierarchy.uniform(0, 96, n_bins=16, merge_factor=2)
+    return {"zipcode": zipcode, "nationality": nationality, "age": age}
+
+
+def load_medical(n_rows: int = 3000, seed: int = 0) -> Table:
+    """Generate the synthetic discharge table (deterministic in ``seed``)."""
+    rng = np.random.default_rng(seed)
+    nationality_idx = rng.choice(
+        len(NATIONALITIES), size=n_rows, p=[0.55, 0.12, 0.13, 0.10, 0.10]
+    )
+    zipcodes = []
+    for idx in nationality_idx:
+        prefix = rng.choice(ZIP_PREFIXES[NATIONALITIES[idx]])
+        suffix = rng.choice(["05", "21", "48", "77"])
+        zipcodes.append(prefix + suffix)
+
+    age = np.clip(rng.gamma(6.0, 8.0, n_rows).round(), 1, 95).astype(np.int64)
+    diseases = _diseases_by_age(age, rng)
+
+    return Table(
+        [
+            Column.categorical("zipcode", zipcodes),
+            Column.categorical("nationality", [NATIONALITIES[i] for i in nationality_idx], NATIONALITIES),
+            Column.categorical("disease", diseases, DISEASES),
+            Column.numeric("age", age),
+        ]
+    )
+
+
+def _diseases_by_age(age: np.ndarray, rng: np.random.Generator) -> list[str]:
+    base = np.asarray(DISEASE_P, dtype=np.float64)
+    heart, cancer, flu = DISEASES.index("Heart-disease"), DISEASES.index("Cancer"), DISEASES.index("Flu")
+    out = []
+    for a in age:
+        weights = base.copy()
+        if a >= 60:
+            weights[heart] *= 3.0
+            weights[cancer] *= 2.5
+            weights[flu] *= 0.5
+        elif a <= 15:
+            weights[flu] *= 2.0
+            weights[heart] *= 0.1
+        out.append(DISEASES[rng.choice(len(DISEASES), p=weights / weights.sum())])
+    return out

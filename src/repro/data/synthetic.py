@@ -1,0 +1,88 @@
+"""Generic synthetic data generators used by tests and benchmarks.
+
+Small, composable generators for stress-testing the substrate without the
+full Adult machinery: Zipf-skewed categorical columns, Gaussian/uniform
+numeric columns, and a helper that builds a complete publishing scenario
+(table + schema + flat hierarchies) in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hierarchy import Hierarchy, IntervalHierarchy
+from ..core.schema import Schema
+from ..core.table import Column, Table
+
+__all__ = ["zipf_categorical", "gaussian_numeric", "random_scenario"]
+
+
+def zipf_categorical(
+    name: str, n_rows: int, n_values: int, skew: float = 1.2, seed: int = 0
+) -> Column:
+    """Categorical column with Zipf-distributed value frequencies."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_values + 1, dtype=np.float64)
+    probs = ranks**-skew
+    probs /= probs.sum()
+    values = [f"{name}_{i}" for i in range(n_values)]
+    draws = rng.choice(n_values, size=n_rows, p=probs)
+    return Column.categorical(name, [values[i] for i in draws], values)
+
+
+def gaussian_numeric(
+    name: str, n_rows: int, mean: float = 0.0, std: float = 1.0, seed: int = 0
+) -> Column:
+    rng = np.random.default_rng(seed)
+    return Column.numeric(name, rng.normal(mean, std, n_rows))
+
+
+def random_scenario(
+    n_rows: int = 500,
+    n_categorical_qis: int = 2,
+    n_values: int = 8,
+    n_sensitive_values: int = 4,
+    seed: int = 0,
+) -> tuple[Table, Schema, dict]:
+    """A complete random publishing scenario for property-based tests.
+
+    Returns ``(table, schema, hierarchies)`` with ``n_categorical_qis``
+    Zipf-skewed categorical QIs (binary-tree hierarchies), one numeric QI,
+    and one sensitive column.
+    """
+    rng = np.random.default_rng(seed)
+    columns: list[Column] = []
+    hierarchies: dict = {}
+    qi_names: list[str] = []
+    for i in range(n_categorical_qis):
+        name = f"qi{i}"
+        columns.append(zipf_categorical(name, n_rows, n_values, seed=seed + i))
+        hierarchies[name] = _binary_tree_hierarchy([f"{name}_{j}" for j in range(n_values)])
+        qi_names.append(name)
+
+    columns.append(Column.numeric("num", rng.normal(50, 15, n_rows).round()))
+    hierarchies["num"] = IntervalHierarchy.uniform(-10, 110, n_bins=8, merge_factor=2)
+
+    sensitive_values = [f"s{j}" for j in range(n_sensitive_values)]
+    draws = rng.choice(n_sensitive_values, size=n_rows)
+    columns.append(Column.categorical("sensitive", [sensitive_values[d] for d in draws], sensitive_values))
+
+    table = Table(columns)
+    schema = Schema.build(
+        quasi_identifiers=qi_names,
+        numeric_quasi_identifiers=["num"],
+        sensitive=["sensitive"],
+    )
+    return table, schema, hierarchies
+
+
+def _binary_tree_hierarchy(values: list[str]) -> Hierarchy:
+    """Balanced binary-merge hierarchy over an ordered value list."""
+    rows: dict[str, list] = {v: [] for v in values}
+    group = list(range(len(values)))
+    width = 2
+    while width < 2 * len(values):
+        for i, value in enumerate(values):
+            rows[value].append(f"g{width}_{i // width}")
+        width *= 2
+    return Hierarchy.from_levels(rows)

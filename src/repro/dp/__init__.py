@@ -1,0 +1,75 @@
+"""Differential-privacy substrate: mechanisms, accounting, histograms, synthesis."""
+
+from .accountant import BudgetAccountant, advanced_composition_epsilon
+from .histogram import dp_count_query, dp_histogram, dp_marginal
+from .mechanisms import (
+    ExponentialMechanism,
+    GaussianMechanism,
+    GeometricMechanism,
+    LaplaceMechanism,
+    RandomizedResponse,
+)
+from .mwem import MWEM, LinearQuery, marginal_workload, workload_avg_error, workload_max_error
+from .rdp import (
+    RDPAccountant,
+    ZCDPAccountant,
+    analytic_gaussian_sigma,
+    classical_gaussian_sigma,
+    gaussian_delta,
+    gaussian_rdp,
+    gaussian_zcdp,
+    laplace_rdp,
+    randomized_response_rdp,
+    zcdp_to_epsilon,
+)
+from .local import LocalHashing, UnaryEncoding
+from .queries import SparseVector, dp_mean, dp_quantile, report_noisy_max
+from .range_queries import FlatRangeHistogram, HierarchicalRangeHistogram
+from .smooth_sensitivity import (
+    dp_median_global,
+    dp_median_smooth,
+    local_sensitivity_at_distance,
+    smooth_sensitivity_median,
+)
+from .synthesis import ChainSynthesizer
+
+__all__ = [
+    "BudgetAccountant",
+    "ChainSynthesizer",
+    "FlatRangeHistogram",
+    "HierarchicalRangeHistogram",
+    "LinearQuery",
+    "MWEM",
+    "RDPAccountant",
+    "SparseVector",
+    "ZCDPAccountant",
+    "analytic_gaussian_sigma",
+    "classical_gaussian_sigma",
+    "gaussian_delta",
+    "gaussian_rdp",
+    "gaussian_zcdp",
+    "laplace_rdp",
+    "marginal_workload",
+    "randomized_response_rdp",
+    "workload_avg_error",
+    "workload_max_error",
+    "zcdp_to_epsilon",
+    "dp_mean",
+    "dp_median_global",
+    "dp_median_smooth",
+    "local_sensitivity_at_distance",
+    "smooth_sensitivity_median",
+    "dp_quantile",
+    "report_noisy_max",
+    "ExponentialMechanism",
+    "GaussianMechanism",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "LocalHashing",
+    "UnaryEncoding",
+    "RandomizedResponse",
+    "advanced_composition_epsilon",
+    "dp_count_query",
+    "dp_histogram",
+    "dp_marginal",
+]

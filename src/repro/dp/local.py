@@ -1,0 +1,121 @@
+"""Local differential privacy frequency oracles.
+
+Beyond k-ary randomized response (``mechanisms.RandomizedResponse``), the
+two standard high-utility frequency oracles:
+
+* :class:`UnaryEncoding` — each respondent one-hot encodes their value and
+  perturbs every bit independently. The *optimized* variant (OUE) uses
+  ``p = 1/2, q = 1/(e^ε + 1)``, minimizing estimator variance for large
+  domains.
+* :class:`LocalHashing` — binary local hashing (BLH): each respondent hashes
+  their value to one bit with a personal seed and randomizes it; the
+  aggregator debiases per-value. Constant communication regardless of
+  domain size.
+
+All oracles expose ``randomize(codes, rng)`` (per-user reports) and
+``estimate_frequencies(reports)`` (unbiased aggregate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnaryEncoding", "LocalHashing"]
+
+
+class UnaryEncoding:
+    """(Optimized) unary encoding: perturb each one-hot bit independently.
+
+    ``optimized=True`` gives OUE (p=1/2, q=1/(e^ε+1)); ``False`` gives the
+    symmetric variant (p = e^{ε/2}/(e^{ε/2}+1)).
+    """
+
+    def __init__(self, epsilon: float, domain_size: int, optimized: bool = True):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if domain_size < 2:
+            raise ValueError(f"domain_size must be >= 2, got {domain_size}")
+        self.epsilon = float(epsilon)
+        self.domain_size = int(domain_size)
+        self.optimized = optimized
+        if optimized:
+            self.p = 0.5
+            self.q = 1.0 / (np.exp(epsilon) + 1.0)
+        else:
+            e_half = np.exp(epsilon / 2.0)
+            self.p = e_half / (e_half + 1.0)
+            self.q = 1.0 / (e_half + 1.0)
+
+    def randomize(self, codes, rng: np.random.Generator | None = None) -> np.ndarray:
+        """(n, domain) bit matrix of perturbed one-hot reports."""
+        rng = rng or np.random.default_rng()
+        codes = np.asarray(codes, dtype=np.int64)
+        n = codes.shape[0]
+        flips = rng.random((n, self.domain_size))
+        bits = (flips < self.q).astype(np.int8)  # background noise at rate q
+        truth_bit = (rng.random(n) < self.p).astype(np.int8)
+        bits[np.arange(n), codes] = truth_bit
+        return bits
+
+    def estimate_frequencies(self, reports: np.ndarray) -> np.ndarray:
+        """Unbiased frequency estimate from the stacked bit reports."""
+        reports = np.asarray(reports)
+        n = reports.shape[0]
+        ones = reports.sum(axis=0).astype(np.float64)
+        return (ones / n - self.q) / (self.p - self.q)
+
+    def estimator_variance(self, n: int) -> float:
+        """Per-value variance of the estimate (small-frequency regime)."""
+        return self.q * (1 - self.q) / (n * (self.p - self.q) ** 2)
+
+
+class LocalHashing:
+    """Binary local hashing: hash to one bit, then binary randomized response."""
+
+    def __init__(self, epsilon: float, domain_size: int):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if domain_size < 2:
+            raise ValueError(f"domain_size must be >= 2, got {domain_size}")
+        self.epsilon = float(epsilon)
+        self.domain_size = int(domain_size)
+        self.p = np.exp(epsilon) / (np.exp(epsilon) + 1.0)
+
+    @staticmethod
+    def _hash_bits(seeds: np.ndarray, domain_size: int) -> np.ndarray:
+        """(n, domain) bit matrix: user i's hash of every domain value.
+
+        Combines seed and value *before* a full splitmix64-style avalanche —
+        a plain XOR of independently-mixed halves would make the bit
+        ``f(seed) ^ g(value)``, which is not pairwise independent across
+        values and silently breaks the estimator.
+        """
+        values = np.arange(domain_size, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            z = seeds[:, None] + values[None, :] * np.uint64(0x9E3779B97F4A7C15)
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            z = z ^ (z >> np.uint64(31))
+        return (z & np.uint64(1)).astype(np.int8)
+
+    def randomize(self, codes, rng: np.random.Generator | None = None) -> tuple:
+        """Per-user (seed, noisy_bit) reports."""
+        rng = rng or np.random.default_rng()
+        codes = np.asarray(codes, dtype=np.int64)
+        n = codes.shape[0]
+        seeds = rng.integers(1, 2**62, size=n, dtype=np.int64).astype(np.uint64)
+        hash_bits = self._hash_bits(seeds, self.domain_size)
+        true_bits = hash_bits[np.arange(n), codes]
+        keep = rng.random(n) < self.p
+        noisy = np.where(keep, true_bits, 1 - true_bits).astype(np.int8)
+        return seeds, noisy
+
+    def estimate_frequencies(self, reports: tuple) -> np.ndarray:
+        """Debiased support estimate per domain value."""
+        seeds, noisy = reports
+        n = seeds.shape[0]
+        hash_bits = self._hash_bits(np.asarray(seeds, dtype=np.uint64), self.domain_size)
+        # "Support": user supports value v if their noisy bit equals v's hash.
+        support = (hash_bits == np.asarray(noisy)[:, None]).sum(axis=0) / n
+        # E[support | freq f] = f*p + (1-f)*0.5  =>  debias:
+        return (support - 0.5) / (self.p - 0.5)

@@ -1,0 +1,162 @@
+"""Differential-privacy mechanisms.
+
+The building blocks of ε-differential privacy, each parameterized by its
+query sensitivity:
+
+* :class:`LaplaceMechanism` — real-valued queries; noise scale
+  ``sensitivity / epsilon``.
+* :class:`GeometricMechanism` — integer counts; two-sided geometric noise,
+  the discrete analogue of Laplace.
+* :class:`GaussianMechanism` — (ε, δ)-DP with L2 sensitivity.
+* :class:`ExponentialMechanism` — selection from a candidate set by noisy
+  utility score.
+* :class:`RandomizedResponse` — per-respondent local DP over a categorical
+  domain, with the unbiased frequency estimator.
+
+All mechanisms take an explicit ``numpy`` Generator so experiments are
+reproducible; none of them mutates shared state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "LaplaceMechanism",
+    "GeometricMechanism",
+    "GaussianMechanism",
+    "ExponentialMechanism",
+    "RandomizedResponse",
+]
+
+
+def _check_epsilon(epsilon: float) -> float:
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return float(epsilon)
+
+
+class LaplaceMechanism:
+    """Add Laplace(sensitivity / epsilon) noise to real-valued answers."""
+
+    def __init__(self, epsilon: float, sensitivity: float = 1.0):
+        self.epsilon = _check_epsilon(epsilon)
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self.sensitivity = float(sensitivity)
+
+    @property
+    def scale(self) -> float:
+        return self.sensitivity / self.epsilon
+
+    def randomize(self, answers, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        answers = np.asarray(answers, dtype=np.float64)
+        return answers + rng.laplace(0.0, self.scale, answers.shape)
+
+    def expected_absolute_error(self) -> float:
+        """E|noise| = scale (mean absolute deviation of Laplace)."""
+        return self.scale
+
+
+class GeometricMechanism:
+    """Two-sided geometric noise for integer counting queries."""
+
+    def __init__(self, epsilon: float, sensitivity: int = 1):
+        self.epsilon = _check_epsilon(epsilon)
+        if sensitivity < 1:
+            raise ValueError(f"sensitivity must be >= 1, got {sensitivity}")
+        self.sensitivity = int(sensitivity)
+
+    def randomize(self, answers, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        answers = np.asarray(answers, dtype=np.int64)
+        alpha = np.exp(-self.epsilon / self.sensitivity)
+        # Two-sided geometric = difference of two geometric variables.
+        p = 1.0 - alpha
+        left = rng.geometric(p, answers.shape) - 1
+        right = rng.geometric(p, answers.shape) - 1
+        return answers + left - right
+
+
+class GaussianMechanism:
+    """(ε, δ)-DP Gaussian noise with the analytic classic calibration."""
+
+    def __init__(self, epsilon: float, delta: float, l2_sensitivity: float = 1.0):
+        self.epsilon = _check_epsilon(epsilon)
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must lie in (0, 1), got {delta}")
+        if l2_sensitivity <= 0:
+            raise ValueError(f"l2_sensitivity must be positive, got {l2_sensitivity}")
+        self.delta = float(delta)
+        self.l2_sensitivity = float(l2_sensitivity)
+
+    @property
+    def sigma(self) -> float:
+        return self.l2_sensitivity * np.sqrt(2.0 * np.log(1.25 / self.delta)) / self.epsilon
+
+    def randomize(self, answers, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        answers = np.asarray(answers, dtype=np.float64)
+        return answers + rng.normal(0.0, self.sigma, answers.shape)
+
+
+class ExponentialMechanism:
+    """Select a candidate with probability ∝ exp(ε·utility / (2·Δu))."""
+
+    def __init__(self, epsilon: float, sensitivity: float = 1.0):
+        self.epsilon = _check_epsilon(epsilon)
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self.sensitivity = float(sensitivity)
+
+    def probabilities(self, utilities: Sequence[float]) -> np.ndarray:
+        scores = np.asarray(utilities, dtype=np.float64)
+        logits = self.epsilon * scores / (2.0 * self.sensitivity)
+        logits -= logits.max()  # numerical stability
+        weights = np.exp(logits)
+        return weights / weights.sum()
+
+    def select(self, utilities: Sequence[float], rng: np.random.Generator | None = None) -> int:
+        rng = rng or np.random.default_rng()
+        probs = self.probabilities(utilities)
+        return int(rng.choice(probs.shape[0], p=probs))
+
+
+class RandomizedResponse:
+    """k-ary randomized response: keep truth w.p. p, else uniform other value.
+
+    With domain size ``d`` and privacy parameter ε, the truthful-answer
+    probability is ``p = e^ε / (e^ε + d - 1)``, which is ε-locally-DP.
+    """
+
+    def __init__(self, epsilon: float, domain_size: int):
+        self.epsilon = _check_epsilon(epsilon)
+        if domain_size < 2:
+            raise ValueError(f"domain_size must be >= 2, got {domain_size}")
+        self.domain_size = int(domain_size)
+
+    @property
+    def p_truth(self) -> float:
+        e = np.exp(self.epsilon)
+        return float(e / (e + self.domain_size - 1))
+
+    def randomize(self, codes, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        codes = np.asarray(codes, dtype=np.int64)
+        lie = rng.random(codes.shape) >= self.p_truth
+        # A lying respondent picks uniformly among the other d-1 values.
+        offsets = rng.integers(1, self.domain_size, codes.shape)
+        noisy = np.where(lie, (codes + offsets) % self.domain_size, codes)
+        return noisy
+
+    def estimate_frequencies(self, noisy_codes) -> np.ndarray:
+        """Unbiased estimate of the true value frequencies."""
+        noisy_codes = np.asarray(noisy_codes, dtype=np.int64)
+        n = noisy_codes.shape[0]
+        observed = np.bincount(noisy_codes, minlength=self.domain_size) / n
+        p = self.p_truth
+        q = (1.0 - p) / (self.domain_size - 1)
+        return (observed - q) / (p - q)

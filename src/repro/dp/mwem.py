@@ -1,0 +1,286 @@
+"""MWEM: Multiplicative Weights + Exponential Mechanism (Hardt, Ligett & McSherry, 2012).
+
+A workload-driven ε-DP synthesizer over a discrete domain. Where the
+chain synthesizer (:class:`~repro.dp.synthesis.ChainSynthesizer`) fixes a
+Bayesian-chain structure up front, MWEM *adapts* to a caller-supplied query
+workload:
+
+1. start from the uniform distribution over the full contingency domain;
+2. per iteration, use the **exponential mechanism** (score = absolute error,
+   sensitivity 1) to select the workload query the current synthetic
+   distribution answers worst;
+3. measure that query's true answer with **Laplace** noise;
+4. apply **multiplicative-weights** updates pulling the synthetic
+   distribution toward all measurements taken so far.
+
+The privacy budget splits evenly across iterations, and within an iteration
+evenly between selection and measurement, so the whole run is ε-DP by
+sequential composition; sampling rows from the final distribution is free
+post-processing.
+
+The domain is the cross product of the chosen columns' category lists, so
+MWEM is the right tool for *low-dimensional* workloads (a handful of
+columns); the chain synthesizer scales to more columns but ignores the
+workload. Experiment E24 reproduces the canonical comparison: MWEM beats
+workload-oblivious baselines on its own workload, and error falls with both
+ε and iterations until the per-measurement noise floor dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from ..core.table import Column, Table
+from ..errors import NotFittedError
+from .accountant import BudgetAccountant
+
+__all__ = ["LinearQuery", "MWEM", "marginal_workload", "workload_max_error", "workload_avg_error"]
+
+
+@dataclass(frozen=True)
+class LinearQuery:
+    """A 0/1 counting query over flattened domain cells.
+
+    ``cells`` holds the flat indices whose total the query reports. A label
+    makes experiment output readable (e.g. ``"sex=F & race=B"``).
+    """
+
+    cells: np.ndarray
+    label: str = ""
+
+    def answer(self, histogram: np.ndarray) -> float:
+        return float(histogram[self.cells].sum())
+
+
+class _Domain:
+    """Cross-product encoding of several categorical columns."""
+
+    def __init__(self, table: Table, columns: Sequence[str]):
+        self.columns = list(columns)
+        self.sizes = []
+        for name in self.columns:
+            col = table.column(name)
+            if not col.is_categorical:
+                raise NotFittedError(
+                    f"MWEM needs categorical columns; discretize {name!r} first"
+                )
+            self.sizes.append(len(col.categories))
+        self.n_cells = int(np.prod(self.sizes))
+        self.categories = {name: table.column(name).categories for name in self.columns}
+
+    def flatten(self, table: Table) -> np.ndarray:
+        flat = np.zeros(table.n_rows, dtype=np.int64)
+        for name, size in zip(self.columns, self.sizes):
+            flat = flat * size + table.codes(name)
+        return flat
+
+    def histogram(self, table: Table) -> np.ndarray:
+        return np.bincount(self.flatten(table), minlength=self.n_cells).astype(np.float64)
+
+    def unflatten(self, flat: np.ndarray) -> dict[str, np.ndarray]:
+        codes: dict[str, np.ndarray] = {}
+        remaining = flat.copy()
+        for name, size in zip(reversed(self.columns), reversed(self.sizes)):
+            codes[name] = (remaining % size).astype(np.int32)
+            remaining //= size
+        return codes
+
+    def marginal_cells(self, names: Sequence[str], values: Sequence[int]) -> np.ndarray:
+        """Flat indices of all cells matching ``names[i] == values[i]``."""
+        mask = np.ones(self.n_cells, dtype=bool)
+        flat = np.arange(self.n_cells)
+        strides = {}
+        stride = 1
+        for name, size in zip(reversed(self.columns), reversed(self.sizes)):
+            strides[name] = (stride, size)
+            stride *= size
+        for name, value in zip(names, values):
+            s, size = strides[name]
+            mask &= (flat // s) % size == value
+        return np.flatnonzero(mask)
+
+
+def marginal_workload(
+    table: Table,
+    columns: Sequence[str],
+    ways: Sequence[int] = (1, 2),
+) -> list[LinearQuery]:
+    """Every cell of every ``w``-way marginal (w ∈ ``ways``) as a query."""
+    domain = _Domain(table, columns)
+    queries: list[LinearQuery] = []
+    for w in ways:
+        for subset in combinations(domain.columns, w):
+            sizes = [len(domain.categories[name]) for name in subset]
+            for values in np.ndindex(*sizes):
+                label = " & ".join(
+                    f"{name}={domain.categories[name][v]}" for name, v in zip(subset, values)
+                )
+                queries.append(LinearQuery(domain.marginal_cells(subset, values), label))
+    return queries
+
+
+class MWEM:
+    """ε-DP workload-adaptive synthesizer over a categorical cross domain.
+
+    Parameters
+    ----------
+    epsilon:
+        total privacy budget for the run.
+    n_iterations:
+        selection+measurement rounds ``T``; per-round budget is ε/T.
+    mw_steps:
+        multiplicative-weights passes over the measurement set per round.
+    seed:
+        RNG seed for reproducible runs (``None`` for nondeterministic).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        n_iterations: int = 10,
+        mw_steps: int = 20,
+        seed: int | None = 0,
+    ):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if n_iterations < 1:
+            raise ValueError(f"need at least one iteration, got {n_iterations}")
+        self.epsilon = float(epsilon)
+        self.n_iterations = int(n_iterations)
+        self.mw_steps = int(mw_steps)
+        self.seed = seed
+        self._domain: _Domain | None = None
+        self._synthetic: np.ndarray | None = None
+        self.measurements_: list[tuple[LinearQuery, float]] = []
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(
+        self,
+        table: Table,
+        columns: Sequence[str],
+        workload: Sequence[LinearQuery] | None = None,
+        accountant: BudgetAccountant | None = None,
+    ) -> "MWEM":
+        """Run the MWEM loop against ``table`` restricted to ``columns``."""
+        if accountant is not None:
+            accountant.spend(self.epsilon)
+        rng = np.random.default_rng(self.seed)
+        domain = _Domain(table, columns)
+        true_hist = domain.histogram(table)
+        n = float(true_hist.sum())
+        if workload is None:
+            workload = marginal_workload(table, columns)
+        if not workload:
+            raise ValueError("workload must contain at least one query")
+
+        eps_round = self.epsilon / self.n_iterations
+        laplace_scale = 2.0 / eps_round  # half the round budget for measurement
+
+        synthetic = np.full(domain.n_cells, n / domain.n_cells)
+        self.measurements_ = []
+        chosen: set[int] = set()
+        for _ in range(self.n_iterations):
+            idx = self._select(workload, true_hist, synthetic, eps_round / 2.0, rng, chosen)
+            chosen.add(idx)
+            query = workload[idx]
+            measurement = query.answer(true_hist) + rng.laplace(0.0, laplace_scale)
+            self.measurements_.append((query, measurement))
+            synthetic = self._multiplicative_weights(synthetic, n)
+
+        self._domain = domain
+        self._synthetic = synthetic
+        return self
+
+    def _select(
+        self,
+        workload: Sequence[LinearQuery],
+        true_hist: np.ndarray,
+        synthetic: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+        already_chosen: set[int],
+    ) -> int:
+        """Exponential mechanism over |error| scores (sensitivity 1)."""
+        scores = np.array(
+            [
+                -np.inf if i in already_chosen
+                else abs(q.answer(true_hist) - q.answer(synthetic))
+                for i, q in enumerate(workload)
+            ]
+        )
+        if np.isinf(scores).all():  # workload smaller than T: allow repeats
+            scores = np.array(
+                [abs(q.answer(true_hist) - q.answer(synthetic)) for q in workload]
+            )
+        logits = (epsilon / 2.0) * scores
+        logits -= logits.max()
+        weights = np.exp(logits)
+        weights[np.isnan(weights)] = 0.0
+        total = weights.sum()
+        if total <= 0:  # pragma: no cover - degenerate all -inf case
+            return int(rng.integers(len(workload)))
+        return int(rng.choice(len(workload), p=weights / total))
+
+    def _multiplicative_weights(self, synthetic: np.ndarray, n: float) -> np.ndarray:
+        """Pull the synthetic histogram toward every measurement so far."""
+        hist = synthetic
+        for _ in range(self.mw_steps):
+            for query, measurement in self.measurements_:
+                estimate = query.answer(hist)
+                factor = np.exp((measurement - estimate) / (2.0 * n))
+                update = np.ones_like(hist)
+                update[query.cells] = factor
+                hist = hist * update
+                hist *= n / hist.sum()
+        return hist
+
+    # -- outputs -------------------------------------------------------------
+
+    @property
+    def synthetic_histogram(self) -> np.ndarray:
+        if self._synthetic is None:
+            raise NotFittedError("call fit() before reading the synthetic histogram")
+        return self._synthetic
+
+    def sample(self, n_rows: int | None = None, seed: int | None = None) -> Table:
+        """Sample a synthetic table from the fitted distribution."""
+        if self._domain is None or self._synthetic is None:
+            raise NotFittedError("call fit() before sampling")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        total = self._synthetic.sum()
+        n_rows = int(n_rows if n_rows is not None else round(total))
+        probs = self._synthetic / total
+        flat = rng.choice(self._domain.n_cells, size=n_rows, p=probs)
+        codes = self._domain.unflatten(flat)
+        columns = [
+            Column.from_codes(name, codes[name], self._domain.categories[name])
+            for name in self._domain.columns
+        ]
+        return Table(columns)
+
+    def true_vs_synthetic_error(self, table: Table, workload: Sequence[LinearQuery]) -> float:
+        """Max absolute workload error of the fitted distribution vs ``table``."""
+        if self._domain is None or self._synthetic is None:
+            raise NotFittedError("call fit() before evaluating error")
+        true_hist = self._domain.histogram(table)
+        return workload_max_error(true_hist, self._synthetic, workload)
+
+
+def workload_max_error(
+    true_hist: np.ndarray, synthetic_hist: np.ndarray, workload: Sequence[LinearQuery]
+) -> float:
+    """Maximum absolute error over the workload."""
+    return max(abs(q.answer(true_hist) - q.answer(synthetic_hist)) for q in workload)
+
+
+def workload_avg_error(
+    true_hist: np.ndarray, synthetic_hist: np.ndarray, workload: Sequence[LinearQuery]
+) -> float:
+    """Mean absolute error over the workload."""
+    errors = [abs(q.answer(true_hist) - q.answer(synthetic_hist)) for q in workload]
+    return float(np.mean(errors))

@@ -1,0 +1,142 @@
+"""Smooth sensitivity (Nissim, Raskhodnikova & Smith, STOC 2007) for the median.
+
+Global sensitivity is brutal for the median: moving one record can drag it
+across the whole data range, so calibrating Laplace noise to ``hi − lo``
+drowns the statistic. But on *concentrated* data the median barely moves —
+its **local** sensitivity is tiny. Local sensitivity cannot be used directly
+(its own value leaks), so NRS smooth it:
+
+    S_β(x) = max_t  e^{−β·t} · LS⁽ᵗ⁾(x)
+
+where ``LS⁽ᵗ⁾`` is the worst local sensitivity over databases at edit
+distance t. For the median of a sorted sample clamped to ``[lo, hi]``:
+
+    LS⁽ᵗ⁾(x) = max_{0≤s≤t+1} ( x̃[m+s] − x̃[m+s−t−1] )
+
+with ``x̃`` padded by lo/hi outside the sample and m the median index.
+
+Noise calibrated to S_β yields DP via an admissible distribution:
+
+* **Cauchy** noise ``6·S/ε`` with β = ε/6 → pure ε-DP;
+* **Laplace** noise ``2·S/ε`` with β = ε/(2·ln(2/δ)) → (ε, δ)-DP.
+
+:func:`dp_median_global` is the global-sensitivity baseline the experiment
+(E31) compares against: on concentrated data the smooth-sensitivity error is
+orders of magnitude lower, which is the paper's headline figure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import BudgetError
+
+__all__ = [
+    "local_sensitivity_at_distance",
+    "smooth_sensitivity_median",
+    "dp_median_smooth",
+    "dp_median_global",
+]
+
+
+def _prepare(values, lo: float, hi: float) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise BudgetError("need a non-empty 1-D sample")
+    if hi <= lo:
+        raise BudgetError(f"need hi > lo, got [{lo}, {hi}]")
+    return np.sort(np.clip(values, lo, hi))
+
+
+def _padded(sorted_values: np.ndarray, index: int, lo: float, hi: float) -> float:
+    """x̃[i]: the sample padded with lo below and hi above."""
+    if index < 0:
+        return lo
+    if index >= sorted_values.size:
+        return hi
+    return float(sorted_values[index])
+
+
+def local_sensitivity_at_distance(
+    values, t: int, lo: float, hi: float
+) -> float:
+    """LS⁽ᵗ⁾ of the median: worst local sensitivity at edit distance t."""
+    if t < 0:
+        raise BudgetError(f"distance must be non-negative, got {t}")
+    x = _prepare(values, lo, hi)
+    m = (x.size - 1) // 2
+    worst = 0.0
+    for s in range(t + 2):
+        upper = _padded(x, m + s, lo, hi)
+        lower = _padded(x, m + s - t - 1, lo, hi)
+        worst = max(worst, upper - lower)
+    return worst
+
+
+def smooth_sensitivity_median(values, beta: float, lo: float, hi: float) -> float:
+    """β-smooth sensitivity of the median over ``[lo, hi]``-clamped data.
+
+    Exact O(n²) maximization over distances; distances past n add nothing
+    because LS⁽ᵗ⁾ is already ``hi − lo`` there and e^{−βt} only shrinks.
+    """
+    if beta <= 0:
+        raise BudgetError(f"beta must be positive, got {beta}")
+    x = _prepare(values, lo, hi)
+    best = 0.0
+    span = hi - lo
+    for t in range(x.size + 1):
+        decay = math.exp(-beta * t)
+        if decay * span <= best:  # no larger value possible beyond this t
+            break
+        best = max(best, decay * local_sensitivity_at_distance(x, t, lo, hi))
+    return best
+
+
+def dp_median_smooth(
+    values,
+    epsilon: float,
+    lo: float,
+    hi: float,
+    delta: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """DP median with smooth-sensitivity-calibrated noise.
+
+    ``delta=None`` uses Cauchy noise (pure ε-DP); a δ in (0, 1) uses Laplace
+    noise for (ε, δ)-DP with the tighter β = ε/(2·ln(2/δ)).
+    """
+    if epsilon <= 0:
+        raise BudgetError(f"epsilon must be positive, got {epsilon}")
+    rng = rng or np.random.default_rng()
+    x = _prepare(values, lo, hi)
+    median = float(np.median(x))
+    if delta is None:
+        beta = epsilon / 6.0
+        s = smooth_sensitivity_median(x, beta, lo, hi)
+        noise = (6.0 * s / epsilon) * rng.standard_cauchy()
+    else:
+        if not 0 < delta < 1:
+            raise BudgetError(f"delta must be in (0, 1), got {delta}")
+        beta = epsilon / (2.0 * math.log(2.0 / delta))
+        s = smooth_sensitivity_median(x, beta, lo, hi)
+        noise = rng.laplace(0.0, 2.0 * s / epsilon)
+    return float(np.clip(median + noise, lo, hi))
+
+
+def dp_median_global(
+    values,
+    epsilon: float,
+    lo: float,
+    hi: float,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """The global-sensitivity baseline: Laplace((hi − lo)/ε) on the median."""
+    if epsilon <= 0:
+        raise BudgetError(f"epsilon must be positive, got {epsilon}")
+    rng = rng or np.random.default_rng()
+    x = _prepare(values, lo, hi)
+    median = float(np.median(x))
+    noise = rng.laplace(0.0, (hi - lo) / epsilon)
+    return float(np.clip(median + noise, lo, hi))

@@ -1,0 +1,36 @@
+"""Exception taxonomy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subclasses distinguish schema problems, hierarchy problems,
+infeasible anonymization requests, and privacy-budget exhaustion.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A table/schema operation referenced a missing or mistyped attribute."""
+
+
+class HierarchyError(ReproError):
+    """A generalization hierarchy is malformed or does not cover a value."""
+
+
+class InfeasibleError(ReproError):
+    """No generalization satisfies the requested privacy constraints.
+
+    Raised, e.g., when even the fully-generalized table (single equivalence
+    class) violates a privacy model, or when suppression limits are exceeded.
+    """
+
+
+class BudgetError(ReproError):
+    """A differential-privacy accountant has exhausted its budget."""
+
+
+class NotFittedError(ReproError):
+    """A mining model was asked to predict before being fitted."""

@@ -1,0 +1,41 @@
+"""Partition-shape metrics.
+
+* **Discernibility metric (DM)** (Bayardo & Agrawal): each record is charged
+  the size of its equivalence class; suppressed records are charged the full
+  table size. DM = Σ |EC|² + |suppressed| · n.
+* **C_avg** (normalized average equivalence-class size, the Mondrian paper's
+  metric): ``(n_published / n_classes) / k`` — 1.0 means classes are exactly
+  the minimum feasible size, larger means over-generalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import EquivalenceClasses
+from ..core.release import Release
+
+__all__ = ["discernibility", "c_avg", "discernibility_of_release", "c_avg_of_release"]
+
+
+def discernibility(partition: EquivalenceClasses, n_total: int, n_suppressed: int = 0) -> float:
+    """DM over an explicit partition; ``n_total`` is the original row count."""
+    sizes = partition.sizes().astype(np.float64)
+    return float((sizes**2).sum() + n_suppressed * n_total)
+
+
+def c_avg(partition: EquivalenceClasses, k: int) -> float:
+    """Normalized average equivalence-class size against target ``k``."""
+    if len(partition) == 0 or k < 1:
+        return float("inf")
+    published = float(partition.sizes().sum())
+    return (published / len(partition)) / k
+
+
+def discernibility_of_release(release: Release) -> float:
+    n_total = release.original_n_rows or release.n_rows
+    return discernibility(release.partition(), n_total, release.suppressed)
+
+
+def c_avg_of_release(release: Release, k: int) -> float:
+    return c_avg(release.partition(), k)

@@ -1,0 +1,149 @@
+"""Generalization information-loss metrics.
+
+* **NCP** (Normalized Certainty Penalty) per cell: for a categorical value
+  generalized to a hierarchy node covering ``c`` of ``|domain|`` ground
+  values, NCP = ``(c - 1) / (|domain| - 1)`` (0 for unchanged, 1 for fully
+  suppressed). For a numeric value generalized to an interval of width ``w``
+  over a domain span ``S``, NCP = ``w / S``.
+* **GCP** (Global Certainty Penalty): average NCP over all cells of the
+  release; suppressed records count as fully lost (NCP 1 per QI cell).
+* **ILoss** (Xiao & Tao): same per-cell fraction but summed, optionally with
+  per-attribute weights.
+* **Minimal distortion** (Samarati): one unit per cell-level generalization
+  step; only meaningful for full-domain releases that carry a lattice node.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.hierarchy import Hierarchy, IntervalHierarchy
+from ..core.release import Release
+from ..core.table import Table
+from ..errors import SchemaError
+
+__all__ = ["ncp_column", "gcp", "iloss", "minimal_distortion"]
+
+
+def ncp_column(
+    original: Table,
+    released: Table,
+    name: str,
+    hierarchy: Hierarchy | IntervalHierarchy,
+    kept_rows: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-row NCP of one quasi-identifier in the released table.
+
+    ``kept_rows`` maps released rows back to original rows when suppression
+    dropped records; the returned array is aligned with the *released* table.
+    """
+    released_col = released.column(name)
+    if isinstance(hierarchy, IntervalHierarchy):
+        if not released_col.is_categorical:
+            return np.zeros(released.n_rows)  # untouched numeric column
+        widths = _interval_widths(released_col.categories)
+        span = hierarchy.span
+        return widths[released_col.codes] / span
+
+    # Categorical: cost of each released label = (leaves covered - 1)/(|dom|-1)
+    domain_size = len(hierarchy.ground)
+    if domain_size <= 1:
+        return np.zeros(released.n_rows)
+    cover = _label_cover_counts(hierarchy, released_col.categories)
+    return (cover[released_col.codes] - 1) / (domain_size - 1)
+
+
+def gcp(
+    original: Table,
+    release: Release,
+    hierarchies: Mapping[str, Hierarchy | IntervalHierarchy],
+    qi_names: Sequence[str] | None = None,
+) -> float:
+    """Global Certainty Penalty in [0, 1]; suppressed rows cost 1 per cell."""
+    qi_names = list(qi_names) if qi_names is not None else release.schema.quasi_identifiers
+    if not qi_names:
+        raise SchemaError("GCP needs at least one quasi-identifier")
+    released = release.table
+    per_cell_total = 0.0
+    for name in qi_names:
+        per_cell_total += float(
+            ncp_column(original, released, name, hierarchies[name], release.kept_rows).sum()
+        )
+    n_original = release.original_n_rows or released.n_rows
+    suppressed_cost = float(release.suppressed * len(qi_names))
+    return (per_cell_total + suppressed_cost) / (n_original * len(qi_names))
+
+
+def iloss(
+    original: Table,
+    release: Release,
+    hierarchies: Mapping[str, Hierarchy | IntervalHierarchy],
+    weights: Mapping[str, float] | None = None,
+) -> float:
+    """Weighted sum of per-cell loss fractions (un-normalized GCP variant)."""
+    qi_names = release.schema.quasi_identifiers
+    total = 0.0
+    for name in qi_names:
+        weight = (weights or {}).get(name, 1.0)
+        total += weight * float(
+            ncp_column(original, release.table, name, hierarchies[name], release.kept_rows).sum()
+        )
+        total += weight * release.suppressed
+    return total
+
+
+def minimal_distortion(release: Release) -> int:
+    """Total generalization steps applied (node releases only)."""
+    if release.node is None:
+        raise SchemaError("minimal distortion requires a full-domain (node) release")
+    return int(sum(release.node)) * release.n_rows
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _label_cover_counts(hierarchy: Hierarchy, labels: Sequence) -> np.ndarray:
+    """For each released label, how many ground values it covers.
+
+    Released labels can come from any hierarchy level (local recoding mixes
+    levels), so build a label → cover-count index across all levels. Ground
+    labels cover 1. Unknown labels (e.g. ``"*"`` from suppression) cover the
+    whole domain.
+    """
+    index: dict = {value: 1 for value in hierarchy.ground}
+    for level in range(1, hierarchy.height + 1):
+        counts = hierarchy.leaf_count(level)
+        for code, label in enumerate(hierarchy.labels(level)):
+            # Keep the smallest cover if a label string repeats across levels.
+            existing = index.get(label)
+            cover = int(counts[code])
+            if existing is None or cover < existing:
+                index[label] = cover
+    domain_size = len(hierarchy.ground)
+    return np.array([index.get(label, domain_size) for label in labels], dtype=np.float64)
+
+
+def _interval_widths(labels: Sequence) -> np.ndarray:
+    """Width of each ``"[lo-hi)"`` / ``"[lo-hi]"`` label; 0 for point labels."""
+    widths = np.zeros(len(labels))
+    for i, label in enumerate(labels):
+        text = str(label)
+        if text.startswith("[") and "-" in text:
+            body = text[1:-1]
+            lo, hi = _split_interval(body)
+            widths[i] = hi - lo
+    return widths
+
+
+def _split_interval(body: str) -> tuple[float, float]:
+    """Split ``"lo-hi"`` handling negative numbers and scientific notation."""
+    for pos in range(1, len(body)):
+        if body[pos] == "-" and body[pos - 1] not in "eE":
+            try:
+                return float(body[:pos]), float(body[pos + 1 :])
+            except ValueError:
+                continue
+    value = float(body)
+    return value, value

@@ -1,0 +1,15 @@
+"""Built-in mining models for the classification-utility experiments."""
+
+from .decision_tree import DecisionTree
+from .knn import KNearestNeighbors
+from .naive_bayes import NaiveBayes
+from .split import encode_features, stratified_split, train_test_split
+
+__all__ = [
+    "DecisionTree",
+    "KNearestNeighbors",
+    "NaiveBayes",
+    "encode_features",
+    "stratified_split",
+    "train_test_split",
+]

@@ -1,0 +1,117 @@
+"""CART-style decision tree on integer-coded categorical features.
+
+Splits are equality tests ``feature == value`` chosen to minimize weighted
+Gini impurity; growth stops at ``max_depth``, ``min_samples_split``, or
+purity. This is the second learner of the classification-metric experiments
+(the survey's CM axis is learner-agnostic; two learners let the benches show
+the ordering is stable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NotFittedError
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _Node:
+    prediction: int
+    feature: int | None = None
+    value: int | None = None
+    left: "_Node | None" = None  # feature == value
+    right: "_Node | None" = None  # feature != value
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probs = counts / total
+    return float(1.0 - (probs**2).sum())
+
+
+class DecisionTree:
+    """Binary decision tree with categorical equality splits."""
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 20):
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self._root: _Node | None = None
+        self._n_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        features = np.asarray(features, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        self._n_classes = int(labels.max()) + 1
+        self._root = self._grow(features, labels, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(labels, minlength=self._n_classes)
+        node = _Node(prediction=int(counts.argmax()))
+        if (
+            depth >= self.max_depth
+            or labels.size < self.min_samples_split
+            or counts.max() == labels.size
+        ):
+            return node
+
+        parent_gini = _gini(counts)
+        best_gain, best_feature, best_value = 1e-9, None, None
+        for j in range(features.shape[1]):
+            column = features[:, j]
+            for value in np.unique(column):
+                mask = column == value
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == labels.size:
+                    continue
+                left_counts = np.bincount(labels[mask], minlength=self._n_classes)
+                right_counts = counts - left_counts
+                weighted = (
+                    n_left * _gini(left_counts)
+                    + (labels.size - n_left) * _gini(right_counts)
+                ) / labels.size
+                gain = parent_gini - weighted
+                if gain > best_gain:
+                    best_gain, best_feature, best_value = gain, j, int(value)
+
+        if best_feature is None:
+            return node
+        mask = features[:, best_feature] == best_value
+        node.feature = best_feature
+        node.value = best_value
+        node.left = self._grow(features[mask], labels[mask], depth + 1)
+        node.right = self._grow(features[~mask], labels[~mask], depth + 1)
+        return node
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("call fit() before predicting")
+        features = np.asarray(features, dtype=np.int64)
+        out = np.empty(features.shape[0], dtype=np.int64)
+        for i in range(features.shape[0]):
+            node = self._root
+            while node.feature is not None:
+                node = node.left if features[i, node.feature] == node.value else node.right
+                assert node is not None
+            out[i] = node.prediction
+        return out
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(features) == np.asarray(labels)).mean())
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.feature is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise NotFittedError("call fit() first")
+        return walk(self._root)

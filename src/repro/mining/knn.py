@@ -1,0 +1,53 @@
+"""k-nearest-neighbour classifier with Hamming distance.
+
+Third learner for the classification experiments. Distance between two
+integer-coded feature vectors is the number of positions where they differ
+(Hamming), which treats generalized values as plain categories — exactly how
+an analyst consuming an anonymized release would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError
+
+__all__ = ["KNearestNeighbors"]
+
+
+class KNearestNeighbors:
+    """Majority vote among the k Hamming-nearest training rows."""
+
+    def __init__(self, k: int = 5, chunk_size: int = 256):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.chunk_size = int(chunk_size)
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._n_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNearestNeighbors":
+        self._features = np.asarray(features, dtype=np.int64)
+        self._labels = np.asarray(labels, dtype=np.int64)
+        self._n_classes = int(self._labels.max()) + 1
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._features is None or self._labels is None:
+            raise NotFittedError("call fit() before predicting")
+        features = np.asarray(features, dtype=np.int64)
+        k = min(self.k, self._features.shape[0])
+        out = np.empty(features.shape[0], dtype=np.int64)
+        # Chunked to bound the (chunk x train) distance matrix memory.
+        for start in range(0, features.shape[0], self.chunk_size):
+            chunk = features[start : start + self.chunk_size]
+            distances = (chunk[:, None, :] != self._features[None, :, :]).sum(axis=2)
+            nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            for i in range(chunk.shape[0]):
+                votes = np.bincount(self._labels[nearest[i]], minlength=self._n_classes)
+                out[start + i] = int(votes.argmax())
+        return out
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(features) == np.asarray(labels)).mean())

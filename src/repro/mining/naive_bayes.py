@@ -1,0 +1,67 @@
+"""Categorical naive Bayes with Laplace smoothing.
+
+Works on integer-encoded feature matrices (see
+:func:`repro.mining.split.encode_features`). Used by the
+classification-metric experiments; kept deliberately simple and dependency
+free (sklearn is not available in this environment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError
+
+__all__ = ["NaiveBayes"]
+
+
+class NaiveBayes:
+    """Multinomial naive Bayes over integer-coded categorical features."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha <= 0:
+            raise ValueError(f"smoothing alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+        self._log_prior: np.ndarray | None = None
+        self._log_likelihood: list[np.ndarray] | None = None
+        self._n_values: list[int] | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "NaiveBayes":
+        features = np.asarray(features, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        n_rows, n_features = features.shape
+        n_classes = int(labels.max()) + 1
+
+        class_counts = np.bincount(labels, minlength=n_classes).astype(np.float64)
+        self._log_prior = np.log(class_counts + self.alpha) - np.log(
+            n_rows + self.alpha * n_classes
+        )
+
+        self._log_likelihood = []
+        self._n_values = []
+        for j in range(n_features):
+            n_values = int(features[:, j].max()) + 1
+            counts = np.zeros((n_classes, n_values))
+            np.add.at(counts, (labels, features[:, j]), 1.0)
+            smoothed = counts + self.alpha
+            smoothed /= smoothed.sum(axis=1, keepdims=True)
+            self._log_likelihood.append(np.log(smoothed))
+            self._n_values.append(n_values)
+        return self
+
+    def predict_log_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._log_prior is None or self._log_likelihood is None:
+            raise NotFittedError("call fit() before predicting")
+        features = np.asarray(features, dtype=np.int64)
+        scores = np.tile(self._log_prior, (features.shape[0], 1))
+        for j, table in enumerate(self._log_likelihood):
+            codes = np.clip(features[:, j], 0, table.shape[1] - 1)
+            scores += table[:, codes].T
+        return scores
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_log_proba(features).argmax(axis=1)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy on a held-out set."""
+        return float((self.predict(features) == np.asarray(labels)).mean())

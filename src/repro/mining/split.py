@@ -1,0 +1,61 @@
+"""Train/test splitting and feature encoding for the mining workloads.
+
+The classification-metric experiments train a learner on (anonymized) QI
+columns to predict a label column. Classifiers here work on integer-encoded
+feature matrices; :func:`encode_features` turns any mix of categorical and
+numeric table columns into such a matrix (numeric columns are quantile-
+binned so every learner sees discrete codes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.table import Table
+
+__all__ = ["train_test_split", "encode_features", "stratified_split"]
+
+
+def train_test_split(
+    n_rows: int, test_fraction: float = 0.3, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffled (train_indices, test_indices) split."""
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_rows)
+    n_test = max(int(round(n_rows * test_fraction)), 1)
+    return np.sort(order[n_test:]), np.sort(order[:n_test])
+
+
+def stratified_split(
+    labels: np.ndarray, test_fraction: float = 0.3, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split preserving label proportions in both halves."""
+    rng = np.random.default_rng(seed)
+    train_parts, test_parts = [], []
+    for label in np.unique(labels):
+        rows = np.flatnonzero(labels == label)
+        rng.shuffle(rows)
+        n_test = max(int(round(rows.size * test_fraction)), 1) if rows.size > 1 else 0
+        test_parts.append(rows[:n_test])
+        train_parts.append(rows[n_test:])
+    return np.sort(np.concatenate(train_parts)), np.sort(np.concatenate(test_parts))
+
+
+def encode_features(
+    table: Table, feature_names: Sequence[str], n_numeric_bins: int = 10
+) -> np.ndarray:
+    """Integer-encoded (n_rows, n_features) matrix from table columns."""
+    columns = []
+    for name in feature_names:
+        col = table.column(name)
+        if col.is_categorical:
+            columns.append(col.codes.astype(np.int64))
+        else:
+            assert col.values is not None
+            edges = np.quantile(col.values, np.linspace(0, 1, n_numeric_bins + 1)[1:-1])
+            columns.append(np.searchsorted(np.unique(edges), col.values).astype(np.int64))
+    return np.stack(columns, axis=1)

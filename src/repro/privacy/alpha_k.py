@@ -1,0 +1,52 @@
+"""(α, k)-anonymity (Wong et al.).
+
+Combines k-anonymity with a cap on the confidence of inferring any single
+sensitive value: every equivalence class must have size at least ``k`` AND
+no sensitive value may occupy more than an ``α`` fraction of the class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import EquivalenceClasses
+from ..core.table import Table
+
+__all__ = ["AlphaKAnonymity"]
+
+
+class AlphaKAnonymity:
+    """k-anonymity plus per-class sensitive-value frequency cap α."""
+
+    monotone = True
+
+    def __init__(self, alpha: float, k: int, sensitive: str):
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must lie in (0, 1], got {alpha}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.alpha = float(alpha)
+        self.k = int(k)
+        self.sensitive = sensitive
+        self.name = f"({self.alpha:g},{self.k})-anonymity({sensitive})"
+
+    def _ok(self, counts: np.ndarray) -> bool:
+        total = counts.sum()
+        if total < self.k:
+            return False
+        return float(counts.max()) <= self.alpha * total + 1e-12
+
+    def check(self, table: Table, partition: EquivalenceClasses) -> bool:
+        if not len(partition):
+            return False
+        return all(
+            self._ok(counts)
+            for counts in partition.sensitive_counts(table, self.sensitive)
+        )
+
+    def failing_groups(self, table: Table, partition: EquivalenceClasses) -> list[int]:
+        histograms = partition.sensitive_counts(table, self.sensitive)
+        return [i for i, counts in enumerate(histograms) if not self._ok(counts)]
+
+    def __repr__(self) -> str:
+        return f"AlphaKAnonymity(alpha={self.alpha}, k={self.k}, sensitive={self.sensitive!r})"

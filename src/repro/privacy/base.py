@@ -1,0 +1,69 @@
+"""Privacy-model protocol.
+
+A privacy model is a predicate over the EC partition of a candidate release
+(plus, for sensitive-attribute models, the sensitive column of the table).
+Algorithms call :meth:`PrivacyModel.check` on candidate generalizations and
+also use :meth:`failing_groups` to decide which records to suppress.
+
+Monotonicity: every model shipped here is *generalization-monotone* — if a
+node satisfies it, so does every more general node (given the same record
+set). Incognito's pruning and Datafly's greedy loop rely on this; models
+advertise it via :attr:`PrivacyModel.monotone` so non-monotone extensions can
+opt out of the pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..core.partition import EquivalenceClasses
+from ..core.table import Table
+
+__all__ = ["PrivacyModel", "CompositeModel", "failing_rows"]
+
+
+@runtime_checkable
+class PrivacyModel(Protocol):
+    """Protocol all privacy models implement."""
+
+    #: Human-readable model name, e.g. ``"5-anonymity"``.
+    name: str
+    #: True if satisfaction is preserved under further generalization.
+    monotone: bool
+
+    def check(self, table: Table, partition: EquivalenceClasses) -> bool:
+        """True iff every equivalence class satisfies the model."""
+        ...
+
+    def failing_groups(self, table: Table, partition: EquivalenceClasses) -> list[int]:
+        """Indices (into ``partition.groups``) of classes violating the model."""
+        ...
+
+
+class CompositeModel:
+    """Conjunction of several privacy models (e.g. k-anonymity AND ℓ-diversity)."""
+
+    def __init__(self, *models: PrivacyModel):
+        if not models:
+            raise ValueError("CompositeModel needs at least one model")
+        self.models = models
+        self.name = " & ".join(m.name for m in models)
+        self.monotone = all(m.monotone for m in models)
+
+    def check(self, table: Table, partition: EquivalenceClasses) -> bool:
+        return all(m.check(table, partition) for m in self.models)
+
+    def failing_groups(self, table: Table, partition: EquivalenceClasses) -> list[int]:
+        failing: set[int] = set()
+        for model in self.models:
+            failing.update(model.failing_groups(table, partition))
+        return sorted(failing)
+
+
+def failing_rows(partition: EquivalenceClasses, failing_group_indices: Sequence[int]) -> np.ndarray:
+    """Row indices belonging to the failing equivalence classes."""
+    if not failing_group_indices:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate([partition.groups[i] for i in failing_group_indices])

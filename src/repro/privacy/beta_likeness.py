@@ -1,0 +1,65 @@
+"""β-likeness (Cao & Karras).
+
+t-closeness bounds the *absolute* distance between a class's sensitive
+distribution and the global one, which over-protects frequent values and
+under-protects rare ones. β-likeness bounds the *relative* gain per value:
+for every sensitive value ``s`` with global frequency ``p_s`` and class
+frequency ``q_s``, require
+
+    q_s <= p_s * (1 + β)            (basic β-likeness)
+
+i.e. an attacker's belief in any particular value may grow by at most a
+factor 1+β. Only positive gains are constrained (learning a value is *less*
+likely is not a breach).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import EquivalenceClasses
+from ..core.table import Table
+
+__all__ = ["BetaLikeness"]
+
+
+class BetaLikeness:
+    """Relative belief-gain bound per sensitive value and class."""
+
+    monotone = True
+
+    def __init__(self, beta: float, sensitive: str):
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta)
+        self.sensitive = sensitive
+        self.name = f"{beta:g}-likeness({sensitive})"
+
+    def max_gains(self, table: Table, partition: EquivalenceClasses) -> np.ndarray:
+        """Per-class maximum relative gain max_s (q_s - p_s) / p_s."""
+        global_dist = partition.global_sensitive_distribution(table, self.sensitive)
+        out = np.empty(len(partition))
+        for i, counts in enumerate(partition.sensitive_counts(table, self.sensitive)):
+            total = counts.sum()
+            if not total:
+                out[i] = 0.0
+                continue
+            local = counts / total
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gains = np.where(global_dist > 0, (local - global_dist) / global_dist, 0.0)
+            # A value absent globally but present locally is an infinite gain.
+            impossible = (global_dist == 0) & (local > 0)
+            out[i] = np.inf if impossible.any() else float(gains.max())
+        return out
+
+    def check(self, table: Table, partition: EquivalenceClasses) -> bool:
+        if not len(partition):
+            return False
+        return bool((self.max_gains(table, partition) <= self.beta + 1e-12).all())
+
+    def failing_groups(self, table: Table, partition: EquivalenceClasses) -> list[int]:
+        gains = self.max_gains(table, partition)
+        return [i for i, g in enumerate(gains) if g > self.beta + 1e-12]
+
+    def __repr__(self) -> str:
+        return f"BetaLikeness(beta={self.beta}, sensitive={self.sensitive!r})"

@@ -1,0 +1,34 @@
+"""k-anonymity (Samarati & Sweeney).
+
+A release is k-anonymous if every equivalence class over the
+quasi-identifiers contains at least ``k`` records, so any record is
+indistinguishable from at least ``k - 1`` others with respect to linkage.
+"""
+
+from __future__ import annotations
+
+from ..core.partition import EquivalenceClasses
+from ..core.table import Table
+
+__all__ = ["KAnonymity"]
+
+
+class KAnonymity:
+    """Minimum equivalence-class size constraint."""
+
+    monotone = True
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.name = f"{self.k}-anonymity"
+
+    def check(self, table: Table, partition: EquivalenceClasses) -> bool:
+        return partition.min_size() >= self.k if len(partition) else False
+
+    def failing_groups(self, table: Table, partition: EquivalenceClasses) -> list[int]:
+        return [i for i, g in enumerate(partition.groups) if g.size < self.k]
+
+    def __repr__(self) -> str:
+        return f"KAnonymity(k={self.k})"

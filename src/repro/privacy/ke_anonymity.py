@@ -1,0 +1,65 @@
+"""(k, e)-anonymity (Zhang et al.) for numeric sensitive attributes.
+
+Categorical ℓ-diversity is meaningless when the sensitive attribute is a
+number (salary): two "distinct" values of 30,000 and 30,001 disclose the
+salary anyway. (k, e)-anonymity requires every equivalence class to contain
+at least ``k`` records AND the *range* of its sensitive values to span at
+least ``e``.
+
+The sensitive column must be numeric for this model (unlike the categorical
+models, which require categorical sensitive columns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import EquivalenceClasses
+from ..core.table import Table
+from ..errors import SchemaError
+
+__all__ = ["KEAnonymity"]
+
+
+class KEAnonymity:
+    """Minimum class size k plus minimum numeric sensitive range e."""
+
+    monotone = True
+
+    def __init__(self, k: int, e: float, sensitive: str):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if e < 0:
+            raise ValueError(f"e must be non-negative, got {e}")
+        self.k = int(k)
+        self.e = float(e)
+        self.sensitive = sensitive
+        self.name = f"({self.k},{self.e:g})-anonymity({sensitive})"
+
+    def _sensitive_values(self, table: Table) -> np.ndarray:
+        col = table.column(self.sensitive)
+        if col.is_categorical:
+            raise SchemaError(
+                f"(k,e)-anonymity needs a numeric sensitive column; "
+                f"{self.sensitive!r} is categorical"
+            )
+        assert col.values is not None
+        return col.values
+
+    def _ok(self, values: np.ndarray) -> bool:
+        if values.shape[0] < self.k:
+            return False
+        return float(values.max() - values.min()) >= self.e - 1e-12
+
+    def check(self, table: Table, partition: EquivalenceClasses) -> bool:
+        if not len(partition):
+            return False
+        values = self._sensitive_values(table)
+        return all(self._ok(values[g]) for g in partition.groups)
+
+    def failing_groups(self, table: Table, partition: EquivalenceClasses) -> list[int]:
+        values = self._sensitive_values(table)
+        return [i for i, g in enumerate(partition.groups) if not self._ok(values[g])]
+
+    def __repr__(self) -> str:
+        return f"KEAnonymity(k={self.k}, e={self.e}, sensitive={self.sensitive!r})"

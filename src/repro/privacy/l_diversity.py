@@ -1,0 +1,114 @@
+"""ℓ-diversity (Machanavajjhala et al.).
+
+k-anonymity bounds *identity* disclosure but not *attribute* disclosure: an
+equivalence class whose members all share one sensitive value leaks it to
+anyone who can place a target in the class (the homogeneity attack).
+ℓ-diversity requires each class to contain "well-represented" sensitive
+values. Three instantiations, in increasing strictness of what
+"well-represented" means:
+
+* :class:`DistinctLDiversity` — at least ℓ distinct sensitive values.
+* :class:`EntropyLDiversity` — entropy of the class's sensitive distribution
+  at least ``log(ℓ)``.
+* :class:`RecursiveCLDiversity` — (c, ℓ): the most frequent value appears
+  fewer than ``c`` times the combined count of the ℓ-1 least frequent tail,
+  i.e. ``r1 < c * (r_l + r_{l+1} + ... + r_m)`` on sorted counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.partition import EquivalenceClasses
+from ..core.table import Table
+
+__all__ = ["DistinctLDiversity", "EntropyLDiversity", "RecursiveCLDiversity"]
+
+
+class _SensitiveModel:
+    """Shared plumbing for models defined over per-EC sensitive histograms."""
+
+    monotone = True
+
+    def __init__(self, sensitive: str):
+        self.sensitive = sensitive
+
+    def _ok(self, counts: np.ndarray) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def check(self, table: Table, partition: EquivalenceClasses) -> bool:
+        if not len(partition):
+            return False
+        return all(
+            self._ok(counts)
+            for counts in partition.sensitive_counts(table, self.sensitive)
+        )
+
+    def failing_groups(self, table: Table, partition: EquivalenceClasses) -> list[int]:
+        histograms = partition.sensitive_counts(table, self.sensitive)
+        return [i for i, counts in enumerate(histograms) if not self._ok(counts)]
+
+
+class DistinctLDiversity(_SensitiveModel):
+    """Each EC contains at least ℓ distinct sensitive values."""
+
+    def __init__(self, l: int, sensitive: str):
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        super().__init__(sensitive)
+        self.l = int(l)
+        self.name = f"distinct-{self.l}-diversity({sensitive})"
+
+    def _ok(self, counts: np.ndarray) -> bool:
+        return int(np.count_nonzero(counts)) >= self.l
+
+    def __repr__(self) -> str:
+        return f"DistinctLDiversity(l={self.l}, sensitive={self.sensitive!r})"
+
+
+class EntropyLDiversity(_SensitiveModel):
+    """Entropy of each EC's sensitive distribution is at least log(ℓ)."""
+
+    def __init__(self, l: float, sensitive: str):
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        super().__init__(sensitive)
+        self.l = float(l)
+        self.name = f"entropy-{self.l:g}-diversity({sensitive})"
+
+    def _ok(self, counts: np.ndarray) -> bool:
+        total = counts.sum()
+        if total == 0:
+            return False
+        probs = counts[counts > 0] / total
+        entropy = float(-(probs * np.log(probs)).sum())
+        return entropy >= np.log(self.l) - 1e-12
+
+    def __repr__(self) -> str:
+        return f"EntropyLDiversity(l={self.l}, sensitive={self.sensitive!r})"
+
+
+class RecursiveCLDiversity(_SensitiveModel):
+    """Recursive (c, ℓ)-diversity on sorted sensitive counts."""
+
+    def __init__(self, c: float, l: int, sensitive: str):
+        if l < 2:
+            raise ValueError(f"l must be >= 2 for recursive diversity, got {l}")
+        if c <= 0:
+            raise ValueError(f"c must be positive, got {c}")
+        super().__init__(sensitive)
+        self.c = float(c)
+        self.l = int(l)
+        self.name = f"recursive-({self.c:g},{self.l})-diversity({sensitive})"
+
+    def _ok(self, counts: np.ndarray) -> bool:
+        nonzero = np.sort(counts[counts > 0])[::-1]
+        if nonzero.size < self.l:
+            return False
+        tail = nonzero[self.l - 1 :].sum()
+        return float(nonzero[0]) < self.c * float(tail)
+
+    def __repr__(self) -> str:
+        return (
+            f"RecursiveCLDiversity(c={self.c}, l={self.l}, sensitive={self.sensitive!r})"
+        )

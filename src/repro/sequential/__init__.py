@@ -1,0 +1,15 @@
+"""Sequential (multi-version) publishing: m-invariance and republication."""
+
+from .m_invariance import (
+    MInvariance,
+    MInvariantPublisher,
+    SequentialRelease,
+    cross_version_attack,
+)
+
+__all__ = [
+    "MInvariance",
+    "MInvariantPublisher",
+    "SequentialRelease",
+    "cross_version_attack",
+]

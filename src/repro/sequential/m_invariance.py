@@ -1,0 +1,225 @@
+"""m-invariance for sequential republication (Xiao & Tao).
+
+A dataset that is republished over time (records inserted and deleted) can
+be attacked by *cross-version inference*: intersecting the sensitive-value
+sets of a target's equivalence classes across versions narrows the
+candidates even if every version is ℓ-diverse. m-invariance requires:
+
+* every equivalence class in every release has ``m`` records with ``m``
+  *distinct* sensitive values (an "m-unique" signature), and
+* every record that appears in consecutive releases lies, in both, in
+  classes with the *identical signature* (set of sensitive values), so the
+  cross-version intersection reveals nothing new.
+
+When the surviving records cannot be partitioned into signature-consistent
+groups, the publisher injects *counterfeit* records (fake rows counted and
+reported, per the paper).
+
+This module provides the checker (:class:`MInvariance`), the cross-version
+attack (:func:`cross_version_attack`), and a bucketization-style publisher
+(:class:`MInvariantPublisher`) that maintains signatures across releases.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.table import Table
+from ..errors import InfeasibleError
+
+__all__ = ["MInvariance", "MInvariantPublisher", "SequentialRelease", "cross_version_attack"]
+
+
+@dataclass
+class SequentialRelease:
+    """One version of a sequentially-published dataset.
+
+    ``groups`` maps a group id to the list of (record_id, sensitive_value)
+    pairs published in that bucket; ``counterfeits`` counts fake records per
+    group (also included in ``groups`` with record_id None).
+    """
+
+    version: int
+    groups: dict = field(default_factory=dict)
+    counterfeits: int = 0
+
+    def signature(self, group_id: int) -> frozenset:
+        return frozenset(value for _, value in self.groups[group_id])
+
+    def __post_init__(self):
+        # record_id -> group id (real records only), derived from groups.
+        self.group_of = {
+            record_id: gid
+            for gid, members in self.groups.items()
+            for record_id, _ in members
+            if record_id is not None
+        }
+
+    def n_records(self) -> int:
+        return sum(len(members) for members in self.groups.values())
+
+
+class MInvariance:
+    """Checker for the two m-invariance conditions across a release list."""
+
+    def __init__(self, m: int):
+        if m < 2:
+            raise ValueError(f"m must be >= 2, got {m}")
+        self.m = int(m)
+        self.name = f"{m}-invariance"
+
+    def check_single(self, release: SequentialRelease) -> bool:
+        """Every group has >= m members with all-distinct sensitive values."""
+        for gid, members in release.groups.items():
+            values = [value for _, value in members]
+            if len(members) < self.m or len(set(values)) != len(values):
+                return False
+        return True
+
+    def check_pair(self, earlier: SequentialRelease, later: SequentialRelease) -> bool:
+        """Surviving records keep their signature between the two versions."""
+        for record_id, gid_late in later.group_of.items():
+            gid_early = earlier.group_of.get(record_id)
+            if gid_early is None:
+                continue
+            if earlier.signature(gid_early) != later.signature(gid_late):
+                return False
+        return True
+
+    def check(self, releases: list[SequentialRelease]) -> bool:
+        if not releases:
+            return False
+        if not all(self.check_single(r) for r in releases):
+            return False
+        return all(
+            self.check_pair(a, b) for a, b in zip(releases, releases[1:])
+        )
+
+
+class MInvariantPublisher:
+    """Maintains m-unique signatures across insert/delete republication.
+
+    Each call to :meth:`publish` takes the current record set as a mapping
+    ``{record_id: sensitive_value}`` and returns a
+    :class:`SequentialRelease`. Surviving records are re-bucketed with their
+    previous signature; when a signature bucket cannot be completed from the
+    live records, counterfeit records fill the gap (the paper's approach).
+    """
+
+    def __init__(self, m: int, seed: int = 0):
+        if m < 2:
+            raise ValueError(f"m must be >= 2, got {m}")
+        self.m = int(m)
+        self._rng = np.random.default_rng(seed)
+        self.releases: list[SequentialRelease] = []
+        self._signature_of: dict = {}  # record_id -> frozenset
+
+    def publish(self, records: dict) -> SequentialRelease:
+        version = len(self.releases)
+        groups: dict[int, list] = {}
+        counterfeits = 0
+        next_gid = 0
+
+        surviving = {rid: s for rid, s in records.items() if rid in self._signature_of}
+        new = {rid: s for rid, s in records.items() if rid not in self._signature_of}
+
+        # 1. Re-bucket surviving records by their frozen signature. Records
+        #    sharing a signature can share buckets, one record per value.
+        by_signature: dict[frozenset, list] = defaultdict(list)
+        for rid, value in surviving.items():
+            signature = self._signature_of[rid]
+            if value not in signature:  # sensitive value changed: treat as new
+                new[rid] = value
+                continue
+            by_signature[signature].append((rid, value))
+
+        for signature, members in by_signature.items():
+            buckets: list[dict] = []
+            for rid, value in members:
+                home = next(
+                    (b for b in buckets if value not in b), None
+                )
+                if home is None:
+                    home = {}
+                    buckets.append(home)
+                home[value] = rid
+            for bucket in buckets:
+                group = [(rid, value) for value, rid in bucket.items()]
+                # Fill missing signature values with counterfeits.
+                for value in signature - set(bucket):
+                    group.append((None, value))
+                    counterfeits += 1
+                groups[next_gid] = group
+                next_gid += 1
+
+        # 2. Bucket new records m at a time with distinct values (the
+        #    standard l-eligible draw).
+        buckets_new = self._bucketize_new(new)
+        for group in buckets_new:
+            groups[next_gid] = group
+            for rid, _ in group:
+                if rid is not None:
+                    self._signature_of[rid] = frozenset(v for _, v in group)
+            next_gid += 1
+
+        release = SequentialRelease(version=version, groups=groups, counterfeits=counterfeits)
+        self.releases.append(release)
+        return release
+
+    def _bucketize_new(self, new: dict) -> list[list]:
+        by_value: dict = defaultdict(list)
+        for rid, value in new.items():
+            by_value[value].append(rid)
+        for rids in by_value.values():
+            self._rng.shuffle(rids)
+        buckets = []
+        suppressed = []
+        while True:
+            sizes = {v: len(rids) for v, rids in by_value.items() if rids}
+            if len(sizes) < self.m:
+                break
+            largest = sorted(sizes, key=sizes.get, reverse=True)[: self.m]
+            buckets.append([(by_value[v].pop(), v) for v in largest])
+        for value, rids in by_value.items():
+            for rid in rids:
+                placed = False
+                for bucket in buckets:
+                    if all(v != value for _, v in bucket):
+                        bucket.append((rid, value))
+                        placed = True
+                        break
+                if not placed:
+                    suppressed.append(rid)  # held back until a later version
+        return buckets
+
+
+def cross_version_attack(releases: list[SequentialRelease]) -> dict:
+    """Intersect each surviving record's candidate sensitive sets.
+
+    Returns the fraction of surviving records whose sensitive value becomes
+    uniquely determined by intersecting signatures across versions — 0 for
+    an m-invariant sequence, positive for naive republication.
+    """
+    candidate: dict = {}
+    seen_in: dict = defaultdict(int)
+    for release in releases:
+        for record_id, gid in release.group_of.items():
+            signature = release.signature(gid)
+            seen_in[record_id] += 1
+            if record_id in candidate:
+                candidate[record_id] &= signature
+            else:
+                candidate[record_id] = set(signature)
+    survivors = [rid for rid, n in seen_in.items() if n >= 2]
+    if not survivors:
+        return {"n_survivors": 0, "pinned_fraction": 0.0, "avg_candidates": 0.0}
+    pinned = sum(1 for rid in survivors if len(candidate[rid]) == 1)
+    avg = float(np.mean([len(candidate[rid]) for rid in survivors]))
+    return {
+        "n_survivors": len(survivors),
+        "pinned_fraction": pinned / len(survivors),
+        "avg_candidates": avg,
+    }

@@ -1,0 +1,19 @@
+"""Location privacy: spatial k-anonymity cloaking for location-based services."""
+
+from .cloaking import (
+    BoundingBox,
+    CloakedQuery,
+    GridCloak,
+    LinkageAudit,
+    QuadTreeCloak,
+    location_linkage_attack,
+)
+
+__all__ = [
+    "BoundingBox",
+    "CloakedQuery",
+    "GridCloak",
+    "LinkageAudit",
+    "QuadTreeCloak",
+    "location_linkage_attack",
+]

@@ -1,0 +1,5 @@
+"""Data-stream anonymization (continuous publishing under a delay bound)."""
+
+from .castle import AnonymizedTuple, Castle, StreamTuple
+
+__all__ = ["AnonymizedTuple", "Castle", "StreamTuple"]

@@ -1,0 +1,14 @@
+"""Trajectory (spatio-temporal) data publishing: LKC-privacy by suppression."""
+
+from .anonymize import TrajectoryLKC
+from .attack import subsequence_linkage_attack
+from .model import Doublet, TrajectoryDB, generate_trajectories, is_subsequence
+
+__all__ = [
+    "Doublet",
+    "TrajectoryDB",
+    "TrajectoryLKC",
+    "generate_trajectories",
+    "is_subsequence",
+    "subsequence_linkage_attack",
+]

@@ -1,0 +1,132 @@
+"""Trajectory data model and synthetic generator.
+
+A trajectory record is a sequence of *doublets* ``(location, time)`` plus an
+optional sensitive attribute (e.g. diagnosis at the visited clinic). The
+attacker model (Mohammed, Fung & Debbabi, "walking in the crowd") assumes an
+adversary who observed at most ``L`` doublets of the victim as a
+*subsequence* of the victim's trajectory.
+
+The generator produces grid random-walks with hotspot structure — a few
+popular location/time doublets plus individually rare detours, which is
+exactly what makes real trajectory data re-identifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Doublet", "TrajectoryDB", "generate_trajectories", "is_subsequence"]
+
+
+Doublet = tuple  # (location: str, time: int)
+
+
+@dataclass
+class TrajectoryDB:
+    """A list of trajectories plus optional per-record sensitive values."""
+
+    trajectories: list
+    sensitive: list | None = None
+
+    def __post_init__(self):
+        self.trajectories = [tuple(t) for t in self.trajectories]
+        if self.sensitive is not None and len(self.sensitive) != len(self.trajectories):
+            raise ValueError("sensitive values must align with trajectories")
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def n_doublets(self) -> int:
+        return sum(len(t) for t in self.trajectories)
+
+    def doublet_universe(self) -> set:
+        return {d for t in self.trajectories for d in t}
+
+    def support(self, subsequence: Sequence) -> list[int]:
+        """Indices of trajectories containing ``subsequence`` (in order)."""
+        return [
+            i
+            for i, trajectory in enumerate(self.trajectories)
+            if is_subsequence(subsequence, trajectory)
+        ]
+
+    def subsequences_up_to(self, max_len: int) -> dict:
+        """Support counts of every doublet subsequence of length <= max_len.
+
+        Enumerates per-trajectory combinations (trajectories are short in
+        this model; the paper caps |trajectory| ~ 10-20).
+        """
+        counts: dict[tuple, set] = {}
+        for index, trajectory in enumerate(self.trajectories):
+            seen: set[tuple] = set()
+            for size in range(1, min(max_len, len(trajectory)) + 1):
+                for combo in combinations(range(len(trajectory)), size):
+                    seq = tuple(trajectory[i] for i in combo)
+                    if seq not in seen:
+                        seen.add(seq)
+                        counts.setdefault(seq, set()).add(index)
+        return {seq: len(holders) for seq, holders in counts.items()}
+
+    def suppress(self, doublets: Iterable) -> "TrajectoryDB":
+        """Globally remove the given doublets from every trajectory."""
+        removed = set(doublets)
+        pruned = [
+            tuple(d for d in trajectory if d not in removed)
+            for trajectory in self.trajectories
+        ]
+        return TrajectoryDB(trajectories=pruned, sensitive=self.sensitive)
+
+
+def is_subsequence(needle: Sequence, haystack: Sequence) -> bool:
+    """True iff ``needle`` appears in ``haystack`` preserving order."""
+    it = iter(haystack)
+    return all(any(x == y for y in it) for x in needle)
+
+
+def generate_trajectories(
+    n_records: int = 300,
+    grid: int = 5,
+    n_times: int = 6,
+    walk_length: int = 6,
+    hotspot_bias: float = 0.7,
+    sensitive_values: Sequence[str] = ("flu", "hiv", "diabetes", "none"),
+    seed: int = 0,
+) -> TrajectoryDB:
+    """Random-walk trajectories over a grid with popular hotspots.
+
+    Each step picks either a hotspot location (probability ``hotspot_bias``)
+    or a uniform random cell; time advances monotonically. The sensitive
+    value weakly depends on one hotspot (visiting the "clinic" raises the
+    chance of a diagnosis), giving the confidence dimension of LKC something
+    to bound.
+    """
+    rng = np.random.default_rng(seed)
+    locations = [f"L{x}{y}" for x in range(grid) for y in range(grid)]
+    hotspots = list(rng.choice(locations, size=3, replace=False))
+    clinic = hotspots[0]
+
+    trajectories = []
+    sensitive = []
+    for _ in range(n_records):
+        n_steps = int(rng.integers(max(walk_length - 2, 2), walk_length + 3))
+        times = np.sort(rng.choice(n_times, size=min(n_steps, n_times), replace=False))
+        steps = []
+        visited_clinic = False
+        for t in times:
+            if rng.random() < hotspot_bias:
+                location = hotspots[int(rng.integers(len(hotspots)))]
+            else:
+                location = locations[int(rng.integers(len(locations)))]
+            if location == clinic:
+                visited_clinic = True
+            steps.append((location, int(t)))
+        trajectories.append(tuple(steps))
+        if visited_clinic and rng.random() < 0.5:
+            sensitive.append(sensitive_values[int(rng.integers(len(sensitive_values) - 1))])
+        else:
+            sensitive.append(sensitive_values[-1])
+    return TrajectoryDB(trajectories=trajectories, sensitive=sensitive)

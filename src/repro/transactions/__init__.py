@@ -1,0 +1,21 @@
+"""Set-valued (transaction) data publishing: kᵐ-anonymity."""
+
+from .association import (
+    AssociationRule,
+    ItemsetUtility,
+    apriori,
+    association_rules,
+    itemset_utility,
+)
+from .km_anonymity import KmAnonymity, TransactionDB, km_violations
+
+__all__ = [
+    "AssociationRule",
+    "ItemsetUtility",
+    "KmAnonymity",
+    "TransactionDB",
+    "apriori",
+    "association_rules",
+    "itemset_utility",
+    "km_violations",
+]

@@ -1,0 +1,95 @@
+"""Shared fixtures: small deterministic tables, schemas, and hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy, IntervalHierarchy
+from repro.core.schema import Schema
+from repro.core.table import Column, Table
+from repro.data import (
+    adult_hierarchies,
+    adult_schema,
+    load_adult,
+    load_medical,
+    medical_hierarchies,
+    medical_schema,
+)
+
+
+@pytest.fixture(scope="session")
+def adult_small():
+    return load_adult(n_rows=600, seed=7)
+
+
+@pytest.fixture(scope="session")
+def adult_setup(adult_small):
+    return adult_small, adult_schema(), adult_hierarchies()
+
+
+@pytest.fixture(scope="session")
+def medical_small():
+    return load_medical(n_rows=800, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medical_setup(medical_small):
+    return medical_small, medical_schema(), medical_hierarchies()
+
+
+@pytest.fixture
+def tiny_table():
+    """8-row toy table mirroring the l-diversity paper's running example."""
+    return Table(
+        [
+            Column.categorical(
+                "zipcode",
+                ["13053", "13068", "13068", "13053", "14853", "14853", "14850", "14850"],
+            ),
+            Column.categorical(
+                "nationality",
+                ["Russian", "American", "Japanese", "American",
+                 "Indian", "Russian", "American", "American"],
+            ),
+            Column.categorical(
+                "disease",
+                ["Heart", "Heart", "Viral", "Viral", "Cancer", "Heart", "Viral", "Cancer"],
+            ),
+            Column.numeric("age", [28, 29, 21, 23, 50, 55, 47, 49]),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_schema():
+    return Schema.build(
+        quasi_identifiers=["zipcode", "nationality"],
+        numeric_quasi_identifiers=["age"],
+        sensitive=["disease"],
+    )
+
+
+@pytest.fixture
+def tiny_hierarchies():
+    zipcode = Hierarchy.from_levels(
+        {
+            "13053": ["1305*", "130**", "1****"],
+            "13068": ["1306*", "130**", "1****"],
+            "14853": ["1485*", "148**", "1****"],
+            "14850": ["1485*", "148**", "1****"],
+        }
+    )
+    nationality = Hierarchy.from_tree(
+        {
+            "Americas": ["American"],
+            "Asia": ["Japanese", "Indian"],
+            "Europe": ["Russian"],
+        },
+        root="*",
+    )
+    age = IntervalHierarchy.uniform(20, 60, n_bins=8, merge_factor=2)
+    return {"zipcode": zipcode, "nationality": nationality, "age": age}
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

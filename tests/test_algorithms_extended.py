@@ -1,0 +1,110 @@
+"""Tests for OLA and k-member clustering."""
+
+import numpy as np
+import pytest
+
+from repro import OLA, Incognito, InfeasibleError, KAnonymity, KMemberClustering
+from repro.metrics import gcp
+
+
+class TestOLA:
+    def test_k_anonymity_postcondition(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        release = OLA(max_suppression=0.05).anonymize(
+            table, schema, hierarchies, [KAnonymity(5)]
+        )
+        assert release.equivalence_class_sizes().min() >= 5
+        assert release.suppression_rate <= 0.05
+
+    def test_zero_suppression_matches_incognito_frontier(
+        self, tiny_table, tiny_schema, tiny_hierarchies
+    ):
+        """With no suppression, OLA's minimal nodes == Incognito's."""
+        ola = OLA(max_suppression=0.0)
+        release = ola.anonymize(tiny_table, tiny_schema, tiny_hierarchies, [KAnonymity(2)])
+        incognito_minimal = set(
+            Incognito().find_minimal_nodes(
+                tiny_table, tiny_schema.quasi_identifiers, tiny_hierarchies, [KAnonymity(2)]
+            )
+        )
+        assert set(release.info["minimal_nodes"]) == incognito_minimal
+        assert release.node in incognito_minimal
+
+    def test_checks_fewer_nodes_than_lattice(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        ola = OLA(max_suppression=0.05)
+        ola.anonymize(table, schema, hierarchies, [KAnonymity(5)])
+        assert ola.stats["nodes_checked"] < ola.stats["lattice_size"]
+
+    def test_suppression_budget_finds_lower_node(self, adult_setup):
+        """A suppression budget lets OLA publish at a lower (better) node."""
+        table, schema, hierarchies = adult_setup
+        strict = OLA(max_suppression=0.0).anonymize(
+            table, schema, hierarchies, [KAnonymity(5)]
+        )
+        lenient = OLA(max_suppression=0.05).anonymize(
+            table, schema, hierarchies, [KAnonymity(5)]
+        )
+        assert sum(lenient.node) <= sum(strict.node)
+
+    def test_infeasible_raises(self, tiny_table, tiny_schema, tiny_hierarchies):
+        with pytest.raises(InfeasibleError):
+            OLA(max_suppression=0.0).anonymize(
+                tiny_table, tiny_schema, tiny_hierarchies, [KAnonymity(100)]
+            )
+
+    def test_custom_loss_function(self, tiny_table, tiny_schema, tiny_hierarchies):
+        consulted = []
+
+        def loss(node, heights):
+            consulted.append(node)
+            return sum(node)
+
+        OLA(max_suppression=0.0, loss=loss).anonymize(
+            tiny_table, tiny_schema, tiny_hierarchies, [KAnonymity(2)]
+        )
+        assert consulted
+
+
+class TestKMemberClustering:
+    def test_cluster_sizes_at_least_k(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        release = KMemberClustering(k=5).anonymize(table, schema, hierarchies)
+        assert release.equivalence_class_sizes().min() >= 5
+
+    def test_groups_recoded_consistently(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        release = KMemberClustering(k=4).anonymize(table, schema, hierarchies)
+        for name in schema.quasi_identifiers:
+            decoded = release.table.column(name).decode()
+            for group in release.partition().groups:
+                assert len({decoded[i] for i in group}) == 1
+
+    def test_loss_competitive_with_mondrian(self, adult_setup):
+        """Clustering should land in the same loss regime as Mondrian
+        (within 3x), far below full-domain recoding."""
+        from repro import Datafly, Mondrian
+
+        table, schema, hierarchies = adult_setup
+        kmember = KMemberClustering(k=5).anonymize(table, schema, hierarchies)
+        mondrian = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(5)])
+        datafly = Datafly().anonymize(table, schema, hierarchies, [KAnonymity(5)])
+        loss_kmember = gcp(table, kmember, hierarchies)
+        assert loss_kmember < gcp(table, datafly, hierarchies)
+        assert loss_kmember < 3 * gcp(table, mondrian, hierarchies) + 0.05
+
+    def test_too_few_rows_raises(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        with pytest.raises(InfeasibleError):
+            KMemberClustering(k=5).anonymize(table.head(3), schema, hierarchies)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KMemberClustering(k=1)
+
+    def test_deterministic_in_seed(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        small = table.head(100)
+        a = KMemberClustering(k=4, seed=3).anonymize(small, schema, hierarchies)
+        b = KMemberClustering(k=4, seed=3).anonymize(small, schema, hierarchies)
+        assert a.table.to_rows() == b.table.to_rows()

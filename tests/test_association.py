@@ -1,0 +1,168 @@
+"""Apriori mining, rule quality measures, and itemset utility of kᵐ releases."""
+
+import numpy as np
+import pytest
+
+from repro.core import Hierarchy
+from repro.errors import InfeasibleError
+from repro.transactions import (
+    KmAnonymity,
+    TransactionDB,
+    apriori,
+    association_rules,
+    itemset_utility,
+)
+
+
+@pytest.fixture
+def taxonomy():
+    return Hierarchy.from_tree(
+        {
+            "dairy": ["milk", "cheese"],
+            "bread": ["rye", "wheat"],
+            "meat": ["beef", "pork"],
+        },
+        root="food",
+    )
+
+
+@pytest.fixture
+def db(taxonomy):
+    transactions = (
+        [["milk", "rye"]] * 40
+        + [["milk", "rye", "beef"]] * 20
+        + [["cheese", "wheat"]] * 20
+        + [["beef", "pork"]] * 10
+        + [["milk"]] * 10
+    )
+    return TransactionDB(transactions, taxonomy)
+
+
+def names(db, itemset):
+    return frozenset(db.taxonomy.ground[c] for c in itemset)
+
+
+class TestApriori:
+    def test_hand_counted_supports(self, db):
+        frequent = apriori(db.transactions, min_support=0.1)
+        by_names = {names(db, s): c for s, c in frequent.items()}
+        assert by_names[frozenset({"milk"})] == 70
+        assert by_names[frozenset({"rye"})] == 60
+        assert by_names[frozenset({"milk", "rye"})] == 60
+        assert by_names[frozenset({"milk", "rye", "beef"})] == 20
+
+    def test_threshold_excludes_rare(self, db):
+        frequent = apriori(db.transactions, min_support=0.25)
+        by_names = {names(db, s) for s in frequent}
+        assert frozenset({"beef", "pork"}) not in by_names  # 10/100 < 0.25
+        assert frozenset({"milk", "rye"}) in by_names
+
+    def test_downward_closure(self, db):
+        """Every subset of a frequent itemset is frequent (apriori property)."""
+        frequent = apriori(db.transactions, min_support=0.1)
+        for itemset in frequent:
+            for item in itemset:
+                if len(itemset) > 1:
+                    assert frozenset(itemset - {item}) in frequent
+
+    def test_support_antimonotone(self, db):
+        frequent = apriori(db.transactions, min_support=0.05)
+        for itemset, count in frequent.items():
+            for item in itemset:
+                if len(itemset) > 1:
+                    assert frequent[frozenset(itemset - {item})] >= count
+
+    def test_max_size_caps_search(self, db):
+        frequent = apriori(db.transactions, min_support=0.05, max_size=1)
+        assert all(len(s) == 1 for s in frequent)
+
+    def test_empty_transactions(self):
+        assert apriori([], 0.5) == {}
+
+    def test_validation(self, db):
+        with pytest.raises(InfeasibleError):
+            apriori(db.transactions, min_support=0.0)
+        with pytest.raises(InfeasibleError):
+            apriori(db.transactions, min_support=1.5)
+
+    def test_random_db_downward_closure(self):
+        """Property check on random set-valued data."""
+        rng = np.random.default_rng(3)
+        transactions = [
+            frozenset(rng.choice(8, size=rng.integers(1, 5), replace=False).tolist())
+            for _ in range(150)
+        ]
+        frequent = apriori(transactions, min_support=0.05)
+        for itemset in frequent:
+            for item in itemset:
+                if len(itemset) > 1:
+                    assert frozenset(itemset - {item}) in frequent
+
+
+class TestRules:
+    def test_confidence_and_lift_values(self, db):
+        frequent = apriori(db.transactions, min_support=0.1)
+        rules = association_rules(frequent, len(db), min_confidence=0.5)
+        by_sides = {
+            (names(db, r.antecedent), names(db, r.consequent)): r for r in rules
+        }
+        rule = by_sides[(frozenset({"rye"}), frozenset({"milk"}))]
+        assert rule.confidence == pytest.approx(60 / 60)
+        assert rule.support == pytest.approx(0.6)
+        assert rule.lift == pytest.approx(1.0 / 0.7)
+
+    def test_min_confidence_filters(self, db):
+        frequent = apriori(db.transactions, min_support=0.1)
+        strict = association_rules(frequent, len(db), min_confidence=0.99)
+        loose = association_rules(frequent, len(db), min_confidence=0.3)
+        assert len(strict) <= len(loose)
+        assert all(r.confidence >= 0.99 for r in strict)
+
+    def test_sorted_by_confidence(self, db):
+        frequent = apriori(db.transactions, min_support=0.1)
+        rules = association_rules(frequent, len(db), min_confidence=0.3)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_validation(self, db):
+        with pytest.raises(InfeasibleError):
+            association_rules({}, 0)
+
+
+class TestItemsetUtility:
+    def test_identity_levels_preserve_everything(self, db, taxonomy):
+        levels = np.zeros(len(taxonomy.ground), dtype=int)
+        utility = itemset_utility(db, levels, min_support=0.1)
+        assert utility.collision_fraction == 0.0
+        assert utility.mean_support_inflation == pytest.approx(0.0)
+        assert utility.preserved_fraction == 1.0
+
+    def test_full_generalization_collapses_itemsets(self, db, taxonomy):
+        levels = np.full(len(taxonomy.ground), taxonomy.height, dtype=int)
+        utility = itemset_utility(db, levels, min_support=0.1)
+        # All singletons map to the root: everything collides.
+        assert utility.collision_fraction > 0.5
+        assert utility.mean_support_inflation > 0.0
+
+    def test_km_anonymized_levels_cost_utility(self, db):
+        km = KmAnonymity(k=60, m=2)
+        levels = km.anonymize(db)
+        utility = itemset_utility(db, levels, min_support=0.1)
+        identity = itemset_utility(db, np.zeros(len(levels), dtype=int), min_support=0.1)
+        assert utility.preserved_fraction <= identity.preserved_fraction
+        assert utility.mean_support_inflation >= identity.mean_support_inflation
+
+    def test_inflation_non_negative(self, db, taxonomy):
+        """Generalized images can only match more transactions."""
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            levels = rng.integers(0, taxonomy.height + 1, len(taxonomy.ground))
+            utility = itemset_utility(db, levels, min_support=0.1)
+            assert utility.mean_support_inflation >= -1e-12
+            assert utility.max_support_inflation >= utility.mean_support_inflation
+
+    def test_empty_frequent_set(self, db, taxonomy):
+        levels = np.zeros(len(taxonomy.ground), dtype=int)
+        utility = itemset_utility(db, levels, min_support=1.0)
+        assert utility.n_frequent_original == 0
+        assert utility.preserved_fraction == 0.0

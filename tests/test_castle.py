@@ -1,0 +1,180 @@
+"""CASTLE streaming anonymizer: k-support, delay bound, loss geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core import Hierarchy
+from repro.errors import SchemaError
+from repro.streams import Castle, StreamTuple
+
+
+@pytest.fixture
+def state_hierarchy():
+    return Hierarchy.from_tree(
+        {"NE": ["NY", "MA"], "W": ["CA", "WA"]}, root="US"
+    )
+
+
+def make_stream(n, seed=0):
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        yield StreamTuple(
+            position=i,
+            numeric={"age": float(rng.integers(18, 90))},
+            categorical={"state": int(rng.integers(0, 4))},
+            payload=i,
+        )
+
+
+def run_castle(castle, n=200, seed=0):
+    out = []
+    for t in make_stream(n, seed):
+        out.extend(castle.push(t))
+    out.extend(castle.flush())
+    return out
+
+
+@pytest.fixture
+def default_castle(state_hierarchy):
+    return Castle(
+        k=4, delta=25, numeric_ranges={"age": (0, 100)},
+        hierarchies={"state": state_hierarchy}, beta=10,
+    )
+
+
+class TestEmission:
+    def test_every_tuple_emitted_exactly_once(self, default_castle):
+        out = run_castle(default_castle, 200)
+        assert sorted(a.payload for a in out) == list(range(200))
+
+    def test_every_emission_has_k_support(self, default_castle):
+        """All emissions have ≥ k support, except at most k−1 trailing
+        tuples stranded at flush (fewer than k tuples left to merge)."""
+        out = run_castle(default_castle, 200)
+        undersized = [a for a in out if a.cluster_size < 4]
+        assert all(a.forced for a in undersized)
+        assert len(undersized) <= 3
+        supported = [a for a in out if a.cluster_size >= 4]
+        assert len(supported) >= 197
+        assert all(not a.forced for a in supported)
+
+    def test_delay_bound_respected(self, state_hierarchy):
+        delta = 30
+        castle = Castle(
+            k=4, delta=delta, numeric_ranges={"age": (0, 100)},
+            hierarchies={"state": state_hierarchy},
+        )
+        pending_after: list[int] = []
+        for t in make_stream(300, seed=1):
+            castle.push(t)
+            if castle._pending:
+                pending_after.append(t.position - castle._pending[0].position)
+        # No tuple ever waits longer than delta once a newer tuple arrives.
+        assert max(pending_after) <= delta
+
+    def test_flush_drains_everything(self, default_castle):
+        for t in make_stream(10):
+            default_castle.push(t)
+        out = default_castle.flush()
+        assert sorted(a.payload for a in out) == list(range(10))
+        assert default_castle.flush() == []
+
+    def test_stream_smaller_than_k_emits_undersized(self, state_hierarchy):
+        castle = Castle(
+            k=10, delta=10, numeric_ranges={"age": (0, 100)},
+            hierarchies={"state": state_hierarchy},
+        )
+        out = []
+        for t in make_stream(3):
+            out.extend(castle.push(t))
+        out.extend(castle.flush())
+        assert len(out) == 3  # emitted despite < k (documented behaviour)
+        assert all(a.forced for a in out)
+
+
+class TestGeneralization:
+    def test_numeric_region_covers_member(self, default_castle):
+        for a, t in zip(run_castle(default_castle, 150, seed=3), []):
+            pass
+        out = run_castle(
+            Castle(k=4, delta=25, numeric_ranges={"age": (0, 100)},
+                   hierarchies={"state": default_castle.hierarchies["state"]}),
+            150, seed=3,
+        )
+        originals = {t.payload: t for t in make_stream(150, seed=3)}
+        for a in out:
+            lo, hi = a.generalized["age"]
+            assert lo <= originals[a.payload].numeric["age"] <= hi
+
+    def test_categorical_label_from_hierarchy(self, default_castle, state_hierarchy):
+        valid = set()
+        for lv in range(state_hierarchy.height + 1):
+            valid.update(state_hierarchy.labels(lv))
+        out = run_castle(default_castle, 120, seed=2)
+        assert {a.generalized["state"] for a in out} <= valid
+
+    def test_loss_in_unit_interval(self, default_castle):
+        out = run_castle(default_castle, 200, seed=4)
+        assert all(0.0 <= a.loss <= 1.0 for a in out)
+
+    def test_identical_tuples_form_zero_loss_clusters(self, state_hierarchy):
+        castle = Castle(
+            k=3, delta=6, numeric_ranges={"age": (0, 100)},
+            hierarchies={"state": state_hierarchy}, beta=5,
+        )
+        out = []
+        for i in range(30):
+            out.extend(castle.push(StreamTuple(i, {"age": 40.0}, {"state": 1}, i)))
+        out.extend(castle.flush())
+        assert all(a.loss == 0.0 for a in out)
+        assert all(a.generalized["age"] == (40.0, 40.0) for a in out)
+
+
+class TestBehaviour:
+    def test_larger_delay_lowers_loss(self, state_hierarchy):
+        losses = {}
+        for delta in (8, 120):
+            castle = Castle(
+                k=4, delta=delta, numeric_ranges={"age": (0, 100)},
+                hierarchies={"state": state_hierarchy}, beta=10,
+            )
+            out = run_castle(castle, 400, seed=5)
+            losses[delta] = float(np.mean([a.loss for a in out]))
+        assert losses[120] < losses[8]
+
+    def test_reuse_happens_on_forced_expiry(self, state_hierarchy):
+        castle = Castle(
+            k=6, delta=8, numeric_ranges={"age": (0, 100)},
+            hierarchies={"state": state_hierarchy}, beta=8,
+        )
+        run_castle(castle, 400, seed=6)
+        assert castle.stats["reused"] + castle.stats["merges"] > 0
+
+    def test_stats_accounting(self, default_castle):
+        out = run_castle(default_castle, 200)
+        reused = default_castle.stats["reused"]
+        assert default_castle.stats["emitted"] + reused == len(out)
+        assert default_castle.stats["clusters_opened"] >= 1
+
+
+class TestValidation:
+    def test_delta_must_cover_k(self, state_hierarchy):
+        with pytest.raises(SchemaError):
+            Castle(k=10, delta=5, hierarchies={"state": state_hierarchy})
+
+    def test_unknown_numeric_qi_rejected(self, default_castle):
+        with pytest.raises(SchemaError, match="numeric range"):
+            default_castle.push(StreamTuple(0, {"height": 1.8}, {}, None))
+
+    def test_unknown_categorical_qi_rejected(self, default_castle):
+        with pytest.raises(SchemaError, match="hierarchy"):
+            default_castle.push(StreamTuple(0, {}, {"city": 0}, None))
+
+    def test_code_outside_domain_rejected(self, default_castle):
+        with pytest.raises(SchemaError, match="ground domain"):
+            default_castle.push(StreamTuple(0, {}, {"state": 99}, None))
+
+    def test_bad_numeric_range_rejected(self, state_hierarchy):
+        with pytest.raises(SchemaError):
+            Castle(k=2, delta=4, numeric_ranges={"age": (10, 10)},
+                   hierarchies={"state": state_hierarchy})

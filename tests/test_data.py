@@ -1,0 +1,113 @@
+"""Tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    adult_hierarchies,
+    adult_schema,
+    load_adult,
+    load_medical,
+    medical_hierarchies,
+    medical_schema,
+    random_scenario,
+    zipf_categorical,
+)
+
+
+class TestAdult:
+    def test_deterministic_in_seed(self):
+        a = load_adult(200, seed=5)
+        b = load_adult(200, seed=5)
+        assert a.to_rows() == b.to_rows()
+
+    def test_different_seeds_differ(self):
+        a = load_adult(200, seed=5)
+        b = load_adult(200, seed=6)
+        assert a.to_rows() != b.to_rows()
+
+    def test_schema_validates(self):
+        table = load_adult(300, seed=1)
+        adult_schema().validate(table)
+
+    def test_hierarchies_cover_all_qis(self):
+        table = load_adult(300, seed=1)
+        schema = adult_schema()
+        hierarchies = adult_hierarchies()
+        for name in schema.quasi_identifiers:
+            assert name in hierarchies
+
+    def test_hierarchies_cover_all_values(self):
+        table = load_adult(2000, seed=1)
+        hierarchies = adult_hierarchies()
+        for name in adult_schema().categorical_quasi_identifiers:
+            ground = set(hierarchies[name].ground)
+            present = set(table.column(name).decode())
+            assert present <= ground
+
+    def test_income_rate_plausible(self):
+        table = load_adult(5000, seed=2)
+        positive = np.mean([s == ">50K" for s in table.column("salary").decode()])
+        assert 0.15 < positive < 0.40  # Adult's published rate ~24%
+
+    def test_education_correlates_with_income(self):
+        """The dependence the classification experiments rely on."""
+        table = load_adult(5000, seed=2)
+        edu = table.values("education_num")
+        income = np.array([s == ">50K" for s in table.column("salary").decode()])
+        assert edu[income].mean() > edu[~income].mean() + 0.5
+
+    def test_age_bounds(self):
+        table = load_adult(1000, seed=3)
+        ages = table.values("age")
+        assert ages.min() >= 17 and ages.max() <= 90
+
+    def test_alternate_sensitive_schema(self):
+        schema = adult_schema(sensitive="salary")
+        assert schema.sensitive == ["salary"]
+        assert "occupation" not in schema.sensitive
+        schema.validate(load_adult(100, seed=0))
+
+
+class TestMedical:
+    def test_schema_validates(self):
+        medical_schema().validate(load_medical(300, seed=1))
+
+    def test_hierarchy_covers_zipcodes(self):
+        table = load_medical(1000, seed=4)
+        ground = set(medical_hierarchies()["zipcode"].ground)
+        assert set(table.column("zipcode").decode()) <= ground
+
+    def test_disease_skewed(self):
+        """Skewness is the precondition of the t-closeness experiments."""
+        table = load_medical(3000, seed=4)
+        counts = np.bincount(table.codes("disease"))
+        assert counts.max() > 4 * counts.min()
+
+    def test_age_disease_dependence(self):
+        table = load_medical(4000, seed=4)
+        ages = table.values("age")
+        diseases = table.column("disease").decode()
+        heart_ages = [a for a, d in zip(ages, diseases) if d == "Heart-disease"]
+        flu_ages = [a for a, d in zip(ages, diseases) if d == "Flu"]
+        assert np.mean(heart_ages) > np.mean(flu_ages)
+
+
+class TestSynthetic:
+    def test_zipf_skew(self):
+        col = zipf_categorical("c", 5000, 10, skew=1.5, seed=1)
+        counts = sorted(col.value_counts().values(), reverse=True)
+        assert counts[0] > 3 * counts[-1]
+
+    def test_random_scenario_consistent(self):
+        table, schema, hierarchies = random_scenario(n_rows=200, seed=3)
+        schema.validate(table)
+        for name in schema.categorical_quasi_identifiers:
+            assert hierarchies[name].height >= 1
+
+    def test_random_scenario_anonymizes(self):
+        from repro import KAnonymity, Mondrian
+
+        table, schema, hierarchies = random_scenario(n_rows=300, seed=8)
+        release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(4)])
+        assert release.equivalence_class_sizes().min() >= 4

@@ -1,0 +1,63 @@
+"""Tests for the deFinetti attack on anatomized releases."""
+
+import numpy as np
+import pytest
+
+from repro import Anatomy
+from repro.attacks import definetti_attack
+from repro.core.schema import Schema
+from repro.core.table import Column, Table
+
+
+def correlated_table(n, determinism, seed):
+    """QI 'job' predicts sensitive 'disease' with given determinism."""
+    rng = np.random.default_rng(seed)
+    jobs = rng.integers(0, 4, n)
+    diseases = np.where(
+        rng.random(n) < determinism, jobs, rng.integers(0, 4, n)
+    )
+    return Table(
+        [
+            Column.categorical("job", [f"job{j}" for j in jobs]),
+            Column.categorical("city", [f"c{c}" for c in rng.integers(0, 5, n)]),
+            Column.categorical("disease", [f"d{d}" for d in diseases]),
+        ]
+    )
+
+
+SCHEMA = Schema.build(quasi_identifiers=["job", "city"], sensitive=["disease"])
+
+
+def run_attack(table, l=3, seed=0):
+    anatomized, kept = Anatomy(l=l, seed=seed).anatomize(table, SCHEMA)
+    true_codes = table.codes("disease")[kept]
+    return definetti_attack(anatomized, true_codes, table.column("disease").categories)
+
+
+class TestDeFinetti:
+    def test_beats_random_worlds_on_correlated_data(self):
+        result = run_attack(correlated_table(1500, determinism=0.85, seed=4))
+        assert result["attack_accuracy"] > result["random_worlds_baseline"] + 0.2
+        assert result["lift"] > 1.5
+
+    def test_no_lift_on_independent_data(self):
+        result = run_attack(correlated_table(1500, determinism=0.0, seed=4))
+        assert result["lift"] < 1.25  # nothing to learn
+
+    def test_lift_grows_with_correlation(self):
+        weak = run_attack(correlated_table(1500, determinism=0.4, seed=4))
+        strong = run_attack(correlated_table(1500, determinism=0.9, seed=4))
+        assert strong["attack_accuracy"] > weak["attack_accuracy"]
+
+    def test_larger_l_reduces_attack_accuracy_bound(self):
+        """Random-worlds baseline shrinks with l; attack accuracy on
+        independent data shrinks with it."""
+        table = correlated_table(1500, determinism=0.0, seed=6)
+        l2 = run_attack(table, l=2)
+        l4 = run_attack(table, l=4)
+        assert l4["random_worlds_baseline"] < l2["random_worlds_baseline"] + 0.05
+
+    def test_accuracy_fields_bounded(self):
+        result = run_attack(correlated_table(800, determinism=0.5, seed=2))
+        assert 0.0 <= result["attack_accuracy"] <= 1.0
+        assert 0.0 <= result["random_worlds_baseline"] <= 1.0

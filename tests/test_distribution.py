@@ -1,0 +1,165 @@
+"""Distributional utility metrics: divergences and association preservation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Column, Table
+from repro.errors import SchemaError
+from repro.metrics import (
+    cramers_v,
+    distribution_report,
+    hellinger,
+    js_divergence,
+    kl_divergence,
+    marginal_distance,
+    pairwise_association_error,
+    total_variation,
+)
+
+P = np.array([0.5, 0.3, 0.2])
+Q = np.array([0.2, 0.3, 0.5])
+
+
+class TestDivergences:
+    def test_identity_is_zero(self):
+        for metric in (total_variation, js_divergence, hellinger):
+            assert metric(P, P) == pytest.approx(0.0, abs=1e-9)
+        assert kl_divergence(P, P) == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetry_of_symmetric_metrics(self):
+        for metric in (total_variation, js_divergence, hellinger):
+            assert metric(P, Q) == pytest.approx(metric(Q, P))
+
+    def test_kl_asymmetry(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q, smoothing=0.0) != pytest.approx(
+            kl_divergence(q, p, smoothing=0.0)
+        )
+
+    def test_tv_known_value(self):
+        assert total_variation(P, Q) == pytest.approx(0.3)
+
+    def test_tv_bounds(self):
+        disjoint_p = np.array([1.0, 0.0])
+        disjoint_q = np.array([0.0, 1.0])
+        assert total_variation(disjoint_p, disjoint_q) == pytest.approx(1.0)
+
+    def test_js_bounded_by_log2(self):
+        disjoint_p = np.array([1.0, 0.0])
+        disjoint_q = np.array([0.0, 1.0])
+        assert js_divergence(disjoint_p, disjoint_q) == pytest.approx(np.log(2))
+
+    def test_hellinger_bounds(self):
+        disjoint_p = np.array([1.0, 0.0])
+        disjoint_q = np.array([0.0, 1.0])
+        assert hellinger(disjoint_p, disjoint_q) == pytest.approx(1.0)
+
+    def test_kl_infinite_off_support_without_smoothing(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert kl_divergence(p, q, smoothing=0.0) == float("inf")
+
+    def test_kl_smoothing_keeps_finite(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert np.isfinite(kl_divergence(p, q))
+
+    def test_counts_normalized_automatically(self):
+        assert total_variation(10 * P, 7 * Q) == pytest.approx(total_variation(P, Q))
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            total_variation(np.array([0.5, 0.5]), np.array([1.0, 0.0, 0.0]))
+        with pytest.raises(SchemaError):
+            total_variation(np.array([-0.1, 1.1]), np.array([0.5, 0.5]))
+        with pytest.raises(SchemaError):
+            total_variation(np.zeros(2), np.array([0.5, 0.5]))
+
+
+def _table(values_by_col):
+    return Table([Column.categorical(name, values) for name, values in values_by_col.items()])
+
+
+class TestMarginalDistance:
+    def test_zero_for_identical_tables(self):
+        t = _table({"c": list("aabbc")})
+        assert marginal_distance(t, t, "c") == pytest.approx(0.0)
+
+    def test_known_shift(self):
+        original = _table({"c": ["a"] * 8 + ["b"] * 2})
+        released = _table({"c": ["a"] * 5 + ["b"] * 5})
+        assert marginal_distance(original, released, "c") == pytest.approx(0.3)
+
+    def test_category_union_alignment(self):
+        """Released table may have generalized labels absent from the original."""
+        original = _table({"c": ["a", "a", "b", "b"]})
+        released = _table({"c": ["*", "*", "*", "*"]})
+        assert marginal_distance(original, released, "c") == pytest.approx(1.0)
+
+    def test_unknown_metric_rejected(self):
+        t = _table({"c": list("ab")})
+        with pytest.raises(SchemaError, match="unknown metric"):
+            marginal_distance(t, t, "c", metric="wasserstein")
+
+    def test_numeric_column_rejected(self):
+        t = Table([Column.numeric("x", [1.0, 2.0]), Column.categorical("c", ["a", "b"])])
+        with pytest.raises(SchemaError):
+            marginal_distance(t, t, "x")
+
+
+class TestCramersV:
+    def test_perfect_association(self):
+        t = _table({"a": list("xxyy"), "b": list("uuvv")})
+        assert cramers_v(t, "a", "b") == pytest.approx(1.0)
+
+    def test_independence_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.choice(list("xy"), 4000).tolist()
+        b = rng.choice(list("uv"), 4000).tolist()
+        assert cramers_v(_table({"a": a, "b": b}), "a", "b") < 0.05
+
+    def test_symmetric(self):
+        t = _table({"a": list("xxyyxy"), "b": list("uuvvuv")})
+        assert cramers_v(t, "a", "b") == pytest.approx(cramers_v(t, "b", "a"))
+
+    def test_constant_column_zero(self):
+        t = _table({"a": list("xxxx"), "b": list("uvuv")})
+        assert cramers_v(t, "a", "b") == 0.0
+
+
+class TestAssociationError:
+    def test_zero_for_identical(self):
+        t = _table({"a": list("xxyyxy"), "b": list("uuvvuv"), "c": list("mnmnmn")})
+        assert pairwise_association_error(t, t, ["a", "b", "c"]) == pytest.approx(0.0)
+
+    def test_detects_broken_association(self):
+        original = _table({"a": list("xxyy"), "b": list("uuvv")})
+        shuffled = _table({"a": list("xxyy"), "b": list("uvuv")})
+        assert pairwise_association_error(original, shuffled, ["a", "b"]) > 0.5
+
+    def test_needs_two_columns(self):
+        t = _table({"a": list("xy")})
+        with pytest.raises(SchemaError):
+            pairwise_association_error(t, t, ["a"])
+
+
+class TestReport:
+    def test_structure_and_ranges(self, adult_small):
+        cols = ["sex", "race", "education"]
+        report = distribution_report(adult_small, adult_small, cols)
+        assert set(report["per_column"]) == set(cols)
+        assert report["avg_tv"] == pytest.approx(0.0)
+        assert report["avg_js"] == pytest.approx(0.0)
+        assert report["association_error"] == pytest.approx(0.0)
+
+    def test_single_column_report_omits_association(self, adult_small):
+        report = distribution_report(adult_small, adult_small, ["sex"])
+        assert "association_error" not in report
+
+    def test_detects_different_samples(self, adult_small):
+        from repro.data import load_adult
+
+        other = load_adult(n_rows=adult_small.n_rows, seed=99)
+        report = distribution_report(adult_small, other, ["sex", "race"])
+        assert report["avg_tv"] > 0.0

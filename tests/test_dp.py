@@ -1,0 +1,253 @@
+"""Tests for the differential-privacy substrate."""
+
+import numpy as np
+import pytest
+
+from repro.dp import (
+    BudgetAccountant,
+    ChainSynthesizer,
+    ExponentialMechanism,
+    GaussianMechanism,
+    GeometricMechanism,
+    LaplaceMechanism,
+    RandomizedResponse,
+    advanced_composition_epsilon,
+    dp_count_query,
+    dp_histogram,
+    dp_marginal,
+)
+from repro.errors import BudgetError
+
+
+class TestLaplace:
+    def test_scale(self):
+        assert LaplaceMechanism(epsilon=0.5, sensitivity=2.0).scale == 4.0
+
+    def test_unbiased(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0)
+        noisy = mech.randomize(np.full(20000, 100.0), rng)
+        assert noisy.mean() == pytest.approx(100.0, abs=0.1)
+
+    def test_error_scales_inverse_epsilon(self, rng):
+        tight = LaplaceMechanism(epsilon=10.0).randomize(np.zeros(5000), rng)
+        loose = LaplaceMechanism(epsilon=0.1).randomize(np.zeros(5000), rng)
+        assert np.abs(loose).mean() > 10 * np.abs(tight).mean()
+
+    def test_expected_absolute_error(self, rng):
+        mech = LaplaceMechanism(epsilon=2.0)
+        noisy = mech.randomize(np.zeros(50000), rng)
+        assert np.abs(noisy).mean() == pytest.approx(mech.expected_absolute_error(), rel=0.05)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1, sensitivity=0)
+
+
+class TestGeometric:
+    def test_integer_output(self, rng):
+        noisy = GeometricMechanism(epsilon=1.0).randomize(np.array([5, 10]), rng)
+        assert noisy.dtype.kind == "i"
+
+    def test_unbiased(self, rng):
+        noisy = GeometricMechanism(epsilon=1.0).randomize(np.full(20000, 50), rng)
+        assert noisy.mean() == pytest.approx(50.0, abs=0.2)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            GeometricMechanism(epsilon=1.0, sensitivity=0)
+
+
+class TestGaussian:
+    def test_sigma_formula(self):
+        mech = GaussianMechanism(epsilon=1.0, delta=1e-5, l2_sensitivity=1.0)
+        assert mech.sigma == pytest.approx(np.sqrt(2 * np.log(1.25e5)), rel=1e-6)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(epsilon=1.0, delta=0.0)
+
+    def test_randomize_shape(self, rng):
+        out = GaussianMechanism(1.0, 1e-5).randomize(np.zeros((3, 4)), rng)
+        assert out.shape == (3, 4)
+
+
+class TestExponential:
+    def test_probabilities_sum_to_one(self):
+        probs = ExponentialMechanism(epsilon=1.0).probabilities([1.0, 2.0, 3.0])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_probability_ratio_bound(self):
+        """Core DP guarantee: ratio between candidates <= exp(eps*Δu/(2Δu))."""
+        eps = 2.0
+        mech = ExponentialMechanism(epsilon=eps, sensitivity=1.0)
+        probs = mech.probabilities([0.0, 1.0])
+        assert probs[1] / probs[0] == pytest.approx(np.exp(eps / 2), rel=1e-9)
+
+    def test_prefers_high_utility(self, rng):
+        mech = ExponentialMechanism(epsilon=5.0)
+        picks = [mech.select([0.0, 10.0], rng) for _ in range(200)]
+        assert np.mean(picks) > 0.95
+
+    def test_numerical_stability_large_scores(self):
+        probs = ExponentialMechanism(epsilon=1.0).probabilities([1e6, 1e6 + 1])
+        assert np.isfinite(probs).all()
+
+
+class TestRandomizedResponse:
+    def test_p_truth_binary_matches_formula(self):
+        rr = RandomizedResponse(epsilon=np.log(3), domain_size=2)
+        assert rr.p_truth == pytest.approx(0.75)
+
+    def test_frequency_estimator_unbiased(self, rng):
+        rr = RandomizedResponse(epsilon=1.0, domain_size=4)
+        true_freq = np.array([0.4, 0.3, 0.2, 0.1])
+        codes = rng.choice(4, size=60000, p=true_freq)
+        noisy = rr.randomize(codes, rng)
+        estimate = rr.estimate_frequencies(noisy)
+        assert np.allclose(estimate, true_freq, atol=0.02)
+
+    def test_lies_are_never_truth(self, rng):
+        rr = RandomizedResponse(epsilon=0.01, domain_size=3)  # almost always lie
+        codes = np.zeros(3000, dtype=np.int64)
+        noisy = rr.randomize(codes, rng)
+        # With eps ~ 0, p_truth ~ 1/3; each outcome about equally likely.
+        freq = np.bincount(noisy, minlength=3) / 3000
+        assert np.allclose(freq, 1 / 3, atol=0.05)
+
+    def test_domain_too_small_raises(self):
+        with pytest.raises(ValueError):
+            RandomizedResponse(epsilon=1.0, domain_size=1)
+
+
+class TestAccountant:
+    def test_sequential_composition_adds(self):
+        acc = BudgetAccountant(epsilon_cap=1.0)
+        acc.spend(0.4)
+        acc.spend(0.5)
+        assert acc.spent_epsilon() == pytest.approx(0.9)
+        assert acc.remaining_epsilon() == pytest.approx(0.1)
+
+    def test_over_budget_raises_and_preserves_state(self):
+        acc = BudgetAccountant(epsilon_cap=1.0)
+        acc.spend(0.8)
+        with pytest.raises(BudgetError):
+            acc.spend(0.3)
+        assert acc.spent_epsilon() == pytest.approx(0.8)
+
+    def test_parallel_composition_takes_max(self):
+        acc = BudgetAccountant(epsilon_cap=1.0)
+        acc.spend(0.6, group="partition")
+        acc.spend(0.6, group="partition")  # same data partitioned: still 0.6
+        assert acc.spent_epsilon() == pytest.approx(0.6)
+
+    def test_delta_tracked(self):
+        acc = BudgetAccountant(epsilon_cap=10.0, delta_cap=1e-4)
+        acc.spend(1.0, delta=5e-5)
+        with pytest.raises(BudgetError):
+            acc.spend(1.0, delta=9e-5)
+
+    def test_reset(self):
+        acc = BudgetAccountant(epsilon_cap=1.0)
+        acc.spend(1.0)
+        acc.reset()
+        assert acc.spent_epsilon() == 0.0
+
+    def test_advanced_composition_sublinear(self):
+        eps_single = 0.1
+        k = 100
+        advanced = advanced_composition_epsilon(eps_single, k, delta_slack=1e-6)
+        naive = k * eps_single
+        assert advanced < naive
+
+    def test_advanced_composition_invalid(self):
+        with pytest.raises(ValueError):
+            advanced_composition_epsilon(0.0, 10, 1e-6)
+
+
+class TestHistogram:
+    def test_histogram_shape(self, medical_small, rng):
+        noisy = dp_histogram(medical_small, "disease", epsilon=1.0, rng=rng)
+        assert noisy.shape[0] == len(medical_small.column("disease").categories)
+
+    def test_histogram_clamped_nonnegative(self, medical_small, rng):
+        noisy = dp_histogram(medical_small, "disease", epsilon=0.01, rng=rng)
+        assert (noisy >= 0).all()
+
+    def test_histogram_accuracy_at_high_epsilon(self, medical_small, rng):
+        truth = np.bincount(
+            medical_small.codes("disease"),
+            minlength=len(medical_small.column("disease").categories),
+        )
+        noisy = dp_histogram(medical_small, "disease", epsilon=50.0, rng=rng)
+        assert np.abs(noisy - truth).max() <= 2
+
+    def test_histogram_spends_budget(self, medical_small, rng):
+        acc = BudgetAccountant(epsilon_cap=1.5)
+        dp_histogram(medical_small, "disease", epsilon=1.0, rng=rng, accountant=acc)
+        with pytest.raises(BudgetError):
+            dp_histogram(medical_small, "disease", epsilon=1.0, rng=rng, accountant=acc)
+
+    def test_marginal_shape(self, medical_small, rng):
+        noisy = dp_marginal(medical_small, ["nationality", "disease"], epsilon=1.0, rng=rng)
+        assert noisy.shape == (
+            len(medical_small.column("nationality").categories),
+            len(medical_small.column("disease").categories),
+        )
+
+    def test_count_query(self, medical_small, rng):
+        mask = medical_small.values("age") > 50
+        noisy = dp_count_query(medical_small, mask, epsilon=20.0, rng=rng)
+        assert noisy == pytest.approx(float(mask.sum()), abs=2.0)
+
+
+class TestSynthesizer:
+    def test_output_shape_and_schema(self, medical_small):
+        synthetic = ChainSynthesizer(epsilon=2.0, seed=5).fit_sample(
+            medical_small, columns=["zipcode", "nationality", "disease"]
+        )
+        assert synthetic.n_rows == medical_small.n_rows
+        assert synthetic.column_names == ["zipcode", "nationality", "disease"]
+
+    def test_categories_preserved(self, medical_small):
+        synthetic = ChainSynthesizer(epsilon=2.0, seed=5).fit_sample(
+            medical_small, columns=["disease"]
+        )
+        assert synthetic.column("disease").categories == medical_small.column(
+            "disease"
+        ).categories
+
+    def test_high_epsilon_preserves_marginals(self, medical_small):
+        synthetic = ChainSynthesizer(epsilon=200.0, seed=5).fit_sample(
+            medical_small, columns=["nationality", "disease"]
+        )
+        for name in ("nationality", "disease"):
+            truth = np.bincount(
+                medical_small.codes(name),
+                minlength=len(medical_small.column(name).categories),
+            ) / medical_small.n_rows
+            synth = np.bincount(
+                synthetic.codes(name),
+                minlength=len(synthetic.column(name).categories),
+            ) / synthetic.n_rows
+            assert np.abs(truth - synth).max() < 0.06
+
+    def test_numeric_columns_sampled_in_range(self, medical_small):
+        synthetic = ChainSynthesizer(epsilon=5.0, seed=5).fit_sample(
+            medical_small, columns=["age", "disease"]
+        )
+        ages = synthetic.values("age")
+        assert ages.min() >= medical_small.values("age").min() - 1e-9
+        assert ages.max() <= medical_small.values("age").max() + 1e-9
+
+    def test_charges_accountant(self, medical_small):
+        acc = BudgetAccountant(epsilon_cap=1.0)
+        ChainSynthesizer(epsilon=0.9, seed=5).fit_sample(
+            medical_small, columns=["disease"], accountant=acc
+        )
+        assert acc.spent_epsilon() == pytest.approx(0.9)
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            ChainSynthesizer(epsilon=0.0)

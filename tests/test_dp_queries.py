@@ -1,0 +1,118 @@
+"""Tests for SVT, report-noisy-max, and DP statistics."""
+
+import numpy as np
+import pytest
+
+from repro.dp import SparseVector, dp_mean, dp_quantile, report_noisy_max
+from repro.errors import BudgetError
+
+
+class TestSparseVector:
+    def test_clear_positives_and_negatives(self, rng):
+        svt = SparseVector(epsilon=20.0, threshold=50.0, max_positives=2, rng=rng)
+        assert not svt.query(0.0)
+        assert not svt.query(10.0)
+        assert svt.query(100.0)
+        assert svt.query(100.0)
+        assert svt.exhausted
+
+    def test_exhausted_raises(self, rng):
+        svt = SparseVector(epsilon=20.0, threshold=0.0, max_positives=1, rng=rng)
+        assert svt.query(100.0)
+        with pytest.raises(BudgetError):
+            svt.query(100.0)
+
+    def test_negatives_are_free_and_unlimited(self, rng):
+        svt = SparseVector(epsilon=5.0, threshold=1000.0, max_positives=1, rng=rng)
+        for _ in range(200):
+            assert not svt.query(0.0)
+        assert svt.queries_answered == 200
+        assert not svt.exhausted
+
+    def test_noise_scale_grows_with_max_positives(self):
+        # Statistical check: borderline queries flip more often with larger c.
+        def flip_rate(c):
+            flips = 0
+            for seed in range(300):
+                svt = SparseVector(
+                    epsilon=1.0, threshold=10.0, max_positives=c,
+                    rng=np.random.default_rng(seed),
+                )
+                if svt.query(10.0) != (seed % 2 == 0):  # arbitrary reference
+                    flips += 1
+            return flips
+
+        # Simply assert both run; the interesting invariant is variance
+        # ordering of the internal noise, checked via many borderline draws.
+        answers_c1 = [
+            SparseVector(1.0, 0.0, 1, rng=np.random.default_rng(s)).query(0.0)
+            for s in range(400)
+        ]
+        answers_c8 = [
+            SparseVector(1.0, 0.0, 8, rng=np.random.default_rng(s)).query(0.0)
+            for s in range(400)
+        ]
+        # With larger c the answer distribution is closer to 50/50.
+        gap_c1 = abs(np.mean(answers_c1) - 0.5)
+        gap_c8 = abs(np.mean(answers_c8) - 0.5)
+        assert gap_c8 <= gap_c1 + 0.1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SparseVector(epsilon=0.0, threshold=1.0)
+        with pytest.raises(ValueError):
+            SparseVector(epsilon=1.0, threshold=1.0, max_positives=0)
+
+
+class TestReportNoisyMax:
+    def test_picks_clear_winner(self, rng):
+        picks = [
+            report_noisy_max([1.0, 100.0, 2.0], epsilon=5.0, rng=rng)
+            for _ in range(100)
+        ]
+        assert np.mean([p == 1 for p in picks]) > 0.95
+
+    def test_low_epsilon_randomizes(self, rng):
+        picks = [
+            report_noisy_max([1.0, 1.5], epsilon=0.001, rng=rng) for _ in range(500)
+        ]
+        assert 0.3 < np.mean(picks) < 0.7
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            report_noisy_max([1.0], epsilon=0.0)
+
+
+class TestDPStatistics:
+    def test_dp_mean_accurate_at_high_epsilon(self, rng):
+        values = rng.uniform(20, 60, 2000)
+        estimate = dp_mean(values, epsilon=50.0, lo=0, hi=100, rng=rng)
+        assert estimate == pytest.approx(values.mean(), abs=1.0)
+
+    def test_dp_mean_clipped_to_domain(self, rng):
+        values = np.array([5.0])
+        estimate = dp_mean(values, epsilon=0.01, lo=0, hi=10, rng=rng)
+        assert 0 <= estimate <= 10
+
+    def test_dp_mean_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            dp_mean(np.array([]), epsilon=1.0, lo=0, hi=1, rng=rng)
+
+    def test_dp_mean_bad_bounds_raise(self, rng):
+        with pytest.raises(ValueError):
+            dp_mean(np.array([1.0]), epsilon=1.0, lo=5, hi=5, rng=rng)
+
+    def test_dp_quantile_near_truth_at_high_epsilon(self, rng):
+        values = rng.normal(50, 10, 4000)
+        estimate = dp_quantile(values, q=0.5, epsilon=20.0, lo=0, hi=100, rng=rng)
+        assert estimate == pytest.approx(np.median(values), abs=3.0)
+
+    def test_dp_quantile_extremes(self, rng):
+        values = rng.uniform(10, 20, 1000)
+        low = dp_quantile(values, q=0.0, epsilon=20.0, lo=0, hi=100, rng=rng)
+        high = dp_quantile(values, q=1.0, epsilon=20.0, lo=0, hi=100, rng=rng)
+        assert low < high
+
+    def test_dp_quantile_invalid_q(self, rng):
+        with pytest.raises(ValueError):
+            dp_quantile(np.array([1.0]), q=1.5, epsilon=1.0, lo=0, hi=1, rng=rng)

@@ -1,0 +1,112 @@
+"""Tests for the three Earth Mover's Distance ground metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.privacy.t_closeness import emd_equal, emd_hierarchical, emd_ordered
+
+
+class TestEqualDistance:
+    def test_identical_is_zero(self):
+        p = np.array([0.5, 0.3, 0.2])
+        assert emd_equal(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert emd_equal(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_symmetry(self, rng):
+        p = rng.dirichlet(np.ones(5))
+        q = rng.dirichlet(np.ones(5))
+        assert emd_equal(p, q) == pytest.approx(emd_equal(q, p))
+
+    def test_known_value(self):
+        p = np.array([0.7, 0.3, 0.0])
+        q = np.array([0.4, 0.3, 0.3])
+        assert emd_equal(p, q) == pytest.approx(0.3)
+
+
+class TestOrderedDistance:
+    def test_identical_is_zero(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert emd_ordered(p, p) == 0.0
+
+    def test_mass_across_whole_line_is_one(self):
+        p = np.array([1.0, 0.0, 0.0])
+        q = np.array([0.0, 0.0, 1.0])
+        assert emd_ordered(p, q) == pytest.approx(1.0)
+
+    def test_adjacent_move_costs_less_than_far_move(self):
+        p = np.array([1.0, 0.0, 0.0])
+        near = np.array([0.0, 1.0, 0.0])
+        far = np.array([0.0, 0.0, 1.0])
+        assert emd_ordered(p, near) < emd_ordered(p, far)
+
+    def test_single_value_domain_is_zero(self):
+        assert emd_ordered(np.array([1.0]), np.array([1.0])) == 0.0
+
+    def test_tcloseness_paper_shape(self):
+        # Uniform over {3k, 4k, 5k} vs global uniform over 9 salaries is far;
+        # a spread-out class is close (the paper's salary example, in spirit).
+        global_dist = np.full(9, 1 / 9)
+        clustered = np.zeros(9)
+        clustered[:3] = 1 / 3
+        spread = np.zeros(9)
+        spread[[0, 4, 8]] = 1 / 3
+        assert emd_ordered(clustered, global_dist) > emd_ordered(spread, global_dist)
+
+
+class TestHierarchicalDistance:
+    @pytest.fixture
+    def hierarchy(self):
+        return Hierarchy.from_tree(
+            {
+                "Respiratory": ["flu", "pneumonia"],
+                "Digestive": ["gastritis", "ulcer"],
+            }
+        )
+
+    def test_identical_is_zero(self, hierarchy):
+        p = np.array([0.25, 0.25, 0.25, 0.25])
+        assert emd_hierarchical(p, p, hierarchy) == 0.0
+
+    def test_within_subtree_cheaper_than_across(self, hierarchy):
+        ground = hierarchy.ground  # sorted: flu, gastritis, pneumonia, ulcer
+        flu = ground.index("flu")
+        pneumonia = ground.index("pneumonia")
+        gastritis = ground.index("gastritis")
+        p = np.zeros(4)
+        p[flu] = 1.0
+        within = np.zeros(4)
+        within[pneumonia] = 1.0  # same Respiratory subtree
+        across = np.zeros(4)
+        across[gastritis] = 1.0  # different subtree
+        d_within = emd_hierarchical(p, within, hierarchy)
+        d_across = emd_hierarchical(p, across, hierarchy)
+        assert d_within < d_across
+        assert d_across <= 1.0
+
+    def test_bounded_by_one(self, hierarchy, rng):
+        for _ in range(20):
+            p = rng.dirichlet(np.ones(4))
+            q = rng.dirichlet(np.ones(4))
+            d = emd_hierarchical(p, q, hierarchy)
+            assert 0.0 <= d <= 1.0 + 1e-12
+
+    def test_symmetry(self, hierarchy, rng):
+        p = rng.dirichlet(np.ones(4))
+        q = rng.dirichlet(np.ones(4))
+        assert emd_hierarchical(p, q, hierarchy) == pytest.approx(
+            emd_hierarchical(q, p, hierarchy)
+        )
+
+    def test_length_mismatch_raises(self, hierarchy):
+        with pytest.raises(ValueError):
+            emd_hierarchical(np.ones(3) / 3, np.ones(3) / 3, hierarchy)
+
+    def test_flat_hierarchy_matches_equal_distance(self, rng):
+        flat = Hierarchy.flat(["a", "b", "c", "d"])
+        p = rng.dirichlet(np.ones(4))
+        q = rng.dirichlet(np.ones(4))
+        # With one level, hierarchical EMD = sum|net flow| / 2 = TV distance.
+        assert emd_hierarchical(p, q, flat) == pytest.approx(emd_equal(p, q))

@@ -1,0 +1,218 @@
+"""Unit tests for generalization hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy, IntervalHierarchy, suppression_hierarchy
+from repro.core.table import Column
+from repro.errors import HierarchyError
+
+
+class TestHierarchyFromTree:
+    def test_basic_tree(self):
+        h = Hierarchy.from_tree(
+            {"Europe": ["France", "Spain"], "Asia": ["Japan"]}, root="Any"
+        )
+        assert h.height == 2
+        assert set(h.ground) == {"France", "Spain", "Japan"}
+        assert h.labels(2) == ("Any",)
+
+    def test_nested_tree_depth(self):
+        h = Hierarchy.from_tree(
+            {
+                "Europe": {"West": ["France", "Spain"], "East": ["Poland"]},
+                "Asia": {"East-Asia": ["Japan", "China"]},
+            }
+        )
+        assert h.height == 3
+
+    def test_ragged_tree_pads(self):
+        h = Hierarchy.from_tree(
+            {"Deep": {"Mid": ["a", "b"]}, "Shallow": ["c"]}
+        )
+        # All levels defined for every leaf despite ragged depth.
+        for level in range(h.height + 1):
+            assert len(h.labels(level)) >= 1
+
+    def test_duplicate_leaf_raises(self):
+        with pytest.raises(HierarchyError, match="appears twice"):
+            Hierarchy.from_tree({"A": ["x"], "B": ["x"]})
+
+    def test_empty_tree_raises(self):
+        with pytest.raises(HierarchyError, match="no leaves"):
+            Hierarchy.from_tree({})
+
+
+class TestHierarchyFromLevels:
+    def test_levels_rows(self):
+        h = Hierarchy.from_levels(
+            {"13053": ["130**"], "13068": ["130**"], "14850": ["148**"]}
+        )
+        assert h.height == 2  # identity, prefix, auto-appended root
+        assert h.labels(1) == ("130**", "148**") or set(h.labels(1)) == {"130**", "148**"}
+
+    def test_constant_last_level_not_duplicated(self):
+        h = Hierarchy.from_levels({"a": ["g", "*"], "b": ["g", "*"]})
+        assert h.height == 2
+        assert h.labels(2) == ("*",)
+
+    def test_ragged_rows_raise(self):
+        with pytest.raises(HierarchyError, match="mismatched lengths"):
+            Hierarchy.from_levels({"a": ["x"], "b": ["x", "y"]})
+
+    def test_non_monotone_rows_raise(self):
+        # 'a' and 'b' merge at level 1 but split again at level 2.
+        with pytest.raises(HierarchyError, match="maps to two"):
+            Hierarchy.from_levels({"a": ["g", "p"], "b": ["g", "q"]})
+
+    def test_empty_raises(self):
+        with pytest.raises(HierarchyError, match="no rows"):
+            Hierarchy.from_levels({})
+
+
+class TestHierarchyFlat:
+    def test_flat_two_levels(self):
+        h = Hierarchy.flat(["x", "y", "z"])
+        assert h.height == 1
+        assert h.labels(1) == ("*",)
+
+    def test_suppression_alias(self):
+        assert suppression_hierarchy(["a", "b"]).height == 1
+
+    def test_flat_deduplicates(self):
+        assert len(Hierarchy.flat(["a", "a", "b"]).ground) == 2
+
+
+class TestHierarchyMapping:
+    @pytest.fixture
+    def h(self):
+        return Hierarchy.from_tree(
+            {"Europe": ["France", "Spain"], "Asia": ["Japan", "China"]}
+        )
+
+    def test_level0_is_identity(self, h):
+        codes = np.arange(len(h.ground))
+        assert h.map_codes(codes, 0).tolist() == codes.tolist()
+
+    def test_top_level_single_value(self, h):
+        codes = np.arange(len(h.ground))
+        assert np.unique(h.map_codes(codes, h.height)).size == 1
+
+    def test_leaf_count_sums_to_domain(self, h):
+        for level in range(h.height + 1):
+            assert h.leaf_count(level).sum() == len(h.ground)
+
+    def test_cover_codes_inverse_of_map(self, h):
+        for level in range(1, h.height + 1):
+            for code in range(h.level_of_distinct(level)):
+                members = h.cover_codes(level, code)
+                mapped = h.map_codes(members, level)
+                assert (mapped == code).all()
+
+    def test_bad_level_raises(self, h):
+        with pytest.raises(HierarchyError, match="outside"):
+            h.map_codes(np.array([0]), h.height + 1)
+
+    def test_generalize_column_matching_order(self, h):
+        col = Column.categorical("c", ["France", "Japan"], categories=list(h.ground))
+        out = h.generalize_column(col, 1)
+        assert set(out.decode()) == {"Europe", "Asia"}
+
+    def test_generalize_column_reordered_categories(self, h):
+        col = Column.categorical("c", ["Japan", "France"], categories=["Japan", "France", "Spain", "China"])
+        out = h.generalize_column(col, 1)
+        assert out.decode() == ["Asia", "Europe"]
+
+    def test_generalize_column_unknown_value_raises(self, h):
+        col = Column.categorical("c", ["Mars"])
+        with pytest.raises(HierarchyError, match="not in hierarchy ground"):
+            h.generalize_column(col, 1)
+
+    def test_generalize_numeric_column_raises(self, h):
+        with pytest.raises(HierarchyError, match="numeric"):
+            h.generalize_column(Column.numeric("n", [1.0]), 1)
+
+
+class TestIntervalHierarchy:
+    def test_uniform_structure(self):
+        ih = IntervalHierarchy.uniform(0, 80, n_bins=8, merge_factor=2)
+        assert ih.height == 4  # 8 -> 4 -> 2 -> 1
+        assert len(ih.intervals(1)) == 8
+        assert len(ih.intervals(ih.height)) == 1
+
+    def test_too_few_cuts_raise(self):
+        with pytest.raises(HierarchyError):
+            IntervalHierarchy([5.0])
+
+    def test_duplicate_cuts_raise(self):
+        with pytest.raises(HierarchyError, match="distinct"):
+            IntervalHierarchy([0.0, 0.0, 1.0])
+
+    def test_bad_merge_factor_raises(self):
+        with pytest.raises(HierarchyError, match="merge_factor"):
+            IntervalHierarchy([0, 1, 2], merge_factor=1)
+
+    def test_bin_values_clips_out_of_range(self):
+        ih = IntervalHierarchy.uniform(0, 10, n_bins=5)
+        bins = ih.bin_values(np.array([-5.0, 50.0]), 1)
+        assert bins.tolist() == [0, 4]
+
+    def test_generalize_level0_identity(self):
+        ih = IntervalHierarchy.uniform(0, 10, n_bins=5)
+        col = Column.numeric("n", [1.0, 2.0])
+        assert ih.generalize_column(col, 0) is col
+
+    def test_generalize_produces_interval_labels(self):
+        ih = IntervalHierarchy.uniform(0, 100, n_bins=4)
+        col = Column.numeric("age", [10, 60])
+        out = ih.generalize_column(col, 1)
+        assert out.is_categorical
+        assert out.decode() == ["[0-25)", "[50-75)"]
+
+    def test_generalize_categorical_raises(self):
+        ih = IntervalHierarchy.uniform(0, 10, n_bins=2)
+        with pytest.raises(HierarchyError, match="categorical"):
+            ih.generalize_column(Column.categorical("c", ["a"]), 1)
+
+    def test_width_fraction_top_is_one(self):
+        ih = IntervalHierarchy.uniform(0, 100, n_bins=8)
+        assert ih.width_fraction(ih.height).tolist() == [1.0]
+
+    def test_width_fraction_base_sums_to_one(self):
+        ih = IntervalHierarchy.uniform(0, 100, n_bins=8)
+        assert ih.width_fraction(1).sum() == pytest.approx(1.0)
+
+    def test_merge_factor_three(self):
+        ih = IntervalHierarchy.uniform(0, 9, n_bins=9, merge_factor=3)
+        assert len(ih.intervals(2)) == 3
+        assert len(ih.intervals(3)) == 1
+
+    def test_intervals_cover_span_contiguously(self):
+        ih = IntervalHierarchy.uniform(0, 64, n_bins=16)
+        for level in range(1, ih.height + 1):
+            intervals = ih.intervals(level)
+            assert intervals[0][0] == 0
+            assert intervals[-1][1] == 64
+            for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+                assert hi1 == lo2
+
+
+class TestMonotonicityValidation:
+    def test_valid_hierarchy_constructs(self):
+        Hierarchy.from_levels({"a": ["g1"], "b": ["g1"], "c": ["g2"]})
+
+    def test_level_zero_must_be_identity(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy(
+                ground=["a", "b"],
+                level_maps=[np.array([0, 0]), np.array([0, 0])],
+                level_labels=[("x",), ("*",)],
+            )
+
+    def test_top_must_be_single_root(self):
+        with pytest.raises(HierarchyError, match="top level"):
+            Hierarchy(
+                ground=["a", "b"],
+                level_maps=[np.array([0, 1]), np.array([0, 1])],
+                level_labels=[("a", "b"), ("x", "y")],
+            )

@@ -1,0 +1,186 @@
+"""Tests for CSV I/O and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.io import read_csv, write_csv
+from repro.core.table import Column, Table
+from repro.cli import main
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "zipcode,job,age,disease\n"
+        "13053,engineer,29,flu\n"
+        "13068,teacher,31,hiv\n"
+        "13053,engineer,35,ulcer\n"
+        "13068,nurse,40,flu\n"
+        "14850,teacher,22,flu\n"
+        "14850,nurse,24,cancer\n"
+        "14853,engineer,28,hiv\n"
+        "14853,teacher,33,ulcer\n"
+    )
+    return path
+
+
+class TestReadCSV:
+    def test_sniffs_types(self, csv_path):
+        table = read_csv(csv_path)
+        assert table.column("age").is_categorical is False
+        assert table.column("job").is_categorical is True
+        assert table.n_rows == 8
+
+    def test_explicit_types_override(self, csv_path):
+        table = read_csv(csv_path, categorical=["zipcode"])
+        assert table.column("zipcode").is_categorical
+
+    def test_declared_missing_column_raises(self, csv_path):
+        with pytest.raises(SchemaError, match="not in CSV header"):
+            read_csv(csv_path, categorical=["ghost"])
+
+    def test_non_numeric_declared_numeric_raises(self, csv_path):
+        with pytest.raises(SchemaError, match="is not numeric"):
+            read_csv(csv_path, numeric=["job"])
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path)
+
+    def test_header_only_raises(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(SchemaError, match="no data rows"):
+            read_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="row 3"):
+            read_csv(path)
+
+
+class TestWriteCSV:
+    def test_roundtrip(self, tmp_path):
+        table = Table(
+            [
+                Column.categorical("c", ["x", "y"]),
+                Column.numeric("n", [1.5, 2.0]),
+            ]
+        )
+        path = tmp_path / "out.csv"
+        write_csv(table, path)
+        back = read_csv(path, categorical=["c"], numeric=["n"])
+        assert back.column("c").decode() == ["x", "y"]
+        assert back.values("n").tolist() == [1.5, 2.0]
+
+    def test_integral_floats_written_as_ints(self, tmp_path):
+        table = Table([Column.numeric("n", [3.0])])
+        path = tmp_path / "out.csv"
+        write_csv(table, path)
+        assert path.read_text().splitlines()[1] == "3"
+
+
+class TestCLI:
+    def test_end_to_end(self, csv_path, tmp_path, capsys):
+        out = tmp_path / "anon.csv"
+        rc = main(
+            [
+                str(csv_path), str(out),
+                "--qi", "zipcode", "--qi", "job", "--numeric-qi", "age",
+                "--sensitive", "disease", "--k", "2", "--report",
+            ]
+        )
+        assert rc == 0
+        published = read_csv(out, categorical=["zipcode", "job", "disease", "age"])
+        assert published.n_rows == 8
+        # k=2: every (zipcode, job, age) signature appears at least twice.
+        groups = published.group_rows(["zipcode", "job", "age"])
+        assert min(g.size for g in groups) >= 2
+        report = json.loads(capsys.readouterr().err)
+        assert report["summary"]["min_class_size"] >= 2
+        assert 0 <= report["gcp"] <= 1
+
+    def test_zipcode_prefix_hierarchy_applied(self, csv_path, tmp_path):
+        out = tmp_path / "anon.csv"
+        main(
+            [
+                str(csv_path), str(out),
+                "--qi", "zipcode", "--numeric-qi", "age", "--k", "4",
+                "--algorithm", "datafly",
+            ]
+        )
+        published = read_csv(out, categorical=["zipcode"])
+        values = set(published.column("zipcode").decode())
+        # Datafly at k=4 on 8 rows must coarsen zipcodes to masked prefixes.
+        assert any("*" in v for v in values)
+
+    def test_requires_qi(self, csv_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(csv_path), str(tmp_path / "x.csv")])
+
+    def test_l_requires_sensitive(self, csv_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(csv_path), str(tmp_path / "x.csv"), "--qi", "job", "--l", "2"])
+
+    def test_infeasible_returns_error_code(self, csv_path, tmp_path, capsys):
+        rc = main(
+            [
+                str(csv_path), str(tmp_path / "x.csv"),
+                "--qi", "job", "--k", "100",
+            ]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_drop_removes_identifier(self, csv_path, tmp_path):
+        out = tmp_path / "anon.csv"
+        main(
+            [
+                str(csv_path), str(out),
+                "--qi", "zipcode", "--drop", "job", "--k", "2",
+            ]
+        )
+        published = read_csv(out)
+        assert "job" not in published.column_names
+
+
+class TestCLINewAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["flash", "bottom-up"])
+    def test_lattice_search_algorithms_end_to_end(self, csv_path, tmp_path, algorithm):
+        out = tmp_path / f"anon_{algorithm}.csv"
+        rc = main(
+            [
+                str(csv_path), str(out),
+                "--qi", "zipcode", "--qi", "job", "--numeric-qi", "age",
+                "--sensitive", "disease", "--k", "2",
+                "--algorithm", algorithm,
+            ]
+        )
+        assert rc == 0
+        published = read_csv(out, categorical=["zipcode", "job", "disease", "age"])
+        groups = published.group_rows(["zipcode", "job", "age"])
+        assert min(g.size for g in groups) >= 2
+
+    def test_flash_and_incognito_agree_via_cli(self, csv_path, tmp_path, capsys):
+        reports = {}
+        for algorithm in ("flash", "incognito"):
+            out = tmp_path / f"{algorithm}.csv"
+            main(
+                [
+                    str(csv_path), str(out),
+                    "--qi", "zipcode", "--qi", "job", "--numeric-qi", "age",
+                    "--k", "2", "--algorithm", algorithm, "--report",
+                ]
+            )
+            reports[algorithm] = json.loads(capsys.readouterr().err)
+        assert (
+            reports["flash"]["summary"]["node"]
+            == reports["incognito"]["summary"]["node"]
+        )

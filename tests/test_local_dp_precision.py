@@ -1,0 +1,109 @@
+"""Tests for local-DP frequency oracles and the precision metric."""
+
+import numpy as np
+import pytest
+
+from repro import Datafly, KAnonymity, Mondrian
+from repro.dp import LocalHashing, RandomizedResponse, UnaryEncoding
+from repro.metrics import precision
+
+
+class TestUnaryEncoding:
+    def test_oue_parameters(self):
+        oue = UnaryEncoding(epsilon=1.0, domain_size=10)
+        assert oue.p == 0.5
+        assert oue.q == pytest.approx(1.0 / (np.e + 1.0))
+
+    def test_symmetric_parameters(self):
+        ue = UnaryEncoding(epsilon=2.0, domain_size=10, optimized=False)
+        assert ue.p + ue.q == pytest.approx(1.0)
+
+    def test_unbiased_estimate(self, rng):
+        oue = UnaryEncoding(epsilon=2.0, domain_size=5)
+        truth = np.array([0.5, 0.2, 0.15, 0.1, 0.05])
+        codes = rng.choice(5, size=40000, p=truth)
+        reports = oue.randomize(codes, rng)
+        estimate = oue.estimate_frequencies(reports)
+        assert np.allclose(estimate, truth, atol=0.02)
+
+    def test_oue_beats_krr_on_wide_domain(self, rng):
+        """OUE's variance advantage over k-ary RR for large domains."""
+        domain, n, epsilon = 32, 30000, 1.0
+        truth = np.full(domain, 1.0 / domain)
+        codes = rng.choice(domain, size=n, p=truth)
+        oue = UnaryEncoding(epsilon, domain)
+        krr = RandomizedResponse(epsilon, domain)
+        err_oue = np.abs(oue.estimate_frequencies(oue.randomize(codes, rng)) - truth).mean()
+        err_krr = np.abs(krr.estimate_frequencies(krr.randomize(codes, rng)) - truth).mean()
+        assert err_oue < err_krr
+
+    def test_variance_formula_positive_and_decreasing_in_n(self):
+        oue = UnaryEncoding(epsilon=1.0, domain_size=8)
+        assert oue.estimator_variance(1000) > oue.estimator_variance(10000) > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            UnaryEncoding(epsilon=0, domain_size=4)
+        with pytest.raises(ValueError):
+            UnaryEncoding(epsilon=1.0, domain_size=1)
+
+
+class TestLocalHashing:
+    def test_unbiased_estimate(self, rng):
+        blh = LocalHashing(epsilon=3.0, domain_size=6)
+        truth = np.array([0.4, 0.25, 0.15, 0.1, 0.06, 0.04])
+        codes = rng.choice(6, size=60000, p=truth)
+        reports = blh.randomize(codes, rng)
+        estimate = blh.estimate_frequencies(reports)
+        assert np.allclose(estimate, truth, atol=0.04)
+
+    def test_reports_are_one_bit(self, rng):
+        blh = LocalHashing(epsilon=1.0, domain_size=100)
+        seeds, bits = blh.randomize(np.zeros(50, dtype=np.int64), rng)
+        assert set(np.unique(bits)) <= {0, 1}
+        assert seeds.shape == (50,)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LocalHashing(epsilon=0, domain_size=4)
+
+
+class TestPrecision:
+    def test_raw_release_full_precision(self, adult_setup):
+        from repro.core.generalize import apply_node
+        from repro.core.release import Release
+
+        table, schema, hierarchies = adult_setup
+        qi = schema.quasi_identifiers
+        release = Release(
+            table=apply_node(table, hierarchies, qi, [0] * len(qi)),
+            schema=schema, algorithm="raw", node=tuple([0] * len(qi)),
+            original_n_rows=table.n_rows,
+        )
+        assert precision(release, hierarchies) == pytest.approx(1.0)
+
+    def test_top_release_zero_precision(self, adult_setup):
+        from repro.core.generalize import apply_node
+        from repro.core.release import Release
+
+        table, schema, hierarchies = adult_setup
+        qi = schema.quasi_identifiers
+        heights = [hierarchies[n].height for n in qi]
+        release = Release(
+            table=apply_node(table, hierarchies, qi, heights),
+            schema=schema, algorithm="top", node=tuple(heights),
+            original_n_rows=table.n_rows,
+        )
+        assert precision(release, hierarchies) == pytest.approx(0.0)
+
+    def test_mondrian_precision_between_bounds(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(5)])
+        value = precision(release, hierarchies)
+        assert 0.0 < value < 1.0
+
+    def test_precision_decreases_with_k(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        small = Datafly().anonymize(table, schema, hierarchies, [KAnonymity(2)])
+        large = Datafly().anonymize(table, schema, hierarchies, [KAnonymity(25)])
+        assert precision(large, hierarchies) <= precision(small, hierarchies) + 1e-9

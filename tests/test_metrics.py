@@ -1,0 +1,301 @@
+"""Tests for information-loss and utility metrics."""
+
+import numpy as np
+import pytest
+
+from repro import Anatomy, Datafly, Incognito, KAnonymity, Mondrian
+from repro.core.generalize import apply_node
+from repro.core.partition import partition_by_qi
+from repro.core.release import Release
+from repro.errors import SchemaError
+from repro.metrics import (
+    accuracy_experiment,
+    anatomy_count,
+    c_avg,
+    classification_metric,
+    discernibility,
+    discernibility_of_release,
+    gcp,
+    generalized_count,
+    iloss,
+    majority_baseline,
+    median_relative_error,
+    minimal_distortion,
+    ncp_column,
+    non_uniform_entropy,
+    random_workload,
+    true_count,
+)
+
+
+def node_release(table, schema, hierarchies, node):
+    """Helper: build a Release for an explicit lattice node."""
+    qi = schema.quasi_identifiers
+    generalized = apply_node(table, hierarchies, qi, node)
+    return Release(
+        table=generalized,
+        schema=schema,
+        algorithm="manual",
+        node=tuple(node),
+        original_n_rows=table.n_rows,
+    )
+
+
+class TestNCPandGCP:
+    def test_identity_release_costs_zero(self, tiny_table, tiny_schema, tiny_hierarchies):
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, (0, 0, 0))
+        assert gcp(tiny_table, release, tiny_hierarchies) == pytest.approx(0.0)
+
+    def test_full_generalization_costs_one(self, tiny_table, tiny_schema, tiny_hierarchies):
+        heights = [tiny_hierarchies[n].height for n in tiny_schema.quasi_identifiers]
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, heights)
+        assert gcp(tiny_table, release, tiny_hierarchies) == pytest.approx(1.0)
+
+    def test_gcp_monotone_in_node(self, tiny_table, tiny_schema, tiny_hierarchies):
+        low = node_release(tiny_table, tiny_schema, tiny_hierarchies, (1, 0, 1))
+        high = node_release(tiny_table, tiny_schema, tiny_hierarchies, (2, 1, 2))
+        assert gcp(tiny_table, low, tiny_hierarchies) <= gcp(
+            tiny_table, high, tiny_hierarchies
+        )
+
+    def test_gcp_between_zero_and_one_for_algorithms(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        for algo in (Mondrian(), Datafly()):
+            release = algo.anonymize(table, schema, hierarchies, [KAnonymity(5)])
+            value = gcp(table, release, hierarchies)
+            assert 0.0 <= value <= 1.0
+
+    def test_ncp_column_interval(self, tiny_table, tiny_schema, tiny_hierarchies):
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, (0, 0, 3))
+        fractions = ncp_column(
+            tiny_table, release.table, "age", tiny_hierarchies["age"]
+        )
+        # level 3 of an 8-bin/merge-2 hierarchy over span 40 = 20-wide bins.
+        assert np.allclose(fractions, 0.5)
+
+    def test_ncp_untouched_numeric_is_zero(self, tiny_table, tiny_schema, tiny_hierarchies):
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, (0, 0, 0))
+        assert ncp_column(tiny_table, release.table, "age", tiny_hierarchies["age"]).sum() == 0
+
+    def test_suppressed_rows_charged_full(self, tiny_table, tiny_schema, tiny_hierarchies):
+        generalized = apply_node(
+            tiny_table, tiny_hierarchies, tiny_schema.quasi_identifiers, (0, 0, 0)
+        )
+        kept = np.arange(4)
+        release = Release(
+            table=generalized.take(kept),
+            schema=tiny_schema,
+            algorithm="manual",
+            suppressed=4,
+            original_n_rows=8,
+            kept_rows=kept,
+        )
+        # Identity generalization on kept rows; half the table suppressed.
+        assert gcp(tiny_table, release, tiny_hierarchies) == pytest.approx(0.5)
+
+    def test_gcp_no_qi_raises(self, tiny_table, tiny_schema, tiny_hierarchies):
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, (0, 0, 0))
+        with pytest.raises(SchemaError):
+            gcp(tiny_table, release, tiny_hierarchies, qi_names=[])
+
+    def test_iloss_weighted(self, tiny_table, tiny_schema, tiny_hierarchies):
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, (2, 1, 2))
+        unweighted = iloss(tiny_table, release, tiny_hierarchies)
+        weighted = iloss(
+            tiny_table, release, tiny_hierarchies, weights={"zipcode": 2.0}
+        )
+        assert weighted > unweighted
+
+    def test_minimal_distortion(self, tiny_table, tiny_schema, tiny_hierarchies):
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, (1, 1, 0))
+        assert minimal_distortion(release) == 2 * 8
+
+    def test_minimal_distortion_requires_node(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(5)])
+        with pytest.raises(SchemaError):
+            minimal_distortion(release)
+
+
+class TestDiscernibility:
+    def test_singleton_classes_cost_n(self):
+        from repro.core.table import Column, Table
+
+        table = Table([Column.categorical("qi", ["a", "b", "c"])])
+        partition = partition_by_qi(table, ["qi"])
+        assert discernibility(partition, 3) == 3.0  # 1^2 * 3
+
+    def test_one_big_class_costs_n_squared(self):
+        from repro.core.table import Column, Table
+
+        table = Table([Column.categorical("qi", ["a"] * 5)])
+        partition = partition_by_qi(table, ["qi"])
+        assert discernibility(partition, 5) == 25.0
+
+    def test_suppression_charge(self):
+        from repro.core.table import Column, Table
+
+        table = Table([Column.categorical("qi", ["a", "a"])])
+        partition = partition_by_qi(table, ["qi"])
+        assert discernibility(partition, 10, n_suppressed=3) == 4.0 + 30.0
+
+    def test_c_avg_one_when_tight(self):
+        from repro.core.table import Column, Table
+
+        table = Table([Column.categorical("qi", ["a"] * 5 + ["b"] * 5)])
+        partition = partition_by_qi(table, ["qi"])
+        assert c_avg(partition, k=5) == 1.0
+
+    def test_c_avg_of_release(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(5)])
+        value = discernibility_of_release(release)
+        assert value >= table.n_rows  # lower bound: all singleton classes
+
+    def test_mondrian_beats_datafly_on_dm(self, adult_setup):
+        """The survey's headline utility ordering."""
+        table, schema, hierarchies = adult_setup
+        mondrian = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(5)])
+        datafly = Datafly().anonymize(table, schema, hierarchies, [KAnonymity(5)])
+        assert discernibility_of_release(mondrian) < discernibility_of_release(datafly)
+
+
+class TestEntropyLoss:
+    def test_identity_release_zero_loss(self, tiny_table, tiny_schema, tiny_hierarchies):
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, (0, 0, 0))
+        assert non_uniform_entropy(tiny_table, release, tiny_hierarchies) == pytest.approx(0.0)
+
+    def test_full_generalization_loss_is_one(self, tiny_table, tiny_schema, tiny_hierarchies):
+        heights = [tiny_hierarchies[n].height for n in tiny_schema.quasi_identifiers]
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, heights)
+        assert non_uniform_entropy(tiny_table, release, tiny_hierarchies) == pytest.approx(1.0)
+
+    def test_monotone_in_generalization(self, tiny_table, tiny_schema, tiny_hierarchies):
+        low = node_release(tiny_table, tiny_schema, tiny_hierarchies, (1, 0, 1))
+        high = node_release(tiny_table, tiny_schema, tiny_hierarchies, (2, 1, 3))
+        assert non_uniform_entropy(tiny_table, low, tiny_hierarchies) <= non_uniform_entropy(
+            tiny_table, high, tiny_hierarchies
+        )
+
+    def test_data_aware_skew_costs_fewer_bits_than_uniform(self):
+        """Same generalization, skewed vs uniform data: the entropy metric
+        charges the skewed column far less (it is data-aware; NCP charges
+        both identically)."""
+        from repro.core.hierarchy import Hierarchy
+        from repro.core.schema import Schema
+        from repro.core.table import Column, Table
+        from repro.metrics import column_entropy_loss
+
+        def one_column_release(values):
+            table = Table(
+                [
+                    Column.categorical("qi", values),
+                    Column.categorical("s", ["x", "y"] * (len(values) // 2)),
+                ]
+            )
+            schema = Schema.build(quasi_identifiers=["qi"], sensitive=["s"])
+            hierarchies = {"qi": Hierarchy.flat(["a", "b"])}
+            release = node_release(table, schema, hierarchies, (1,))
+            return table, release, hierarchies
+
+        skewed = one_column_release(["a"] * 99 + ["b"])
+        uniform = one_column_release(["a", "b"] * 50)
+        bits_skewed = column_entropy_loss(skewed[0], skewed[1], "qi", skewed[2]["qi"])
+        bits_uniform = column_entropy_loss(uniform[0], uniform[1], "qi", uniform[2]["qi"])
+        assert bits_skewed < 0.2 * bits_uniform
+        # NCP is data-blind: both cost exactly 1.0.
+        assert gcp(skewed[0], skewed[1], skewed[2]) == pytest.approx(1.0)
+        assert gcp(uniform[0], uniform[1], uniform[2]) == pytest.approx(1.0)
+
+
+class TestClassification:
+    def test_cm_zero_when_classes_pure(self, tiny_table, tiny_schema, tiny_hierarchies):
+        release = node_release(tiny_table, tiny_schema, tiny_hierarchies, (0, 0, 0))
+        # With identity generalization, every class is (almost) a single row.
+        assert classification_metric(release, tiny_table, "disease") <= 0.25
+
+    def test_cm_bounded(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        release = Datafly().anonymize(table, schema, hierarchies, [KAnonymity(10)])
+        value = classification_metric(release, table, "salary")
+        assert 0.0 <= value <= 0.5  # can't beat majority-vote error
+
+    def test_majority_baseline(self):
+        assert majority_baseline(np.array([0, 0, 0, 1])) == 0.75
+
+    def test_accuracy_experiment_fields(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(5)])
+        result = accuracy_experiment(table, release, "salary", seed=3)
+        assert set(result) == {
+            "original_accuracy", "anonymized_accuracy", "baseline_accuracy", "relative_loss",
+        }
+        assert result["original_accuracy"] >= result["baseline_accuracy"] - 0.05
+
+    def test_accuracy_experiment_with_suppression(self, adult_setup):
+        table, schema, hierarchies = adult_setup
+        release = Datafly(max_suppression=0.05).anonymize(
+            table, schema, hierarchies, [KAnonymity(25)]
+        )
+        result = accuracy_experiment(table, release, "salary", seed=3)
+        assert 0.0 <= result["anonymized_accuracy"] <= 1.0
+
+
+class TestQueryWorkload:
+    def test_true_count_matches_manual(self, tiny_table):
+        from repro.metrics.query import CountQuery
+
+        query = CountQuery(
+            qi_predicates={"nationality": frozenset({"American"})},
+            sensitive="disease",
+            sensitive_value="Viral",
+        )
+        assert true_count(tiny_table, query) == 2.0  # rows 3? check: American+Viral = rows 3,6
+
+    def test_workload_is_deterministic(self, medical_setup):
+        table, schema, _ = medical_setup
+        w1 = random_workload(table, ["nationality"], "disease", n_queries=5, seed=9)
+        w2 = random_workload(table, ["nationality"], "disease", n_queries=5, seed=9)
+        assert [q.qi_predicates for q in w1] == [q.qi_predicates for q in w2]
+
+    def test_generalized_estimate_exact_when_not_generalized(self, medical_setup):
+        table, schema, hierarchies = medical_setup
+        release = node_release(table, schema, hierarchies, (0, 0, 0))
+        workload = random_workload(
+            table, ["zipcode", "nationality"], "disease", n_queries=10, seed=1
+        )
+        for query in workload:
+            truth = true_count(table, query)
+            estimate = generalized_count(release, query, hierarchies, original=table)
+            assert estimate == pytest.approx(truth)
+
+    def test_anatomy_count_no_sensitive_is_exact(self, medical_setup):
+        table, schema, _ = medical_setup
+        anatomized, kept = Anatomy(l=3).anatomize(table, schema)
+        from repro.metrics.query import CountQuery
+
+        query = CountQuery(qi_predicates={"nationality": frozenset({"American", "Indian"})})
+        kept_table = table.take(kept)
+        assert anatomy_count(anatomized, query) == true_count(kept_table, query)
+
+    def test_anatomy_beats_generalization(self, medical_setup):
+        """E10's headline: anatomized estimates are closer than generalized."""
+        table, schema, hierarchies = medical_setup
+        workload = random_workload(
+            table, ["zipcode", "nationality"], "disease", n_queries=40, seed=5
+        )
+        anatomized, kept = Anatomy(l=3).anatomize(table, schema)
+        kept_table = table.take(kept)
+        release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(6)])
+
+        truths, anatomy_est, general_est = [], [], []
+        for query in workload:
+            truths.append(true_count(table, query))
+            anatomy_est.append(anatomy_count(anatomized, query))
+            general_est.append(generalized_count(release, query, hierarchies, original=table))
+        err_anatomy = median_relative_error(truths, anatomy_est)
+        err_general = median_relative_error(truths, general_est)
+        assert err_anatomy < err_general
+
+    def test_median_relative_error(self):
+        assert median_relative_error([10, 10], [11, 9]) == pytest.approx(0.1)

@@ -1,0 +1,144 @@
+"""Minimality attack on minimal simple-ℓ-diversity publishing."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    MergedClass,
+    MinimalPublisher,
+    attack_lift,
+    minimality_posterior,
+    naive_posterior,
+    violates_simple_l_diversity,
+)
+
+
+class TestViolationPredicate:
+    def test_threshold_boundary(self):
+        # simple 2-diversity: sensitive fraction must be <= 1/2
+        assert not violates_simple_l_diversity(2, 4, 2)
+        assert violates_simple_l_diversity(3, 4, 2)
+
+    def test_empty_group_never_violates(self):
+        assert not violates_simple_l_diversity(0, 0, 2)
+
+    def test_higher_ell_is_stricter(self):
+        assert not violates_simple_l_diversity(1, 4, 2)
+        assert violates_simple_l_diversity(2, 4, 3)
+
+
+class TestPublisher:
+    def _data(self):
+        """Four QI groups: q0 violates 2-diversity, the others are clean."""
+        qi = np.array([0] * 2 + [1] * 4 + [2] * 4 + [3] * 4)
+        sens = np.array([1, 1] + [0, 0, 1, 0] + [0, 1, 0, 0] + [0, 0, 1, 0], dtype=bool)
+        return qi, sens
+
+    def test_merges_only_violating_pair(self):
+        qi, sens = self._data()
+        classes = MinimalPublisher(ell=2).publish(qi, sens)
+        merged = [ec for ec in classes if ec.merged]
+        plain = [ec for ec in classes if not ec.merged]
+        assert len(merged) == 1
+        assert merged[0].group_sizes == (2, 4)
+        assert merged[0].sensitive_total == 3
+        assert {ec.label for ec in plain} == {"q2", "q3"}
+
+    def test_published_classes_satisfy_model(self):
+        qi, sens = self._data()
+        for ec in MinimalPublisher(ell=2).publish(qi, sens):
+            assert not violates_simple_l_diversity(ec.sensitive_total, ec.n_total, 2)
+
+    def test_unsalvageable_pair_suppressed(self):
+        qi = np.array([0, 0, 1, 1])
+        sens = np.array([1, 1, 1, 0], dtype=bool)  # merged: 3/4 > 1/2
+        assert MinimalPublisher(ell=2).publish(qi, sens) == []
+
+    def test_odd_trailing_group_published_alone(self):
+        qi = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        sens = np.zeros(9, dtype=bool)
+        classes = MinimalPublisher(ell=2).publish(qi, sens)
+        assert {ec.label for ec in classes} == {"q0", "q1", "q2"}
+
+    def test_randomized_publisher_also_merges_clean_pairs(self):
+        rng_hits = 0
+        qi = np.repeat(np.arange(8), 5)
+        sens = np.zeros(40, dtype=bool)
+        for seed in range(10):
+            pub = MinimalPublisher(ell=2, randomize_merges=True, seed=seed)
+            rng_hits += sum(ec.merged for ec in pub.publish(qi, sens))
+        assert rng_hits > 0  # voluntary merges do happen
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinimalPublisher(ell=1)
+        with pytest.raises(ValueError):
+            MinimalPublisher(ell=2).publish(np.array([0, 1]), np.array([True]))
+
+
+class TestPosterior:
+    def test_canonical_full_disclosure(self):
+        """The VLDB 2007 headline example: posterior hits 1.0 for the small group."""
+        ec = MergedClass(group_sizes=(2, 4), sensitive_total=2, merged=True)
+        assert naive_posterior(ec) == pytest.approx(1 / 3)
+        post = minimality_posterior(ec, ell=2)
+        assert post[0] == pytest.approx(1.0)
+        assert post[1] == pytest.approx(0.0)
+
+    def test_posterior_exceeds_naive_bound(self):
+        ec = MergedClass(group_sizes=(3, 5), sensitive_total=3, merged=True)
+        post = minimality_posterior(ec, ell=2)
+        assert max(post) > naive_posterior(ec)
+
+    def test_posterior_breaks_one_over_ell_guarantee(self):
+        ec = MergedClass(group_sizes=(2, 4), sensitive_total=2, merged=True)
+        assert max(minimality_posterior(ec, ell=2)) > 1 / 2
+
+    def test_sensitive_mass_conserved(self):
+        """E[m₁] + E[m₂] = m: posteriors weighted by sizes recover the total."""
+        for sizes, m in [((2, 4), 2), ((3, 5), 3), ((4, 4), 2), ((5, 7), 4)]:
+            ec = MergedClass(group_sizes=sizes, sensitive_total=m, merged=True)
+            post = minimality_posterior(ec, ell=2)
+            reconstructed = sizes[0] * post[0] + sizes[1] * post[1]
+            assert reconstructed == pytest.approx(m)
+
+    def test_posteriors_in_unit_interval(self):
+        for sizes, m in [((2, 6), 3), ((5, 5), 4), ((1, 9), 2)]:
+            ec = MergedClass(group_sizes=sizes, sensitive_total=m, merged=True)
+            for p in minimality_posterior(ec, ell=2):
+                assert 0.0 <= p <= 1.0
+
+    def test_unmerged_class_gives_naive(self):
+        ec = MergedClass(group_sizes=(6,), sensitive_total=2, merged=False)
+        assert minimality_posterior(ec, ell=2) == [pytest.approx(1 / 3)]
+
+    def test_non_minimal_publisher_collapses_to_naive(self):
+        """Against the randomized publisher the conditioning is unsound —
+        with publisher_is_minimal=False no split is excluded and the
+        posterior is the plain hypergeometric mean, i.e. the naive value."""
+        ec = MergedClass(group_sizes=(2, 4), sensitive_total=2, merged=True)
+        post = minimality_posterior(ec, ell=2, publisher_is_minimal=False)
+        assert post[0] == pytest.approx(naive_posterior(ec))
+        assert post[1] == pytest.approx(naive_posterior(ec))
+
+    def test_three_way_merge_rejected(self):
+        ec = MergedClass(group_sizes=(2, 2, 2), sensitive_total=2, merged=True)
+        with pytest.raises(ValueError):
+            minimality_posterior(ec, ell=2)
+
+
+class TestAttackLift:
+    # q0: two members, both sensitive (violates 2-diversity); q1 is clean,
+    # so the merged class hides q0 at fraction 2/6 — until minimality talks.
+    QI = np.array([0] * 2 + [1] * 4 + [2] * 4 + [3] * 4)
+    SENS = np.array([1, 1] + [0, 0, 0, 0] + [0, 1, 0, 0] + [0, 0, 1, 0], dtype=bool)
+
+    def test_lift_exceeds_one_on_minimal_release(self):
+        classes = MinimalPublisher(ell=2).publish(self.QI, self.SENS)
+        assert attack_lift(classes, ell=2) > 1.0
+
+    def test_lift_bounded_on_randomized_release(self):
+        classes = MinimalPublisher(ell=2, randomize_merges=True, seed=0).publish(
+            self.QI, self.SENS
+        )
+        assert attack_lift(classes, ell=2, publisher_is_minimal=False) <= 1.0 + 1e-9

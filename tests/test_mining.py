@@ -1,0 +1,146 @@
+"""Tests for the built-in mining models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.mining import (
+    DecisionTree,
+    KNearestNeighbors,
+    NaiveBayes,
+    encode_features,
+    stratified_split,
+    train_test_split,
+)
+
+
+@pytest.fixture
+def xor_data(rng):
+    """Noisy XOR: learnable by tree/kNN, hard for naive Bayes."""
+    n = 600
+    a = rng.integers(0, 2, n)
+    b = rng.integers(0, 2, n)
+    labels = a ^ b
+    flip = rng.random(n) < 0.05
+    labels = np.where(flip, 1 - labels, labels)
+    return np.stack([a, b], axis=1), labels
+
+
+@pytest.fixture
+def linear_data(rng):
+    """Label = indicator(feature0 is large): easy for every learner."""
+    n = 600
+    f0 = rng.integers(0, 10, n)
+    f1 = rng.integers(0, 5, n)
+    labels = (f0 >= 5).astype(np.int64)
+    return np.stack([f0, f1], axis=1), labels
+
+
+class TestSplits:
+    def test_train_test_disjoint_and_complete(self):
+        train, test = train_test_split(100, test_fraction=0.3, seed=1)
+        assert np.intersect1d(train, test).size == 0
+        assert np.union1d(train, test).size == 100
+        assert test.size == 30
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, test_fraction=1.5)
+
+    def test_stratified_preserves_proportions(self, rng):
+        labels = np.array([0] * 80 + [1] * 20)
+        train, test = stratified_split(labels, test_fraction=0.25, seed=2)
+        assert labels[test].mean() == pytest.approx(0.2, abs=0.05)
+
+    def test_encode_features_shapes(self, medical_small):
+        matrix = encode_features(medical_small, ["nationality", "age"])
+        assert matrix.shape == (medical_small.n_rows, 2)
+        assert matrix.dtype.kind == "i"
+
+    def test_encode_numeric_binned(self, medical_small):
+        matrix = encode_features(medical_small, ["age"], n_numeric_bins=4)
+        assert matrix.max() < 4
+
+
+class TestNaiveBayes:
+    def test_learns_linear(self, linear_data):
+        features, labels = linear_data
+        model = NaiveBayes().fit(features[:400], labels[:400])
+        assert model.score(features[400:], labels[400:]) > 0.9
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            NaiveBayes().predict(np.zeros((1, 2), dtype=np.int64))
+
+    def test_unseen_code_clipped_not_crashing(self, linear_data):
+        features, labels = linear_data
+        model = NaiveBayes().fit(features, labels)
+        weird = np.array([[99, 99]])
+        assert model.predict(weird).shape == (1,)
+
+    def test_log_proba_shape(self, linear_data):
+        features, labels = linear_data
+        model = NaiveBayes().fit(features, labels)
+        assert model.predict_log_proba(features[:5]).shape == (5, 2)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            NaiveBayes(alpha=0.0)
+
+
+class TestDecisionTree:
+    def test_learns_xor(self, xor_data):
+        features, labels = xor_data
+        model = DecisionTree(max_depth=4).fit(features[:400], labels[:400])
+        assert model.score(features[400:], labels[400:]) > 0.85
+
+    def test_nb_fails_xor_tree_succeeds(self, xor_data):
+        features, labels = xor_data
+        nb = NaiveBayes().fit(features[:400], labels[:400])
+        tree = DecisionTree().fit(features[:400], labels[:400])
+        assert tree.score(features[400:], labels[400:]) > nb.score(
+            features[400:], labels[400:]
+        )
+
+    def test_depth_limit_respected(self, xor_data):
+        features, labels = xor_data
+        model = DecisionTree(max_depth=1).fit(features, labels)
+        assert model.depth() <= 1
+
+    def test_pure_node_stops(self):
+        features = np.array([[0], [0], [1], [1]])
+        labels = np.array([0, 0, 0, 0])
+        model = DecisionTree(min_samples_split=1).fit(features, labels)
+        assert model.depth() == 0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTree().predict(np.zeros((1, 1), dtype=np.int64))
+
+
+class TestKNN:
+    def test_learns_linear(self, linear_data):
+        features, labels = linear_data
+        model = KNearestNeighbors(k=7).fit(features[:400], labels[:400])
+        assert model.score(features[400:], labels[400:]) > 0.85
+
+    def test_k1_memorizes_training_set(self, linear_data):
+        features, labels = linear_data
+        model = KNearestNeighbors(k=1).fit(features, labels)
+        # Hamming ties can cause a handful of misses on duplicate rows with
+        # conflicting labels; demand near-perfect recall.
+        assert model.score(features, labels) > 0.95
+
+    def test_chunking_consistent(self, linear_data):
+        features, labels = linear_data
+        big = KNearestNeighbors(k=3, chunk_size=1000).fit(features, labels)
+        small = KNearestNeighbors(k=3, chunk_size=7).fit(features, labels)
+        assert (big.predict(features[:50]) == small.predict(features[:50])).all()
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KNearestNeighbors().predict(np.zeros((1, 1), dtype=np.int64))

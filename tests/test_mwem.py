@@ -1,0 +1,151 @@
+"""MWEM: workload construction, convergence, privacy bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.dp import BudgetAccountant, MWEM, marginal_workload, workload_avg_error, workload_max_error
+from repro.dp.mwem import _Domain, LinearQuery
+from repro.errors import NotFittedError
+
+COLUMNS = ["sex", "race", "marital_status"]
+
+
+@pytest.fixture(scope="module")
+def adult_cats(adult_small):
+    return adult_small.select(COLUMNS)
+
+
+class TestWorkload:
+    def test_one_way_marginal_cells_partition_domain(self, adult_cats):
+        domain = _Domain(adult_cats, COLUMNS)
+        queries = marginal_workload(adult_cats, COLUMNS, ways=(1,))
+        # Cells of the queries for a single column partition the domain.
+        per_column: dict[str, list] = {}
+        for q in queries:
+            name = q.label.split("=")[0]
+            per_column.setdefault(name, []).append(q)
+        for name, qs in per_column.items():
+            covered = np.concatenate([q.cells for q in qs])
+            assert sorted(covered.tolist()) == list(range(domain.n_cells))
+
+    def test_query_answers_match_direct_counts(self, adult_cats):
+        domain = _Domain(adult_cats, COLUMNS)
+        hist = domain.histogram(adult_cats)
+        for q in marginal_workload(adult_cats, COLUMNS, ways=(1, 2))[:40]:
+            # Recompute by filtering rows on the label's conditions.
+            conditions = dict(part.split("=", 1) for part in q.label.split(" & "))
+            mask = np.ones(adult_cats.n_rows, dtype=bool)
+            for name, value in conditions.items():
+                col = adult_cats.column(name)
+                mask &= np.array([col.categories[c] == value for c in col.codes])
+            assert q.answer(hist) == mask.sum()
+
+    def test_histogram_total_is_row_count(self, adult_cats):
+        domain = _Domain(adult_cats, COLUMNS)
+        assert domain.histogram(adult_cats).sum() == adult_cats.n_rows
+
+    def test_unflatten_roundtrip(self, adult_cats):
+        domain = _Domain(adult_cats, COLUMNS)
+        flat = domain.flatten(adult_cats)
+        codes = domain.unflatten(flat)
+        for name in COLUMNS:
+            assert np.array_equal(codes[name], adult_cats.codes(name))
+
+    def test_numeric_column_rejected(self, adult_small):
+        with pytest.raises(NotFittedError, match="categorical"):
+            _Domain(adult_small, ["sex", "age"])
+
+
+class TestMWEMFit:
+    def test_beats_uniform_baseline(self, adult_cats):
+        workload = marginal_workload(adult_cats, COLUMNS)
+        model = MWEM(epsilon=2.0, n_iterations=10, seed=0).fit(adult_cats, COLUMNS, workload)
+        domain = _Domain(adult_cats, COLUMNS)
+        true = domain.histogram(adult_cats)
+        uniform = np.full(domain.n_cells, true.sum() / domain.n_cells)
+        assert workload_max_error(true, model.synthetic_histogram, workload) < (
+            workload_max_error(true, uniform, workload)
+        )
+
+    def test_error_falls_with_epsilon(self, adult_cats):
+        workload = marginal_workload(adult_cats, COLUMNS)
+        domain = _Domain(adult_cats, COLUMNS)
+        true = domain.histogram(adult_cats)
+        errors = []
+        for eps in (0.05, 5.0):
+            model = MWEM(epsilon=eps, n_iterations=8, seed=3).fit(adult_cats, COLUMNS, workload)
+            errors.append(workload_avg_error(true, model.synthetic_histogram, workload))
+        assert errors[1] < errors[0]
+
+    def test_mass_preserved(self, adult_cats):
+        model = MWEM(epsilon=1.0, n_iterations=5, seed=0).fit(adult_cats, COLUMNS)
+        assert model.synthetic_histogram.sum() == pytest.approx(adult_cats.n_rows, rel=1e-6)
+        assert (model.synthetic_histogram >= 0).all()
+
+    def test_measurement_count_equals_iterations(self, adult_cats):
+        model = MWEM(epsilon=1.0, n_iterations=7, seed=0).fit(adult_cats, COLUMNS)
+        assert len(model.measurements_) == 7
+
+    def test_accountant_charged_once(self, adult_cats):
+        accountant = BudgetAccountant(epsilon_cap=3.0)
+        MWEM(epsilon=1.25, n_iterations=4, seed=0).fit(
+            adult_cats, COLUMNS, accountant=accountant
+        )
+        assert accountant.spent_epsilon() == pytest.approx(1.25)
+
+    def test_deterministic_with_seed(self, adult_cats):
+        a = MWEM(epsilon=1.0, n_iterations=5, seed=9).fit(adult_cats, COLUMNS)
+        b = MWEM(epsilon=1.0, n_iterations=5, seed=9).fit(adult_cats, COLUMNS)
+        assert np.allclose(a.synthetic_histogram, b.synthetic_histogram)
+
+    def test_workload_smaller_than_iterations_allows_repeats(self, adult_cats):
+        workload = marginal_workload(adult_cats, ["sex"], ways=(1,))
+        model = MWEM(epsilon=1.0, n_iterations=len(workload) + 3, seed=0).fit(
+            adult_cats, COLUMNS, workload
+        )
+        assert len(model.measurements_) == len(workload) + 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MWEM(epsilon=0.0)
+        with pytest.raises(ValueError):
+            MWEM(epsilon=1.0, n_iterations=0)
+
+    def test_empty_workload_rejected(self, adult_cats):
+        with pytest.raises(ValueError, match="workload"):
+            MWEM(epsilon=1.0).fit(adult_cats, COLUMNS, workload=[])
+
+
+class TestMWEMSample:
+    def test_sample_shape_and_categories(self, adult_cats):
+        model = MWEM(epsilon=1.0, n_iterations=5, seed=0).fit(adult_cats, COLUMNS)
+        synthetic = model.sample(500)
+        assert synthetic.n_rows == 500
+        for name in COLUMNS:
+            assert synthetic.column(name).categories == adult_cats.column(name).categories
+
+    def test_sample_defaults_to_fitted_mass(self, adult_cats):
+        model = MWEM(epsilon=1.0, n_iterations=5, seed=0).fit(adult_cats, COLUMNS)
+        assert model.sample().n_rows == adult_cats.n_rows
+
+    def test_sample_distribution_tracks_fitted_histogram(self, adult_cats):
+        model = MWEM(epsilon=5.0, n_iterations=10, seed=0).fit(adult_cats, COLUMNS)
+        domain = _Domain(adult_cats, COLUMNS)
+        synthetic = model.sample(20000, seed=1)
+        sampled_hist = domain.histogram(synthetic)
+        fitted = model.synthetic_histogram / model.synthetic_histogram.sum()
+        sampled = sampled_hist / sampled_hist.sum()
+        assert np.abs(fitted - sampled).max() < 0.02
+
+    def test_unfitted_raises(self):
+        model = MWEM(epsilon=1.0)
+        with pytest.raises(NotFittedError):
+            model.sample(10)
+        with pytest.raises(NotFittedError):
+            _ = model.synthetic_histogram
+
+
+class TestLinearQuery:
+    def test_answer_sums_cells(self):
+        q = LinearQuery(cells=np.array([0, 2]), label="x")
+        assert q.answer(np.array([1.0, 5.0, 2.0])) == 3.0

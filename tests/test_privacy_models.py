@@ -1,0 +1,254 @@
+"""Unit tests for the privacy models (k-anonymity, ℓ-diversity, t-closeness,
+(α,k)-anonymity, δ-presence, composite)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import partition_by_qi
+from repro.core.table import Column, Table
+from repro.privacy import (
+    AlphaKAnonymity,
+    CompositeModel,
+    DeltaPresence,
+    DistinctLDiversity,
+    EntropyLDiversity,
+    KAnonymity,
+    RecursiveCLDiversity,
+    TCloseness,
+)
+from repro.privacy.base import failing_rows
+
+
+def make_table(qi, sensitive):
+    return Table(
+        [
+            Column.categorical("qi", qi),
+            Column.categorical("s", sensitive),
+        ]
+    )
+
+
+@pytest.fixture
+def homogeneous():
+    """Two classes of 3; class 'a' homogeneous, class 'b' diverse."""
+    return make_table(
+        ["a", "a", "a", "b", "b", "b"],
+        ["flu", "flu", "flu", "flu", "hiv", "ulcer"],
+    )
+
+
+class TestKAnonymity:
+    def test_satisfied(self, homogeneous):
+        partition = partition_by_qi(homogeneous, ["qi"])
+        assert KAnonymity(3).check(homogeneous, partition)
+
+    def test_violated(self, homogeneous):
+        partition = partition_by_qi(homogeneous, ["qi"])
+        assert not KAnonymity(4).check(homogeneous, partition)
+
+    def test_failing_groups(self):
+        table = make_table(["a", "a", "b"], ["x", "y", "x"])
+        partition = partition_by_qi(table, ["qi"])
+        failing = KAnonymity(2).failing_groups(table, partition)
+        assert len(failing) == 1
+        assert partition.groups[failing[0]].size == 1
+
+    def test_k1_always_satisfied(self, homogeneous):
+        partition = partition_by_qi(homogeneous, ["qi"])
+        assert KAnonymity(1).check(homogeneous, partition)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KAnonymity(0)
+
+    def test_failing_rows_helper(self):
+        table = make_table(["a", "b", "b"], ["x", "y", "x"])
+        partition = partition_by_qi(table, ["qi"])
+        failing = KAnonymity(2).failing_groups(table, partition)
+        rows = failing_rows(partition, failing)
+        assert rows.tolist() == [0]
+
+    def test_failing_rows_empty(self):
+        table = make_table(["a", "a"], ["x", "y"])
+        partition = partition_by_qi(table, ["qi"])
+        assert failing_rows(partition, []).size == 0
+
+
+class TestDistinctLDiversity:
+    def test_homogeneous_class_fails(self, homogeneous):
+        partition = partition_by_qi(homogeneous, ["qi"])
+        model = DistinctLDiversity(2, "s")
+        assert not model.check(homogeneous, partition)
+        assert len(model.failing_groups(homogeneous, partition)) == 1
+
+    def test_diverse_table_passes(self):
+        table = make_table(["a", "a", "b", "b"], ["flu", "hiv", "flu", "hiv"])
+        partition = partition_by_qi(table, ["qi"])
+        assert DistinctLDiversity(2, "s").check(table, partition)
+
+    def test_l3_requires_three_values(self, homogeneous):
+        partition = partition_by_qi(homogeneous, ["qi"])
+        model = DistinctLDiversity(3, "s")
+        # class 'b' has exactly 3 distinct, class 'a' only 1.
+        failing = model.failing_groups(homogeneous, partition)
+        assert len(failing) == 1
+
+    def test_invalid_l_raises(self):
+        with pytest.raises(ValueError):
+            DistinctLDiversity(0, "s")
+
+
+class TestEntropyLDiversity:
+    def test_uniform_distribution_meets_log_l(self):
+        table = make_table(["a"] * 4, ["w", "x", "y", "z"])
+        partition = partition_by_qi(table, ["qi"])
+        assert EntropyLDiversity(4, "s").check(table, partition)
+
+    def test_skewed_distribution_fails_high_l(self):
+        table = make_table(["a"] * 4, ["w", "w", "w", "x"])
+        partition = partition_by_qi(table, ["qi"])
+        assert not EntropyLDiversity(2, "s").check(table, partition)
+
+    def test_entropy_l_stricter_than_distinct(self):
+        # 2 distinct values but very skewed: distinct-2 passes, entropy-2 fails.
+        table = make_table(["a"] * 10, ["w"] * 9 + ["x"])
+        partition = partition_by_qi(table, ["qi"])
+        assert DistinctLDiversity(2, "s").check(table, partition)
+        assert not EntropyLDiversity(2, "s").check(table, partition)
+
+    def test_l1_trivially_satisfied(self):
+        table = make_table(["a", "a"], ["w", "w"])
+        partition = partition_by_qi(table, ["qi"])
+        assert EntropyLDiversity(1, "s").check(table, partition)
+
+
+class TestRecursiveCLDiversity:
+    def test_needs_at_least_l_values(self):
+        table = make_table(["a"] * 3, ["w", "w", "x"])
+        partition = partition_by_qi(table, ["qi"])
+        assert not RecursiveCLDiversity(2.0, 3, "s").check(table, partition)
+
+    def test_bound_on_top_count(self):
+        # counts sorted: [5, 2, 1]; l=2 => tail = 2+1 = 3; c=2 => 5 < 6 OK.
+        table = make_table(["a"] * 8, ["w"] * 5 + ["x"] * 2 + ["y"])
+        partition = partition_by_qi(table, ["qi"])
+        assert RecursiveCLDiversity(2.0, 2, "s").check(table, partition)
+        # c=1.5 => 5 < 4.5 fails.
+        assert not RecursiveCLDiversity(1.5, 2, "s").check(table, partition)
+
+    def test_l_below_two_raises(self):
+        with pytest.raises(ValueError):
+            RecursiveCLDiversity(1.0, 1, "s")
+
+    def test_nonpositive_c_raises(self):
+        with pytest.raises(ValueError):
+            RecursiveCLDiversity(0.0, 2, "s")
+
+
+class TestTCloseness:
+    def test_matching_distribution_distance_zero(self):
+        table = make_table(["a", "a", "b", "b"], ["flu", "hiv", "flu", "hiv"])
+        partition = partition_by_qi(table, ["qi"])
+        model = TCloseness(0.0, "s")
+        assert model.check(table, partition)
+        assert model.distances(table, partition).max() == pytest.approx(0.0)
+
+    def test_skewed_class_fails_small_t(self, homogeneous):
+        partition = partition_by_qi(homogeneous, ["qi"])
+        assert not TCloseness(0.1, "s").check(homogeneous, partition)
+        assert TCloseness(1.0, "s").check(homogeneous, partition)
+
+    def test_equal_distance_value(self, homogeneous):
+        partition = partition_by_qi(homogeneous, ["qi"])
+        distances = TCloseness(0.5, "s").distances(homogeneous, partition)
+        # global = (4/6 flu, 1/6 hiv, 1/6 ulcer); class a = (1,0,0):
+        # TV = 0.5 * (|1-4/6| + 4/6... ) -> 1/3
+        assert distances.max() == pytest.approx(1.0 / 3.0)
+
+    def test_invalid_t_raises(self):
+        with pytest.raises(ValueError):
+            TCloseness(1.5, "s")
+
+    def test_unknown_ground_distance_raises(self):
+        with pytest.raises(ValueError):
+            TCloseness(0.2, "s", ground_distance="hyperbolic")
+
+    def test_hierarchical_requires_hierarchy(self):
+        with pytest.raises(ValueError):
+            TCloseness(0.2, "s", ground_distance="hierarchical")
+
+
+class TestAlphaK:
+    def test_both_conditions_needed(self):
+        table = make_table(["a"] * 4 + ["b"], ["x", "x", "y", "z", "x"])
+        partition = partition_by_qi(table, ["qi"])
+        # class b has size 1 < k=2.
+        assert not AlphaKAnonymity(0.9, 2, "s").check(table, partition)
+
+    def test_alpha_cap(self):
+        table = make_table(["a"] * 4, ["x", "x", "x", "y"])
+        partition = partition_by_qi(table, ["qi"])
+        assert not AlphaKAnonymity(0.5, 2, "s").check(table, partition)
+        assert AlphaKAnonymity(0.75, 2, "s").check(table, partition)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            AlphaKAnonymity(0.0, 2, "s")
+        with pytest.raises(ValueError):
+            AlphaKAnonymity(0.5, 0, "s")
+
+
+class TestDeltaPresence:
+    def test_belief_is_r_over_p(self):
+        research = make_table(["a", "a"], ["x", "y"])
+        population = make_table(["a", "a", "a", "a", "b"], ["x"] * 5)
+        partition = partition_by_qi(research, ["qi"])
+        model = DeltaPresence(0.0, 0.6, population, ["qi"])
+        beliefs = model.beliefs(research, partition)
+        assert beliefs.tolist() == [0.5]
+        assert model.check(research, partition)
+
+    def test_over_delta_max_fails(self):
+        research = make_table(["a", "a", "a"], ["x", "y", "z"])
+        population = make_table(["a", "a", "a", "a"], ["x"] * 4)
+        partition = partition_by_qi(research, ["qi"])
+        model = DeltaPresence(0.0, 0.5, population, ["qi"])
+        assert not model.check(research, partition)
+        assert model.failing_groups(research, partition) == [0]
+
+    def test_missing_population_match_is_infinite(self):
+        research = make_table(["a"], ["x"])
+        population = make_table(["b"], ["x"])
+        model = DeltaPresence(0.0, 1.0, population, ["qi"])
+        partition = partition_by_qi(research, ["qi"])
+        assert not model.check(research, partition)
+
+    def test_invalid_bounds_raise(self):
+        population = make_table(["a"], ["x"])
+        with pytest.raises(ValueError):
+            DeltaPresence(0.8, 0.2, population, ["qi"])
+
+
+class TestCompositeModel:
+    def test_conjunction(self, homogeneous):
+        partition = partition_by_qi(homogeneous, ["qi"])
+        both = CompositeModel(KAnonymity(3), DistinctLDiversity(2, "s"))
+        assert not both.check(homogeneous, partition)  # l-diversity fails
+        only_k = CompositeModel(KAnonymity(3))
+        assert only_k.check(homogeneous, partition)
+
+    def test_failing_groups_union(self):
+        table = make_table(["a", "a", "b"], ["x", "x", "y"])
+        partition = partition_by_qi(table, ["qi"])
+        both = CompositeModel(KAnonymity(2), DistinctLDiversity(2, "s"))
+        # class a fails diversity; class b fails k.
+        assert both.failing_groups(table, partition) == [0, 1]
+
+    def test_empty_composite_raises(self):
+        with pytest.raises(ValueError):
+            CompositeModel()
+
+    def test_name_and_monotone(self):
+        model = CompositeModel(KAnonymity(2), DistinctLDiversity(2, "s"))
+        assert "anonymity" in model.name and "diversity" in model.name
+        assert model.monotone

@@ -1,0 +1,172 @@
+"""Fellegi–Sunter probabilistic record linkage: EM, weights, attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.probabilistic_linkage import (
+    FellegiSunter,
+    compare_tables,
+    probabilistic_linkage_attack,
+)
+from repro.core import Column, Table
+from repro.errors import NotFittedError, SchemaError
+
+
+def synthetic_vectors(n_match, n_unmatch, m, u, seed):
+    """Comparison vectors drawn from the true FS generative model."""
+    rng = np.random.default_rng(seed)
+    m, u = np.asarray(m), np.asarray(u)
+    matches = (rng.random((n_match, m.size)) < m).astype(float)
+    unmatches = (rng.random((n_unmatch, u.size)) < u).astype(float)
+    return np.vstack([matches, unmatches])
+
+
+class TestEM:
+    def test_recovers_generative_parameters(self):
+        true_m = [0.95, 0.9, 0.85, 0.92]
+        true_u = [0.1, 0.2, 0.05, 0.15]
+        vectors = synthetic_vectors(400, 3600, true_m, true_u, seed=0)
+        model = FellegiSunter().fit(vectors)
+        assert np.abs(model.m_ - true_m).max() < 0.08
+        assert np.abs(model.u_ - true_u).max() < 0.05
+        assert model.match_rate_ == pytest.approx(0.1, abs=0.03)
+
+    def test_em_improves_over_iterations(self):
+        vectors = synthetic_vectors(200, 1800, [0.9] * 3, [0.15] * 3, seed=1)
+        model = FellegiSunter(max_iter=100).fit(vectors)
+        assert model.n_iter_ > 1
+
+    def test_parameters_stay_in_open_interval(self):
+        # Degenerate input: every pair agrees everywhere.
+        vectors = np.ones((50, 3))
+        model = FellegiSunter().fit(vectors)
+        assert (model.m_ > 0).all() and (model.m_ < 1).all()
+        assert (model.u_ > 0).all() and (model.u_ < 1).all()
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            FellegiSunter().fit(np.array([[0.5, 0.5]]))
+        with pytest.raises(SchemaError):
+            FellegiSunter().fit(np.zeros((0, 3)))
+        with pytest.raises(SchemaError):
+            FellegiSunter(initial_match_rate=0.0)
+
+
+class TestWeights:
+    @pytest.fixture
+    def fitted(self):
+        vectors = synthetic_vectors(300, 2700, [0.9] * 4, [0.15] * 4, seed=2)
+        return FellegiSunter().fit(vectors)
+
+    def test_full_agreement_scores_highest(self, fitted):
+        all_agree = np.ones((1, 4))
+        all_disagree = np.zeros((1, 4))
+        partial = np.array([[1.0, 1.0, 0.0, 0.0]])
+        w = [fitted.weights(v)[0] for v in (all_agree, partial, all_disagree)]
+        assert w[0] > w[1] > w[2]
+
+    def test_posterior_monotone_in_weight(self, fitted):
+        vectors = np.array([[1, 1, 1, 1], [1, 1, 1, 0], [0, 0, 0, 0]], dtype=float)
+        post = fitted.posterior(vectors)
+        assert post[0] > post[1] > post[2]
+        assert ((0 <= post) & (post <= 1)).all()
+
+    def test_classify_bands(self, fitted):
+        vectors = np.array([[1, 1, 1, 1], [0, 0, 0, 0]], dtype=float)
+        labels = fitted.classify(vectors, upper=0.9, lower=0.1)
+        assert labels[0] == 1
+        assert labels[1] == 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            FellegiSunter().weights(np.ones((1, 2)))
+        with pytest.raises(NotFittedError):
+            FellegiSunter().posterior(np.ones((1, 2)))
+
+
+class TestCompareTables:
+    def test_categorical_and_numeric_agreement(self):
+        left = Table([
+            Column.categorical("c", ["a", "b"]),
+            Column.numeric("x", [1.0, 5.0]),
+        ])
+        right = Table([
+            Column.categorical("c", ["a"]),
+            Column.numeric("x", [1.4]),
+        ])
+        vectors, pairs = compare_tables(left, right, ["c", "x"], numeric_tolerance=0.5)
+        assert pairs == [(0, 0), (1, 0)]
+        assert vectors.tolist() == [[1.0, 1.0], [0.0, 0.0]]
+
+    def test_no_fields_rejected(self):
+        t = Table([Column.categorical("c", ["a"])])
+        with pytest.raises(SchemaError):
+            compare_tables(t, t, [])
+
+
+def _register(n, seed):
+    rng = np.random.default_rng(seed)
+    data = {
+        "zip": [f"z{c}" for c in rng.integers(0, 20, n)],
+        "edu": [f"e{c}" for c in rng.integers(0, 6, n)],
+        "job": [f"j{c}" for c in rng.integers(0, 10, n)],
+        "city": [f"c{c}" for c in rng.integers(0, 15, n)],
+    }
+    return data, Table([Column.categorical(k, v) for k, v in data.items()])
+
+
+def _corrupted_subset(data, indices, rate, rng):
+    columns = []
+    for name, values in data.items():
+        pool = sorted(set(values))
+        subset = [values[i] for i in indices]
+        subset = [
+            pool[rng.integers(len(pool))] if rng.random() < rate else v
+            for v in subset
+        ]
+        columns.append(Column.categorical(name, subset, categories=pool))
+    return Table(columns)
+
+
+class TestAttack:
+    def test_clean_register_links_perfectly(self):
+        data, released = _register(100, seed=3)
+        rng = np.random.default_rng(4)
+        indices = rng.choice(100, 30, replace=False)
+        external = _corrupted_subset(data, indices, 0.0, rng)
+        truth = {j: int(i) for j, i in enumerate(indices)}
+        result = probabilistic_linkage_attack(released, external, list(data), truth)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f1 == 1.0
+
+    def test_degrades_gracefully_with_corruption(self):
+        data, released = _register(120, seed=5)
+        rng = np.random.default_rng(6)
+        indices = rng.choice(120, 40, replace=False)
+        truth = {j: int(i) for j, i in enumerate(indices)}
+        f1 = {}
+        for rate in (0.1, 0.5):
+            external = _corrupted_subset(data, indices, rate, np.random.default_rng(7))
+            f1[rate] = probabilistic_linkage_attack(
+                released, external, list(data), truth
+            ).f1
+        assert f1[0.1] > 0.6          # survives mild corruption
+        assert f1[0.5] < f1[0.1]      # heavy corruption hurts
+
+    def test_one_to_one_links(self):
+        data, released = _register(60, seed=8)
+        rng = np.random.default_rng(9)
+        indices = rng.choice(60, 20, replace=False)
+        external = _corrupted_subset(data, indices, 0.05, rng)
+        truth = {j: int(i) for j, i in enumerate(indices)}
+        result = probabilistic_linkage_attack(released, external, list(data), truth)
+        lefts = [i for i, _ in result.matched_pairs]
+        rights = [j for _, j in result.matched_pairs]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_empty_truth_rejected(self):
+        data, released = _register(10, seed=10)
+        with pytest.raises(SchemaError):
+            probabilistic_linkage_attack(released, released, list(data), {})

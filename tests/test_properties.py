@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import KAnonymity, Mondrian
+from repro.core.hierarchy import Hierarchy, IntervalHierarchy
+from repro.core.lattice import GeneralizationLattice
+from repro.core.partition import partition_by_qi
+from repro.core.table import Column, Table
+from repro.data.synthetic import random_scenario
+from repro.dp.mechanisms import ExponentialMechanism, RandomizedResponse
+from repro.privacy.t_closeness import emd_equal, emd_hierarchical, emd_ordered
+
+slow = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def distributions(draw, size=6):
+    weights = draw(
+        st.lists(st.floats(0.0, 1.0), min_size=size, max_size=size).filter(
+            lambda w: sum(w) > 0
+        )
+    )
+    arr = np.asarray(weights)
+    return arr / arr.sum()
+
+
+class TestEMDProperties:
+    @slow
+    @given(distributions(), distributions())
+    def test_equal_emd_bounds_and_symmetry(self, p, q):
+        d = emd_equal(p, q)
+        assert 0.0 <= d <= 1.0 + 1e-9
+        assert d == pytest.approx(emd_equal(q, p))
+
+    @slow
+    @given(distributions(), distributions())
+    def test_ordered_emd_bounds(self, p, q):
+        d = emd_ordered(p, q)
+        assert -1e-9 <= d <= 1.0 + 1e-9
+
+    @slow
+    @given(distributions(), distributions(), distributions())
+    def test_equal_emd_triangle_inequality(self, p, q, r):
+        assert emd_equal(p, r) <= emd_equal(p, q) + emd_equal(q, r) + 1e-9
+
+    @slow
+    @given(distributions(size=4), distributions(size=4))
+    def test_hierarchical_emd_dominates_nothing_below_equal(self, p, q):
+        """Hierarchical distance <= equal distance never holds in general,
+        but both are bounded by 1 and zero iff equal-ish."""
+        h = Hierarchy.from_tree({"L": ["a", "b"], "R": ["c", "d"]})
+        d = emd_hierarchical(p, q, h)
+        assert 0.0 <= d <= 1.0 + 1e-9
+        if np.allclose(p, q):
+            assert d == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMondrianProperties:
+    @slow
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(2, 12),
+        n_rows=st.integers(60, 300),
+    )
+    def test_k_anonymity_postcondition_on_random_scenarios(self, seed, k, n_rows):
+        table, schema, hierarchies = random_scenario(n_rows=n_rows, seed=seed)
+        release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(k)])
+        assert release.equivalence_class_sizes().min() >= k
+        assert release.n_rows == n_rows  # Mondrian never suppresses
+
+    @slow
+    @given(seed=st.integers(0, 10_000))
+    def test_recoded_groups_agree_on_all_qis(self, seed):
+        table, schema, hierarchies = random_scenario(n_rows=120, seed=seed)
+        release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(4)])
+        partition = release.partition()
+        for name in schema.quasi_identifiers:
+            decoded = release.table.column(name).decode()
+            for group in partition.groups:
+                assert len({decoded[i] for i in group}) == 1
+
+
+class TestHierarchyProperties:
+    @slow
+    @given(
+        n_values=st.integers(2, 20),
+        level_seed=st.integers(0, 1000),
+    )
+    def test_flat_hierarchy_roundtrip(self, n_values, level_seed):
+        values = [f"v{i}" for i in range(n_values)]
+        h = Hierarchy.flat(values)
+        rng = np.random.default_rng(level_seed)
+        codes = rng.integers(0, n_values, 50).astype(np.int32)
+        top = h.map_codes(codes, 1)
+        assert np.unique(top).size == 1
+        assert (h.map_codes(codes, 0) == codes).all()
+
+    @slow
+    @given(
+        lo=st.floats(-100, 0),
+        width=st.floats(1, 1000),
+        n_bins=st.integers(2, 32),
+    )
+    def test_interval_hierarchy_bins_cover(self, lo, width, n_bins):
+        ih = IntervalHierarchy.uniform(lo, lo + width, n_bins=n_bins)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(lo, lo + width, 100)
+        for level in range(1, ih.height + 1):
+            bins = ih.bin_values(values, level)
+            intervals = ih.intervals(level)
+            assert bins.min() >= 0 and bins.max() < len(intervals)
+            # Every value lies inside (or at the closed edge of) its interval.
+            for v, b in zip(values, bins):
+                interval_lo, interval_hi = intervals[b]
+                assert interval_lo - 1e-9 <= v <= interval_hi + 1e-9
+
+
+class TestLatticeProperties:
+    @slow
+    @given(
+        heights=st.lists(st.integers(0, 3), min_size=1, max_size=4),
+    )
+    def test_strata_sizes_sum_to_lattice_size(self, heights):
+        lattice = GeneralizationLattice([f"a{i}" for i in range(len(heights))], heights)
+        assert sum(len(s) for s in lattice.levels()) == lattice.size
+
+    @slow
+    @given(heights=st.lists(st.integers(1, 3), min_size=1, max_size=3))
+    def test_successor_count_matches_raisable_attributes(self, heights):
+        lattice = GeneralizationLattice([f"a{i}" for i in range(len(heights))], heights)
+        for node in lattice.nodes():
+            raisable = sum(1 for lv, h in zip(node, heights) if lv < h)
+            assert len(lattice.successors(node)) == raisable
+
+
+class TestGroupingProperties:
+    @slow
+    @given(
+        seed=st.integers(0, 10_000),
+        n_rows=st.integers(1, 200),
+        n_values=st.integers(1, 6),
+    )
+    def test_group_rows_matches_naive_grouping(self, seed, n_rows, n_values):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, n_values, n_rows)
+        b = rng.integers(0, n_values, n_rows)
+        table = Table(
+            [
+                Column.categorical("a", [f"x{v}" for v in a]),
+                Column.categorical("b", [f"y{v}" for v in b]),
+            ]
+        )
+        groups = table.group_rows(["a", "b"])
+        naive: dict = {}
+        for i, key in enumerate(zip(a, b)):
+            naive.setdefault(key, []).append(i)
+        got = sorted(tuple(g.tolist()) for g in groups)
+        expected = sorted(tuple(v) for v in naive.values())
+        assert got == expected
+
+
+class TestDPProperties:
+    @slow
+    @given(
+        epsilon=st.floats(0.1, 5.0),
+        domain=st.integers(2, 8),
+    )
+    def test_randomized_response_probability_ratio(self, epsilon, domain):
+        """ε-LDP: P[output=y | x1] / P[output=y | x2] <= e^ε for all y."""
+        rr = RandomizedResponse(epsilon=epsilon, domain_size=domain)
+        p = rr.p_truth
+        q = (1 - p) / (domain - 1)
+        ratio = p / q
+        assert ratio <= np.exp(epsilon) * (1 + 1e-9)
+
+    @slow
+    @given(
+        epsilon=st.floats(0.1, 5.0),
+        scores=st.lists(st.floats(-10, 10), min_size=2, max_size=6),
+    )
+    def test_exponential_mechanism_ratio_bound(self, epsilon, scores):
+        mech = ExponentialMechanism(epsilon=epsilon, sensitivity=1.0)
+        probs = mech.probabilities(scores)
+        assert probs.sum() == pytest.approx(1.0)
+        for i in range(len(scores)):
+            for j in range(len(scores)):
+                gap = abs(scores[i] - scores[j])
+                bound = np.exp(epsilon * gap / 2)
+                if probs[j] > 0:
+                    assert probs[i] / probs[j] <= bound * (1 + 1e-6)
+
+
+class TestPartitionProperties:
+    @slow
+    @given(seed=st.integers(0, 10_000), n_rows=st.integers(10, 150))
+    def test_partition_covers_exactly_once(self, seed, n_rows):
+        table, schema, _ = random_scenario(n_rows=n_rows, seed=seed)
+        partition = partition_by_qi(table, schema.quasi_identifiers)
+        covered = np.sort(np.concatenate(partition.groups))
+        assert covered.tolist() == list(range(n_rows))
+        assert partition.sizes().sum() == n_rows

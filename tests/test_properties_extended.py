@@ -1,0 +1,135 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import Hierarchy
+from repro.dp import UnaryEncoding
+from repro.trajectories import TrajectoryDB, is_subsequence
+from repro.transactions import km_violations
+
+slow = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestSubsequenceProperties:
+    @slow
+    @given(
+        haystack=st.lists(st.integers(0, 5), max_size=12),
+        mask=st.lists(st.booleans(), max_size=12),
+    )
+    def test_every_mask_selection_is_a_subsequence(self, haystack, mask):
+        needle = [x for x, keep in zip(haystack, mask) if keep]
+        assert is_subsequence(tuple(needle), tuple(haystack))
+
+    @slow
+    @given(
+        a=st.lists(st.integers(0, 3), min_size=1, max_size=8),
+        b=st.lists(st.integers(0, 3), max_size=8),
+    )
+    def test_longer_needle_never_subsequence_of_shorter(self, a, b):
+        if len(a) > len(b):
+            extra = a + [99]
+            assert not is_subsequence(tuple(extra), tuple(b))
+
+
+class TestSuppressionProperties:
+    @slow
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 30),
+        n_suppress=st.integers(0, 5),
+    )
+    def test_suppression_monotone_on_support(self, seed, n, n_suppress):
+        """Global suppression never *increases* any subsequence's support
+        beyond the trivial empty-sequence case."""
+        rng = np.random.default_rng(seed)
+        trajectories = [
+            tuple((int(rng.integers(4)), int(t)) for t in sorted(rng.choice(6, size=rng.integers(1, 5), replace=False)))
+            for _ in range(n)
+        ]
+        db = TrajectoryDB(trajectories=trajectories)
+        universe = list(db.doublet_universe())
+        if not universe:
+            return
+        rng.shuffle(universe)
+        suppressed_db = db.suppress(universe[:n_suppress])
+        before = db.subsequences_up_to(2)
+        after = suppressed_db.subsequences_up_to(2)
+        for seq, support in after.items():
+            assert support <= before.get(seq, 0)
+
+
+class TestKmViolationProperties:
+    @slow
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 40),
+        k=st.integers(2, 6),
+    )
+    def test_k2_violations_superset_structure(self, seed, n, k):
+        """Raising k can only add violations (monotone in k)."""
+        rng = np.random.default_rng(seed)
+        transactions = [
+            frozenset(rng.choice(8, size=rng.integers(1, 4), replace=False).tolist())
+            for _ in range(n)
+        ]
+        weak = set(km_violations(transactions, k, 2))
+        strong = set(km_violations(transactions, k + 1, 2))
+        assert weak <= strong
+
+    @slow
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+    def test_m1_violations_subset_of_m2(self, seed, n):
+        rng = np.random.default_rng(seed)
+        transactions = [
+            frozenset(rng.choice(8, size=rng.integers(1, 4), replace=False).tolist())
+            for _ in range(n)
+        ]
+        m1 = set(km_violations(transactions, 3, 1))
+        m2 = set(km_violations(transactions, 3, 2))
+        assert m1 <= m2
+
+
+class TestLocalDPProperties:
+    @slow
+    @given(
+        epsilon=st.floats(0.2, 4.0),
+        domain=st.integers(2, 12),
+    )
+    def test_oue_parameters_give_valid_probabilities(self, epsilon, domain):
+        oue = UnaryEncoding(epsilon, domain)
+        assert 0 < oue.q < oue.p <= 1
+
+    @slow
+    @given(seed=st.integers(0, 1000), domain=st.integers(2, 6))
+    def test_oue_reports_shape_and_bits(self, seed, domain):
+        rng = np.random.default_rng(seed)
+        oue = UnaryEncoding(1.0, domain)
+        codes = rng.integers(0, domain, 20)
+        reports = oue.randomize(codes, rng)
+        assert reports.shape == (20, domain)
+        assert set(np.unique(reports)) <= {0, 1}
+
+
+class TestHierarchyCoverProperties:
+    @slow
+    @given(
+        n_leaves=st.integers(2, 16),
+        seed=st.integers(0, 1000),
+    )
+    def test_cover_partition_at_every_level(self, n_leaves, seed):
+        """At any level, cover sets of the level's values partition ground."""
+        rng = np.random.default_rng(seed)
+        # Random two-level grouping.
+        group_of = rng.integers(0, max(n_leaves // 2, 1), n_leaves)
+        rows = {f"v{i}": [f"g{group_of[i]}"] for i in range(n_leaves)}
+        h = Hierarchy.from_levels(rows)
+        for level in range(h.height + 1):
+            seen = []
+            for code in range(h.level_of_distinct(level)):
+                seen.extend(h.cover_codes(level, code).tolist())
+            assert sorted(seen) == list(range(n_leaves))

@@ -1,0 +1,297 @@
+"""Property-based tests (hypothesis) for the extension subsystems:
+divergences, apriori, minimality posteriors, RDP accounting, reconstruction,
+smooth sensitivity, spatial cloaking, and the CASTLE stream."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.minimality import MergedClass, minimality_posterior, naive_posterior
+from repro.attacks.reconstruction import reconstruction_attack
+from repro.core.hierarchy import Hierarchy
+from repro.dp.rdp import (
+    DEFAULT_ORDERS,
+    RDPAccountant,
+    gaussian_rdp,
+    laplace_rdp,
+    zcdp_to_epsilon,
+)
+from repro.dp.smooth_sensitivity import (
+    local_sensitivity_at_distance,
+    smooth_sensitivity_median,
+)
+from repro.metrics.distribution import hellinger, js_divergence, total_variation
+from repro.spatial import BoundingBox, QuadTreeCloak, location_linkage_attack
+from repro.streams import Castle, StreamTuple
+from repro.transactions.association import apriori
+
+slow = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def distributions(draw, size=5):
+    weights = draw(
+        st.lists(st.floats(0.0, 1.0), min_size=size, max_size=size).filter(
+            lambda w: sum(w) > 1e-9
+        )
+    )
+    arr = np.asarray(weights)
+    return arr / arr.sum()
+
+
+class TestDivergenceProperties:
+    @slow
+    @given(distributions(), distributions())
+    def test_bounds_and_symmetry(self, p, q):
+        tv = total_variation(p, q)
+        js = js_divergence(p, q)
+        h = hellinger(p, q)
+        assert 0.0 <= tv <= 1.0 + 1e-9
+        assert 0.0 <= js <= np.log(2) + 1e-9
+        assert 0.0 <= h <= 1.0 + 1e-9
+        assert tv == pytest.approx(total_variation(q, p))
+        assert js == pytest.approx(js_divergence(q, p))
+        assert h == pytest.approx(hellinger(q, p))
+
+    @slow
+    @given(distributions())
+    def test_identity_of_indiscernibles(self, p):
+        assert total_variation(p, p) == pytest.approx(0.0, abs=1e-9)
+        assert hellinger(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    @slow
+    @given(distributions(), distributions(), distributions())
+    def test_tv_triangle_inequality(self, p, q, r):
+        assert total_variation(p, r) <= (
+            total_variation(p, q) + total_variation(q, r) + 1e-9
+        )
+
+    @slow
+    @given(distributions(), distributions())
+    def test_hellinger_tv_inequalities(self, p, q):
+        """h² ≤ TV ≤ h·√2 (standard relation)."""
+        tv = total_variation(p, q)
+        h = hellinger(p, q)
+        assert h**2 <= tv + 1e-9
+        assert tv <= h * np.sqrt(2) + 1e-9
+
+
+@st.composite
+def transaction_dbs(draw):
+    n_items = draw(st.integers(3, 8))
+    n_tx = draw(st.integers(5, 40))
+    transactions = []
+    for _ in range(n_tx):
+        size = draw(st.integers(1, min(4, n_items)))
+        items = draw(
+            st.lists(st.integers(0, n_items - 1), min_size=size, max_size=size)
+        )
+        transactions.append(frozenset(items))
+    return transactions
+
+
+class TestAprioriProperties:
+    @slow
+    @given(transaction_dbs(), st.floats(0.05, 0.8))
+    def test_downward_closure(self, transactions, min_support):
+        frequent = apriori(transactions, min_support)
+        for itemset in frequent:
+            for item in itemset:
+                if len(itemset) > 1:
+                    assert frozenset(itemset - {item}) in frequent
+
+    @slow
+    @given(transaction_dbs(), st.floats(0.05, 0.8))
+    def test_counts_are_exact(self, transactions, min_support):
+        frequent = apriori(transactions, min_support)
+        for itemset, count in frequent.items():
+            assert count == sum(1 for t in transactions if itemset <= t)
+            assert count >= min_support * len(transactions)
+
+    @slow
+    @given(transaction_dbs())
+    def test_threshold_monotone(self, transactions):
+        loose = apriori(transactions, 0.1)
+        strict = apriori(transactions, 0.5)
+        assert set(strict) <= set(loose)
+
+
+class TestMinimalityProperties:
+    @slow
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 8),
+        st.integers(0, 16),
+        st.integers(2, 4),
+    )
+    def test_posterior_mass_conservation(self, n1, n2, m, ell):
+        m = min(m, n1 + n2)
+        ec = MergedClass(group_sizes=(n1, n2), sensitive_total=m, merged=True)
+        post = minimality_posterior(ec, ell)
+        assert all(0.0 <= p <= 1.0 + 1e-12 for p in post)
+        # Either the conditioning was consistent (mass conserved) or the
+        # fallback returned naive (mass also conserved).
+        assert n1 * post[0] + n2 * post[1] == pytest.approx(m, abs=1e-9)
+
+    @slow
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 16))
+    def test_non_minimal_equals_naive(self, n1, n2, m):
+        m = min(m, n1 + n2)
+        ec = MergedClass(group_sizes=(n1, n2), sensitive_total=m, merged=True)
+        post = minimality_posterior(ec, 2, publisher_is_minimal=False)
+        assert post[0] == pytest.approx(naive_posterior(ec))
+        assert post[1] == pytest.approx(naive_posterior(ec))
+
+
+class TestRDPProperties:
+    @slow
+    @given(st.floats(0.5, 20.0), st.integers(1, 50))
+    def test_composition_linear_in_count(self, sigma, count):
+        one = RDPAccountant().add_gaussian(sigma=sigma)
+        many = RDPAccountant().add_gaussian(sigma=sigma, count=count)
+        assert np.allclose(many._total, count * one._total)
+
+    @slow
+    @given(st.floats(0.5, 10.0), st.floats(1e-9, 1e-3), st.floats(1e-9, 1e-3))
+    def test_epsilon_monotone_in_delta(self, sigma, d1, d2):
+        acc = RDPAccountant().add_gaussian(sigma=sigma, count=10)
+        lo, hi = min(d1, d2), max(d1, d2)
+        assert acc.epsilon(lo) >= acc.epsilon(hi) - 1e-12
+
+    @slow
+    @given(st.floats(0.2, 5.0))
+    def test_gaussian_curve_linear_in_order(self, sigma):
+        curve = gaussian_rdp(sigma)
+        ratios = curve / np.asarray(DEFAULT_ORDERS)
+        assert np.allclose(ratios, ratios[0])
+
+    @slow
+    @given(st.floats(0.1, 5.0))
+    def test_laplace_curve_bounded_by_pure_epsilon(self, scale):
+        assert (laplace_rdp(scale) <= 1.0 / scale + 1e-9).all()
+
+    @slow
+    @given(st.floats(0.0, 5.0), st.floats(1e-9, 0.5))
+    def test_zcdp_conversion_formula_sane(self, rho, delta):
+        eps = zcdp_to_epsilon(rho, delta)
+        assert eps >= rho  # the sqrt term is non-negative
+
+
+class TestReconstructionProperties:
+    @slow
+    @given(st.integers(20, 80), st.integers(0, 1000))
+    def test_exact_answers_always_reconstruct(self, n, seed):
+        rng = np.random.default_rng(seed)
+        secret = (rng.random(n) < rng.uniform(0.2, 0.8)).astype(np.int8)
+        result = reconstruction_attack(secret, noise_scale=0.0, seed=seed)
+        assert result.accuracy == 1.0
+
+
+class TestSmoothSensitivityProperties:
+    @slow
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=3, max_size=40),
+        st.floats(0.01, 2.0),
+    )
+    def test_bounded_by_global(self, values, beta):
+        s = smooth_sensitivity_median(values, beta, 0.0, 100.0)
+        assert 0.0 <= s <= 100.0 + 1e-9
+
+    @slow
+    @given(st.lists(st.floats(0.0, 100.0), min_size=3, max_size=30))
+    def test_local_sensitivity_monotone_in_distance(self, values):
+        ls = [local_sensitivity_at_distance(values, t, 0.0, 100.0) for t in range(5)]
+        assert all(a <= b + 1e-12 for a, b in zip(ls, ls[1:]))
+
+    @slow
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=3, max_size=30),
+        st.floats(0.01, 1.0),
+        st.floats(1.01, 3.0),
+    )
+    def test_decreasing_in_beta(self, values, beta, factor):
+        s_small = smooth_sensitivity_median(values, beta, 0.0, 100.0)
+        s_large = smooth_sensitivity_median(values, beta * factor, 0.0, 100.0)
+        assert s_large <= s_small + 1e-9
+
+
+class TestSpatialProperties:
+    @slow
+    @given(st.integers(0, 500), st.integers(2, 15))
+    def test_cloak_covers_user_with_k_company(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = max(k, 30)
+        x = rng.uniform(0, 1, n)
+        y = rng.uniform(0, 1, n)
+        bounds = BoundingBox(0, 1, 0, 1)
+        cloak = QuadTreeCloak(x, y, k=k, max_depth=6, bounds=bounds)
+        user = int(rng.integers(n))
+        q = cloak.cloak(user)
+        assert q.k_achieved >= k
+        assert user in q.anonymity_set
+        audit = location_linkage_attack([q], x, y, k, bounds)
+        assert audit.k_anonymous
+
+
+class TestCastleProperties:
+    @slow
+    @given(st.integers(0, 200), st.integers(2, 6))
+    def test_exactly_once_emission(self, seed, k):
+        rng = np.random.default_rng(seed)
+        hierarchy = Hierarchy.flat(["a", "b", "c"])
+        castle = Castle(
+            k=k, delta=4 * k, numeric_ranges={"v": (0, 1)},
+            hierarchies={"cat": hierarchy}, beta=6,
+        )
+        n = int(rng.integers(3 * k, 60))
+        out = []
+        for i in range(n):
+            out.extend(
+                castle.push(
+                    StreamTuple(i, {"v": float(rng.random())},
+                                {"cat": int(rng.integers(0, 3))}, i)
+                )
+            )
+        out.extend(castle.flush())
+        assert sorted(a.payload for a in out) == list(range(n))
+        assert all(0.0 <= a.loss <= 1.0 for a in out)
+        # Every emission either reached k support or is explicitly flagged
+        # as a forced (delay-bound) emission the consumer may suppress.
+        assert all(a.cluster_size >= k or a.forced for a in out)
+        assert all(not a.forced for a in out if a.cluster_size >= k)
+
+
+class TestLatticeSearchEquivalence:
+    """Flash and Incognito must agree on every random scenario."""
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10_000), st.integers(2, 3), st.integers(2, 10))
+    def test_flash_matches_incognito(self, seed, n_qis, k):
+        from repro import Flash, Incognito, KAnonymity
+        from repro.data.synthetic import random_scenario
+
+        table, schema, hierarchies = random_scenario(
+            n_rows=200, n_categorical_qis=n_qis, seed=seed
+        )
+        qi = schema.quasi_identifiers
+        models = [KAnonymity(k)]
+        flash = Flash().find_minimal_nodes(table, qi, hierarchies, models)
+        incognito = Incognito().find_minimal_nodes(table, qi, hierarchies, models)
+        assert set(flash) == set(incognito)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 10_000), st.integers(2, 8))
+    def test_bottom_up_release_satisfies_model(self, seed, k):
+        from repro import BottomUpGeneralization, KAnonymity
+        from repro.data.synthetic import random_scenario
+
+        table, schema, hierarchies = random_scenario(n_rows=200, seed=seed)
+        release = BottomUpGeneralization().anonymize(
+            table, schema, hierarchies, [KAnonymity(k)]
+        )
+        assert release.partition().min_size() >= k

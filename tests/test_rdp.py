@@ -1,0 +1,170 @@
+"""RDP / zCDP accounting and analytic Gaussian calibration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp import advanced_composition_epsilon
+from repro.dp.rdp import (
+    DEFAULT_ORDERS,
+    RDPAccountant,
+    ZCDPAccountant,
+    analytic_gaussian_sigma,
+    classical_gaussian_sigma,
+    gaussian_delta,
+    gaussian_rdp,
+    gaussian_zcdp,
+    laplace_rdp,
+    randomized_response_rdp,
+    zcdp_to_epsilon,
+)
+from repro.errors import BudgetError
+
+
+class TestCurves:
+    def test_gaussian_rdp_closed_form(self):
+        curve = gaussian_rdp(sigma=2.0, sensitivity=1.0, orders=[2.0, 8.0])
+        assert curve[0] == pytest.approx(2.0 / 8.0)
+        assert curve[1] == pytest.approx(8.0 / 8.0)
+
+    def test_gaussian_rdp_scales_with_sensitivity_squared(self):
+        base = gaussian_rdp(sigma=3.0, sensitivity=1.0)
+        doubled = gaussian_rdp(sigma=3.0, sensitivity=2.0)
+        assert np.allclose(doubled, 4.0 * base)
+
+    def test_laplace_rdp_below_pure_epsilon(self):
+        """RDP of Laplace at any finite order is at most the pure-DP ε = 1/b."""
+        scale = 0.5
+        curve = laplace_rdp(scale=scale)
+        assert (curve <= 1.0 / scale + 1e-9).all()
+        # And approaches it at high orders.
+        high = laplace_rdp(scale=scale, orders=[10_000.0])[0]
+        assert high == pytest.approx(1.0 / scale, rel=0.01)
+
+    def test_laplace_rdp_monotone_in_order(self):
+        curve = laplace_rdp(scale=1.0, orders=[1.5, 2.0, 4.0, 16.0, 64.0])
+        assert (np.diff(curve) >= -1e-12).all()
+
+    def test_randomized_response_rdp_below_pure_epsilon(self):
+        eps = 1.2
+        curve = randomized_response_rdp(eps)
+        assert (curve <= eps + 1e-9).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BudgetError):
+            gaussian_rdp(sigma=0.0)
+        with pytest.raises(BudgetError):
+            laplace_rdp(scale=-1.0)
+        with pytest.raises(BudgetError):
+            randomized_response_rdp(0.0)
+
+
+class TestRDPAccountant:
+    def test_composition_is_additive(self):
+        one = RDPAccountant().add_gaussian(sigma=4.0)
+        many = RDPAccountant().add_gaussian(sigma=4.0, count=10)
+        assert np.allclose(many._total, 10 * one._total)
+
+    def test_epsilon_conversion_formula(self):
+        acc = RDPAccountant(orders=(2.0,)).add_gaussian(sigma=1.0)
+        delta = 1e-6
+        expected = 2.0 / 2.0 + math.log(1.0 / delta) / (2.0 - 1.0)
+        assert acc.epsilon(delta) == pytest.approx(expected)
+
+    def test_beats_basic_and_advanced_composition(self):
+        """The canonical ordering for many Gaussian compositions."""
+        sigma, k, delta = 20.0, 200, 1e-5
+        # Per-release (ε, δ/2k)-DP via the classical bound, then compose.
+        per_eps = math.sqrt(2 * math.log(1.25 / (delta / (2 * k)))) / sigma
+        basic = k * per_eps
+        advanced = advanced_composition_epsilon(per_eps, k, delta / 2)
+        rdp = RDPAccountant().add_gaussian(sigma=sigma, count=k).epsilon(delta)
+        assert rdp < advanced < basic
+
+    def test_close_to_zcdp_for_gaussians(self):
+        sigma, k, delta = 5.0, 100, 1e-5
+        rdp = RDPAccountant().add_gaussian(sigma=sigma, count=k).epsilon(delta)
+        zcdp = ZCDPAccountant().add_gaussian(sigma=sigma, count=k).epsilon(delta)
+        assert rdp == pytest.approx(zcdp, rel=0.05)
+
+    def test_mixed_mechanisms_compose(self):
+        acc = RDPAccountant()
+        acc.add_gaussian(sigma=2.0, count=5).add_laplace(scale=1.0, count=3)
+        assert acc.epsilon(1e-6) > 0
+
+    def test_best_order_in_grid(self):
+        acc = RDPAccountant().add_gaussian(sigma=3.0, count=50)
+        assert acc.best_order(1e-5) in DEFAULT_ORDERS
+
+    def test_curve_length_mismatch_rejected(self):
+        with pytest.raises(BudgetError):
+            RDPAccountant().add(np.zeros(3))
+
+    def test_orders_must_exceed_one(self):
+        with pytest.raises(BudgetError):
+            RDPAccountant(orders=(0.5, 2.0))
+
+    def test_delta_validation(self):
+        acc = RDPAccountant().add_gaussian(sigma=1.0)
+        with pytest.raises(BudgetError):
+            acc.epsilon(0.0)
+        with pytest.raises(BudgetError):
+            acc.epsilon(1.0)
+
+
+class TestZCDP:
+    def test_gaussian_rho(self):
+        assert gaussian_zcdp(sigma=2.0) == pytest.approx(1.0 / 8.0)
+        assert gaussian_zcdp(sigma=2.0, sensitivity=2.0) == pytest.approx(0.5)
+
+    def test_conversion_formula(self):
+        rho, delta = 0.1, 1e-5
+        assert zcdp_to_epsilon(rho, delta) == pytest.approx(
+            rho + 2 * math.sqrt(rho * math.log(1e5))
+        )
+
+    def test_additive_accounting(self):
+        acc = ZCDPAccountant().add_gaussian(sigma=2.0, count=4).add(0.5)
+        assert acc.rho == pytest.approx(4 / 8.0 + 0.5)
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            zcdp_to_epsilon(-0.1, 1e-5)
+        with pytest.raises(BudgetError):
+            ZCDPAccountant().add(-1.0)
+
+
+class TestGaussianCalibration:
+    def test_delta_decreases_in_sigma(self):
+        deltas = [gaussian_delta(s, epsilon=1.0) for s in (0.5, 1.0, 2.0, 4.0)]
+        assert all(a > b for a, b in zip(deltas, deltas[1:]))
+
+    def test_analytic_sigma_hits_target_delta(self):
+        for eps in (0.1, 1.0, 4.0):
+            sigma = analytic_gaussian_sigma(eps, 1e-6)
+            assert gaussian_delta(sigma, eps) == pytest.approx(1e-6, rel=1e-3)
+
+    def test_analytic_never_worse_than_classical(self):
+        for eps in (0.2, 0.5, 1.0):
+            classical = classical_gaussian_sigma(eps, 1e-5)
+            analytic = analytic_gaussian_sigma(eps, 1e-5)
+            assert analytic <= classical + 1e-9
+
+    def test_analytic_valid_for_large_epsilon(self):
+        """The classical bound breaks past ε = 1; the analytic one doesn't."""
+        sigma = analytic_gaussian_sigma(8.0, 1e-6)
+        assert sigma > 0
+        assert gaussian_delta(sigma, 8.0) <= 1e-6 * (1 + 1e-3)
+
+    def test_sigma_monotone_in_epsilon(self):
+        sigmas = [analytic_gaussian_sigma(eps, 1e-5) for eps in (0.25, 0.5, 1.0, 2.0)]
+        assert all(a > b for a, b in zip(sigmas, sigmas[1:]))
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            classical_gaussian_sigma(0.0, 1e-5)
+        with pytest.raises(BudgetError):
+            analytic_gaussian_sigma(1.0, 0.0)
+        with pytest.raises(BudgetError):
+            gaussian_delta(0.0, 1.0)

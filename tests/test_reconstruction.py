@@ -1,0 +1,117 @@
+"""Dinur–Nissim linear reconstruction attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    least_squares_reconstruct,
+    noisy_answers,
+    reconstruction_attack,
+    subset_sum_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def secret():
+    rng = np.random.default_rng(42)
+    return (rng.random(300) < 0.35).astype(np.int8)
+
+
+class TestQueries:
+    def test_shape_and_binary(self):
+        q = subset_sum_queries(50, 120, np.random.default_rng(0))
+        assert q.shape == (120, 50)
+        assert set(np.unique(q)) <= {0.0, 1.0}
+
+    def test_roughly_half_subsets(self):
+        q = subset_sum_queries(1000, 200, np.random.default_rng(0))
+        assert 0.45 < q.mean() < 0.55
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subset_sum_queries(0, 10)
+        with pytest.raises(ValueError):
+            subset_sum_queries(10, 0)
+
+
+class TestAnswers:
+    def test_exact_answers(self, secret):
+        q = subset_sum_queries(secret.size, 10, np.random.default_rng(1))
+        answers = noisy_answers(secret, q, noise_scale=0.0)
+        assert np.array_equal(answers, q @ secret)
+
+    def test_uniform_noise_bounded(self, secret):
+        q = subset_sum_queries(secret.size, 500, np.random.default_rng(1))
+        answers = noisy_answers(secret, q, 3.0, "uniform", np.random.default_rng(2))
+        assert np.abs(answers - q @ secret).max() <= 3.0
+
+    def test_laplace_noise_unbounded_but_centered(self, secret):
+        q = subset_sum_queries(secret.size, 2000, np.random.default_rng(1))
+        answers = noisy_answers(secret, q, 5.0, "laplace", np.random.default_rng(2))
+        residual = answers - q @ secret
+        assert abs(residual.mean()) < 1.0
+        assert residual.std() == pytest.approx(5.0 * np.sqrt(2), rel=0.2)
+
+    def test_bad_noise_model(self, secret):
+        q = subset_sum_queries(secret.size, 5, np.random.default_rng(1))
+        with pytest.raises(ValueError, match="noise model"):
+            noisy_answers(secret, q, 1.0, "gaussianish")
+        with pytest.raises(ValueError):
+            noisy_answers(secret, q, -1.0)
+
+
+class TestReconstruction:
+    def test_exact_answers_reconstruct_perfectly(self, secret):
+        result = reconstruction_attack(secret, noise_scale=0.0, seed=0)
+        assert result.accuracy == 1.0
+        assert result.n_wrong == 0
+        assert result.succeeded
+
+    def test_small_noise_still_succeeds(self, secret):
+        """Noise ≪ √n leaves the attack nearly perfect (the DN theorem)."""
+        result = reconstruction_attack(secret, noise_scale=2.0, seed=0)
+        assert result.succeeded
+        assert result.accuracy > 0.95
+
+    def test_large_noise_defeats_attack(self, secret):
+        """Noise ≳ √n collapses the attacker toward baseline."""
+        scale = 4 * np.sqrt(secret.size)  # ≈ 69 for n=300
+        result = reconstruction_attack(secret, noise_scale=scale, seed=0)
+        assert not result.succeeded
+        assert result.advantage < 0.15
+
+    def test_phase_transition_ordering(self, secret):
+        accuracies = [
+            reconstruction_attack(secret, noise_scale=s, seed=1).accuracy
+            for s in (0.0, 5.0, 40.0, 120.0)
+        ]
+        assert accuracies[0] >= accuracies[1] >= accuracies[2] >= accuracies[3]
+
+    def test_laplace_curator_same_phase_transition(self, secret):
+        quiet = reconstruction_attack(secret, noise_scale=1.0, noise="laplace", seed=2)
+        loud = reconstruction_attack(
+            secret, noise_scale=4 * np.sqrt(secret.size), noise="laplace", seed=2
+        )
+        assert quiet.accuracy > loud.accuracy
+
+    def test_result_metadata(self, secret):
+        result = reconstruction_attack(secret, n_queries=900, noise_scale=1.5, seed=0)
+        assert result.n_rows == secret.size
+        assert result.n_queries == 900
+        assert result.noise_model == "uniform"
+        assert result.baseline == pytest.approx(max(secret.mean(), 1 - secret.mean()))
+        exact = reconstruction_attack(secret, noise_scale=0.0)
+        assert exact.noise_model == "none"
+
+    def test_default_query_count(self, secret):
+        result = reconstruction_attack(secret, noise_scale=0.0)
+        assert result.n_queries == 4 * secret.size
+
+    def test_non_binary_secret_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            reconstruction_attack(np.array([0, 1, 2]))
+
+    def test_least_squares_decoder_rounds(self):
+        q = np.eye(4)
+        answers = np.array([0.9, 0.1, 0.51, 0.49])
+        assert least_squares_reconstruct(q, answers).tolist() == [1, 0, 1, 0]

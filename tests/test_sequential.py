@@ -1,0 +1,100 @@
+"""Tests for m-invariance and the cross-version attack."""
+
+import numpy as np
+import pytest
+
+from repro.sequential import (
+    MInvariance,
+    MInvariantPublisher,
+    SequentialRelease,
+    cross_version_attack,
+)
+
+VALUES = ["flu", "hiv", "ulcer", "cancer", "asthma"]
+
+
+def random_records(n, rng, offset=0):
+    return {offset + i: VALUES[rng.integers(len(VALUES))] for i in range(n)}
+
+
+class TestChecker:
+    def test_m_unique_group_passes(self):
+        release = SequentialRelease(0, {0: [(1, "flu"), (2, "hiv")]})
+        assert MInvariance(2).check_single(release)
+
+    def test_duplicate_value_group_fails(self):
+        release = SequentialRelease(0, {0: [(1, "flu"), (2, "flu")]})
+        assert not MInvariance(2).check_single(release)
+
+    def test_small_group_fails(self):
+        release = SequentialRelease(0, {0: [(1, "flu")]})
+        assert not MInvariance(2).check_single(release)
+
+    def test_signature_change_fails_pair(self):
+        r1 = SequentialRelease(0, {0: [(1, "flu"), (2, "hiv")]})
+        r2 = SequentialRelease(1, {0: [(1, "flu"), (3, "ulcer")]})
+        assert not MInvariance(2).check_pair(r1, r2)
+
+    def test_same_signature_passes_pair(self):
+        r1 = SequentialRelease(0, {0: [(1, "flu"), (2, "hiv")]})
+        r2 = SequentialRelease(1, {0: [(1, "flu"), (None, "hiv")]})
+        assert MInvariance(2).check_pair(r1, r2)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            MInvariance(1)
+
+
+class TestPublisher:
+    def test_published_sequence_is_m_invariant(self, rng):
+        publisher = MInvariantPublisher(m=3, seed=2)
+        records = random_records(90, rng)
+        releases = [publisher.publish(records)]
+        for step in range(3):
+            # churn: delete a third, insert new
+            records = {rid: v for rid, v in records.items() if rng.random() > 0.33}
+            records.update(random_records(25, rng, offset=1000 * (step + 1)))
+            releases.append(publisher.publish(records))
+        assert MInvariance(3).check(releases)
+
+    def test_counterfeits_reported(self, rng):
+        publisher = MInvariantPublisher(m=2, seed=0)
+        records = random_records(40, rng)
+        publisher.publish(records)
+        # Delete records so some signatures cannot be completed.
+        survivors = dict(list(records.items())[::2])
+        release = publisher.publish(survivors)
+        assert release.counterfeits >= 0
+        assert MInvariance(2).check_single(release)
+
+    def test_cross_version_attack_on_invariant_sequence_pins_nothing(self, rng):
+        publisher = MInvariantPublisher(m=3, seed=5)
+        records = random_records(120, rng)
+        r1 = publisher.publish(records)
+        records2 = {rid: v for rid, v in records.items() if rng.random() > 0.4}
+        r2 = publisher.publish(records2)
+        result = cross_version_attack([r1, r2])
+        assert result["n_survivors"] > 0
+        assert result["pinned_fraction"] == 0.0
+        assert result["avg_candidates"] >= 3
+
+    def test_naive_republication_is_vulnerable(self, rng):
+        """Independent bucketization per version pins some records."""
+        records = random_records(120, rng)
+        survivors = {rid: v for rid, v in records.items() if rng.random() > 0.4}
+        releases = []
+        for version, snapshot in enumerate((records, survivors)):
+            publisher = MInvariantPublisher(m=2, seed=version)  # fresh each time
+            releases.append(publisher.publish(snapshot))
+        result = cross_version_attack(releases)
+        assert result["pinned_fraction"] > 0.0
+
+    def test_value_change_treated_as_new_record(self, rng):
+        publisher = MInvariantPublisher(m=2, seed=1)
+        records = random_records(30, rng)
+        publisher.publish(records)
+        changed = dict(records)
+        victim = next(iter(changed))
+        changed[victim] = "asthma" if changed[victim] != "asthma" else "flu"
+        release = publisher.publish(changed)
+        assert MInvariance(2).check_single(release)

@@ -1,0 +1,152 @@
+"""Smooth sensitivity of the median: formula checks and accuracy wins."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp import (
+    dp_median_global,
+    dp_median_smooth,
+    local_sensitivity_at_distance,
+    smooth_sensitivity_median,
+)
+from repro.errors import BudgetError
+
+LO, HI = 0.0, 100.0
+
+
+@pytest.fixture(scope="module")
+def concentrated():
+    """Tightly clustered sample: the smooth-sensitivity sweet spot."""
+    rng = np.random.default_rng(1)
+    return np.clip(rng.normal(50, 1.5, 501), LO, HI)
+
+
+class TestLocalSensitivity:
+    def test_distance_zero_is_neighbor_gap(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        # median index m=2; LS(0) = max(x[m+1]-x[m], x[m]-x[m-1], ...) over s=0,1
+        expected = max(30.0 - 20.0, 40.0 - 30.0)
+        assert local_sensitivity_at_distance(values, 0, LO, HI) == expected
+
+    def test_grows_with_distance(self, concentrated):
+        ls = [local_sensitivity_at_distance(concentrated, t, LO, HI) for t in range(6)]
+        assert all(a <= b + 1e-12 for a, b in zip(ls, ls[1:]))
+
+    def test_capped_by_range(self, concentrated):
+        assert local_sensitivity_at_distance(concentrated, 10_000, LO, HI) <= HI - LO
+
+    def test_padding_with_bounds(self):
+        """A 1-point sample: moving that point swings the median across [lo, hi]."""
+        assert local_sensitivity_at_distance([50.0], 1, LO, HI) == HI - LO
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(BudgetError):
+            local_sensitivity_at_distance([1.0, 2.0, 3.0], -1, LO, HI)
+
+
+class TestSmoothSensitivity:
+    def test_at_least_local_at_zero(self, concentrated):
+        beta = 0.1
+        assert smooth_sensitivity_median(concentrated, beta, LO, HI) >= (
+            local_sensitivity_at_distance(concentrated, 0, LO, HI)
+        )
+
+    def test_never_exceeds_global(self, concentrated):
+        assert smooth_sensitivity_median(concentrated, 0.01, LO, HI) <= HI - LO
+
+    def test_decreasing_in_beta(self, concentrated):
+        values = [
+            smooth_sensitivity_median(concentrated, beta, LO, HI)
+            for beta in (0.001, 0.01, 0.1, 1.0)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_concentrated_data_far_below_global(self, concentrated):
+        s = smooth_sensitivity_median(concentrated, beta=0.05, lo=LO, hi=HI)
+        assert s < (HI - LO) / 20
+
+    def test_spread_data_near_global(self):
+        """Two extreme clusters around the median: the median is fragile."""
+        values = [LO] * 250 + [HI] * 251
+        s = smooth_sensitivity_median(values, beta=1.0, lo=LO, hi=HI)
+        assert s >= (HI - LO) * math.exp(-1.0) * 0.99  # LS(1)=span, decayed once
+
+    def test_dominated_tail_short_circuits(self, concentrated):
+        """The early-exit never changes the answer (compare to brute force)."""
+        beta = 0.2
+        x = np.sort(np.clip(concentrated[:51], LO, HI))
+        brute = max(
+            math.exp(-beta * t) * local_sensitivity_at_distance(x, t, LO, HI)
+            for t in range(x.size + 1)
+        )
+        assert smooth_sensitivity_median(x, beta, LO, HI) == pytest.approx(brute)
+
+    def test_validation(self, concentrated):
+        with pytest.raises(BudgetError):
+            smooth_sensitivity_median(concentrated, 0.0, LO, HI)
+        with pytest.raises(BudgetError):
+            smooth_sensitivity_median([], 0.1, LO, HI)
+        with pytest.raises(BudgetError):
+            smooth_sensitivity_median(concentrated, 0.1, 5.0, 5.0)
+
+
+class TestDPMedian:
+    def test_smooth_beats_global_on_concentrated_data(self, concentrated):
+        rng = np.random.default_rng(0)
+        true = float(np.median(concentrated))
+        eps = 0.5
+        smooth_err = np.mean(
+            [
+                abs(dp_median_smooth(concentrated, eps, LO, HI, delta=1e-6, rng=rng) - true)
+                for _ in range(60)
+            ]
+        )
+        global_err = np.mean(
+            [abs(dp_median_global(concentrated, eps, LO, HI, rng=rng) - true) for _ in range(60)]
+        )
+        assert smooth_err < global_err / 5
+
+    def test_pure_dp_cauchy_variant(self, concentrated):
+        rng = np.random.default_rng(3)
+        true = float(np.median(concentrated))
+        answers = [
+            dp_median_smooth(concentrated, 1.0, LO, HI, delta=None, rng=rng)
+            for _ in range(60)
+        ]
+        # Cauchy has heavy tails; the median of answers is still close.
+        assert abs(float(np.median(answers)) - true) < 5.0
+
+    def test_output_clipped_to_range(self, concentrated):
+        rng = np.random.default_rng(4)
+        for _ in range(40):
+            out = dp_median_smooth(concentrated, 0.05, LO, HI, rng=rng)
+            assert LO <= out <= HI
+
+    def test_error_falls_with_epsilon(self, concentrated):
+        true = float(np.median(concentrated))
+
+        def mae(eps, seed):
+            rng = np.random.default_rng(seed)
+            return np.mean(
+                [
+                    abs(dp_median_smooth(concentrated, eps, LO, HI, delta=1e-6, rng=rng) - true)
+                    for _ in range(80)
+                ]
+            )
+
+        assert mae(2.0, 5) < mae(0.1, 5)
+
+    def test_deterministic_with_rng(self, concentrated):
+        a = dp_median_smooth(concentrated, 1.0, LO, HI, rng=np.random.default_rng(9))
+        b = dp_median_smooth(concentrated, 1.0, LO, HI, rng=np.random.default_rng(9))
+        assert a == b
+
+    def test_validation(self, concentrated):
+        with pytest.raises(BudgetError):
+            dp_median_smooth(concentrated, 0.0, LO, HI)
+        with pytest.raises(BudgetError):
+            dp_median_smooth(concentrated, 1.0, LO, HI, delta=2.0)
+        with pytest.raises(BudgetError):
+            dp_median_global(concentrated, -1.0, LO, HI)

@@ -1,0 +1,182 @@
+"""Spatial k-anonymity cloaking: geometry, guarantees, audits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError, SchemaError
+from repro.spatial import (
+    BoundingBox,
+    GridCloak,
+    QuadTreeCloak,
+    location_linkage_attack,
+)
+
+UNIT = BoundingBox(0.0, 1.0, 0.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    """Dense cluster + sparse background on the unit square."""
+    rng = np.random.default_rng(0)
+    downtown = rng.normal([0.3, 0.3], 0.03, (300, 2))
+    suburbs = rng.uniform(0, 1, (100, 2))
+    pts = np.clip(np.vstack([downtown, suburbs]), 0.0, 1.0)
+    return pts[:, 0], pts[:, 1]
+
+
+class TestBoundingBox:
+    def test_area(self):
+        assert BoundingBox(0, 2, 0, 3).area == 6.0
+
+    def test_contains(self):
+        box = BoundingBox(0, 1, 0, 1)
+        x = np.array([0.5, 1.5, 0.0])
+        y = np.array([0.5, 0.5, 1.0])
+        assert box.contains(x, y).tolist() == [True, False, True]
+
+    def test_quadrants_tile_parent(self):
+        box = BoundingBox(0, 4, 0, 2)
+        quadrants = box.quadrants()
+        assert len(quadrants) == 4
+        assert sum(q.area for q in quadrants) == pytest.approx(box.area)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(SchemaError):
+            BoundingBox(0, 0, 0, 1)
+
+
+class TestQuadTreeCloak:
+    def test_region_contains_user(self, clustered):
+        x, y = clustered
+        cloak = QuadTreeCloak(x, y, k=5, bounds=UNIT)
+        for user in (0, 150, 399):
+            q = cloak.cloak(user)
+            assert bool(q.region.contains(np.array([x[user]]), np.array([y[user]]))[0])
+            assert user in q.anonymity_set
+
+    def test_k_guarantee(self, clustered):
+        x, y = clustered
+        for k in (2, 10, 40):
+            cloak = QuadTreeCloak(x, y, k=k, bounds=UNIT)
+            assert min(q.k_achieved for q in cloak.cloak_all()) >= k
+
+    def test_minimality_along_path(self, clustered):
+        """The chosen cell's child on the user's path holds < k users."""
+        x, y = clustered
+        cloak = QuadTreeCloak(x, y, k=10, max_depth=8, bounds=UNIT)
+        q = cloak.cloak(0)
+        if q.depth < cloak.max_depth:  # not already at the leaf
+            # Re-descend one step toward the user within the chosen region.
+            for child in q.region.quadrants():
+                if bool(child.contains(np.array([x[0]]), np.array([y[0]]))[0]):
+                    assert int(child.contains(x, y).sum()) < 10
+                    break
+
+    def test_area_grows_with_k(self, clustered):
+        x, y = clustered
+        areas = []
+        for k in (2, 10, 40):
+            cloak = QuadTreeCloak(x, y, k=k, bounds=UNIT)
+            areas.append(np.mean([q.region.area for q in cloak.cloak_all()]))
+        assert areas[0] <= areas[1] <= areas[2]
+
+    def test_density_adaptivity(self, clustered):
+        """Downtown users get much smaller regions than suburban users."""
+        x, y = clustered
+        cloak = QuadTreeCloak(x, y, k=10, bounds=UNIT)
+        queries = cloak.cloak_all()
+        dense = np.mean([queries[u].region.area for u in range(300)])
+        sparse = np.mean([queries[u].region.area for u in range(300, 400)])
+        assert dense < sparse / 2
+
+    def test_k_equals_population_returns_root_scale(self, clustered):
+        x, y = clustered
+        cloak = QuadTreeCloak(x, y, k=x.size, bounds=UNIT)
+        q = cloak.cloak(0)
+        assert q.k_achieved == x.size
+
+    def test_validation(self, clustered):
+        x, y = clustered
+        with pytest.raises(SchemaError):
+            QuadTreeCloak(x, y, k=0)
+        with pytest.raises(InfeasibleError):
+            QuadTreeCloak(x, y, k=x.size + 1)
+        with pytest.raises(SchemaError):
+            QuadTreeCloak(x, y, k=5, bounds=BoundingBox(0, 0.1, 0, 0.1))
+        cloak = QuadTreeCloak(x, y, k=5, bounds=UNIT)
+        with pytest.raises(SchemaError):
+            cloak.cloak(10_000)
+
+
+class TestGridCloak:
+    def test_region_contains_user(self, clustered):
+        x, y = clustered
+        cloak = GridCloak(x, y, k=5, bounds=UNIT)
+        for user in (0, 350):
+            q = cloak.cloak(user)
+            assert bool(q.region.contains(np.array([x[user]]), np.array([y[user]]))[0])
+
+    def test_k_guarantee(self, clustered):
+        x, y = clustered
+        for k in (2, 10, 40):
+            cloak = GridCloak(x, y, k=k, bounds=UNIT)
+            assert min(q.k_achieved for q in cloak.cloak_all()) >= k
+
+    def test_area_grows_with_k(self, clustered):
+        x, y = clustered
+        areas = []
+        for k in (2, 10, 40):
+            cloak = GridCloak(x, y, k=k, bounds=UNIT)
+            areas.append(np.mean([q.region.area for q in cloak.cloak_all()]))
+        assert areas[0] <= areas[1] <= areas[2]
+
+    def test_coarse_grid_overcloaks_dense_users(self, clustered):
+        """A fixed coarse grid cannot adapt to the downtown cluster."""
+        x, y = clustered
+        coarse = GridCloak(x, y, k=10, resolution=4, bounds=UNIT)
+        adaptive = QuadTreeCloak(x, y, k=10, max_depth=8, bounds=UNIT)
+        dense_users = range(300)
+        coarse_area = np.mean([coarse.cloak(u).region.area for u in dense_users])
+        adaptive_area = np.mean([adaptive.cloak(u).region.area for u in dense_users])
+        assert adaptive_area < coarse_area
+
+    def test_validation(self, clustered):
+        x, y = clustered
+        with pytest.raises(SchemaError):
+            GridCloak(x, y, k=5, resolution=0)
+        with pytest.raises(InfeasibleError):
+            GridCloak(x, y, k=x.size + 1)
+
+
+class TestLinkageAttack:
+    def test_audit_confirms_k(self, clustered):
+        x, y = clustered
+        k = 15
+        queries = QuadTreeCloak(x, y, k=k, bounds=UNIT).cloak_all()
+        audit = location_linkage_attack(queries, x, y, k, UNIT)
+        assert audit.k_anonymous
+        assert audit.min_candidates >= k
+        assert audit.max_pin_probability <= 1 / k
+        assert audit.n_queries == x.size
+        assert 0 < audit.avg_area_fraction <= 1.0
+
+    def test_audit_detects_violation(self, clustered):
+        """A region drawn around one isolated point fails the audit."""
+        from repro.spatial import CloakedQuery
+
+        x, y = clustered
+        tiny = CloakedQuery(
+            user=0,
+            region=BoundingBox(x[0] - 1e-6, x[0] + 1e-6, y[0] - 1e-6, y[0] + 1e-6),
+            anonymity_set=(0,),
+            depth=0,
+        )
+        audit = location_linkage_attack([tiny], x, y, k=5, map_bounds=UNIT)
+        assert not audit.k_anonymous
+        assert audit.violations == 1
+        assert audit.max_pin_probability == 1.0
+
+    def test_empty_queries_rejected(self, clustered):
+        x, y = clustered
+        with pytest.raises(SchemaError):
+            location_linkage_attack([], x, y, 5)

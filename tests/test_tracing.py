@@ -1,0 +1,128 @@
+"""Homer-style membership tracing from aggregate statistics."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.tracing import (
+    dp_frequency_release,
+    homer_statistic,
+    trace_membership,
+)
+
+
+def make_population(n, m, seed, freq_spread=0.35):
+    """Binary attribute matrix with per-attribute frequencies in mid-range."""
+    rng = np.random.default_rng(seed)
+    freqs = rng.uniform(0.5 - freq_spread, 0.5 + freq_spread, m)
+    return (rng.random((n, m)) < freqs).astype(np.int8), freqs
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    population, _ = make_population(3000, 200, seed=0)
+    study = population[:150]
+    reference = population[150:1500]
+    targets_out = population[1500:1650]
+    return study, reference, targets_out
+
+
+class TestHomerStatistic:
+    def test_member_leaning_positive(self):
+        # Target equal to the study frequency pattern scores positive.
+        study_freq = np.array([0.9, 0.1, 0.8])
+        pop_freq = np.array([0.5, 0.5, 0.5])
+        member_like = np.array([1.0, 0.0, 1.0])
+        assert homer_statistic(member_like, study_freq, pop_freq) > 0
+
+    def test_outsider_leaning_negative(self):
+        study_freq = np.array([0.9, 0.1, 0.8])
+        pop_freq = np.array([0.5, 0.5, 0.5])
+        outsider_like = np.array([0.0, 1.0, 0.0])
+        assert homer_statistic(outsider_like, study_freq, pop_freq) < 0
+
+    def test_identical_frequencies_give_zero(self):
+        freq = np.array([0.3, 0.7])
+        assert homer_statistic(np.array([1.0, 0.0]), freq, freq) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            homer_statistic(np.zeros(3), np.zeros(2), np.zeros(3))
+
+
+class TestTraceMembership:
+    def test_exact_release_has_large_advantage(self, scenario):
+        study, reference, targets_out = scenario
+        result = trace_membership(study, reference, targets_out)
+        assert result.best_advantage > 0.5
+        assert result.mean_statistic_in > result.mean_statistic_out
+
+    def test_power_grows_with_statistics(self):
+        advantages = []
+        for m in (10, 100, 600):
+            population, _ = make_population(3000, m, seed=1)
+            result = trace_membership(
+                population[:100], population[200:1800], population[1800:1950]
+            )
+            advantages.append(result.best_advantage)
+        assert advantages[0] < advantages[-1]
+
+    def test_power_falls_with_study_size(self):
+        population, _ = make_population(4000, 150, seed=2)
+        small = trace_membership(
+            population[:40], population[1000:3000], population[3000:3200]
+        )
+        large = trace_membership(
+            population[:900], population[1000:3000], population[3000:3200]
+        )
+        assert large.best_advantage < small.best_advantage
+
+    def test_dp_release_kills_attack(self, scenario):
+        study, reference, targets_out = scenario
+        exact = trace_membership(study, reference, targets_out)
+        private = trace_membership(
+            study, reference, targets_out, epsilon=0.5,
+            rng=np.random.default_rng(0),
+        )
+        assert private.best_advantage < exact.best_advantage / 2
+        assert private.best_advantage < 0.25
+
+    def test_advantage_monotone_in_epsilon(self, scenario):
+        study, reference, targets_out = scenario
+        rng = np.random.default_rng(1)
+        weak = trace_membership(study, reference, targets_out, epsilon=0.1, rng=rng)
+        strong = trace_membership(study, reference, targets_out, epsilon=50.0, rng=rng)
+        assert weak.best_advantage < strong.best_advantage
+
+    def test_result_metadata(self, scenario):
+        study, reference, targets_out = scenario
+        result = trace_membership(study, reference, targets_out, epsilon=1.0)
+        assert result.n_statistics == study.shape[1]
+        assert result.study_size == study.shape[0]
+        assert result.epsilon == 1.0
+        assert 0.0 <= result.true_positive_rate <= 1.0
+        assert 0.0 <= result.false_positive_rate <= 1.0
+        assert result.best_advantage >= result.advantage - 1e-12
+
+    def test_validation(self, scenario):
+        study, reference, targets_out = scenario
+        with pytest.raises(ValueError):
+            trace_membership(study, reference[:, :10], targets_out)
+        with pytest.raises(ValueError):
+            trace_membership(study * 2, reference, targets_out)
+
+
+class TestDPFrequencyRelease:
+    def test_clamped_to_unit_interval(self, scenario):
+        study, _, _ = scenario
+        freq = dp_frequency_release(study, epsilon=0.01, rng=np.random.default_rng(0))
+        assert (freq >= 0).all() and (freq <= 1).all()
+
+    def test_converges_to_truth_at_large_epsilon(self, scenario):
+        study, _, _ = scenario
+        freq = dp_frequency_release(study, epsilon=1e6, rng=np.random.default_rng(0))
+        assert np.abs(freq - study.mean(axis=0)).max() < 0.01
+
+    def test_validation(self, scenario):
+        study, _, _ = scenario
+        with pytest.raises(ValueError):
+            dp_frequency_release(study, epsilon=0.0)

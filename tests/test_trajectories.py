@@ -1,0 +1,136 @@
+"""Tests for the trajectory LKC module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.trajectories import (
+    TrajectoryDB,
+    TrajectoryLKC,
+    generate_trajectories,
+    is_subsequence,
+    subsequence_linkage_attack,
+)
+
+
+class TestSubsequence:
+    def test_positive_cases(self):
+        assert is_subsequence((1, 3), (1, 2, 3))
+        assert is_subsequence((), (1, 2))
+        assert is_subsequence((1, 2, 3), (1, 2, 3))
+
+    def test_order_matters(self):
+        assert not is_subsequence((3, 1), (1, 2, 3))
+
+    def test_missing_element(self):
+        assert not is_subsequence((4,), (1, 2, 3))
+
+
+class TestTrajectoryDB:
+    @pytest.fixture
+    def db(self):
+        return TrajectoryDB(
+            trajectories=[
+                (("A", 1), ("B", 2), ("C", 3)),
+                (("A", 1), ("C", 3)),
+                (("B", 2), ("C", 3)),
+            ],
+            sensitive=["flu", "none", "flu"],
+        )
+
+    def test_support(self, db):
+        assert db.support((("A", 1),)) == [0, 1]
+        assert db.support((("A", 1), ("C", 3))) == [0, 1]
+        assert db.support((("C", 3), ("A", 1))) == []
+
+    def test_subsequence_counts(self, db):
+        counts = db.subsequences_up_to(2)
+        assert counts[(("A", 1),)] == 2
+        assert counts[(("B", 2), ("C", 3))] == 2
+        assert counts[(("A", 1), ("B", 2))] == 1
+
+    def test_suppress_removes_globally(self, db):
+        pruned = db.suppress([("B", 2)])
+        assert all(("B", 2) not in t for t in pruned.trajectories)
+        assert pruned.trajectories[0] == (("A", 1), ("C", 3))
+
+    def test_sensitive_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            TrajectoryDB(trajectories=[((1, 1),)], sensitive=["a", "b"])
+
+    def test_generator_deterministic(self):
+        a = generate_trajectories(n_records=50, seed=4)
+        b = generate_trajectories(n_records=50, seed=4)
+        assert a.trajectories == b.trajectories
+        assert a.sensitive == b.sensitive
+
+    def test_generator_monotone_times(self):
+        db = generate_trajectories(n_records=50, seed=5)
+        for trajectory in db.trajectories:
+            times = [t for _, t in trajectory]
+            assert times == sorted(times)
+
+
+class TestTrajectoryLKC:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_trajectories(n_records=150, seed=9)
+
+    def test_raw_data_violates(self, db):
+        assert not TrajectoryLKC(l=2, k=5).check(db)
+
+    def test_anonymize_reaches_lkc(self, db):
+        model = TrajectoryLKC(l=2, k=5, c=0.8)
+        anonymized, info = model.anonymize(db)
+        assert model.check(anonymized)
+        assert 0 < info["instances_retained"] <= 1
+
+    def test_published_is_truthful_subsequence(self, db):
+        model = TrajectoryLKC(l=2, k=4)
+        anonymized, _ = model.anonymize(db)
+        for original, published in zip(db.trajectories, anonymized.trajectories):
+            assert is_subsequence(published, original)
+
+    def test_stricter_k_retains_less(self, db):
+        _, info_weak = TrajectoryLKC(l=2, k=3).anonymize(db)
+        _, info_strong = TrajectoryLKC(l=2, k=15).anonymize(db)
+        assert info_strong["instances_retained"] <= info_weak["instances_retained"]
+
+    def test_confidence_bound_enforced(self, db):
+        model = TrajectoryLKC(l=1, k=2, c=0.6)
+        anonymized, _ = model.anonymize(db)
+        for seq, support in anonymized.subsequences_up_to(1).items():
+            holders = anonymized.support(seq)
+            values = [anonymized.sensitive[i] for i in holders]
+            top = max(values.count(v) for v in set(values))
+            assert top / len(values) <= 0.6 + 1e-9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TrajectoryLKC(l=0, k=2)
+        with pytest.raises(ValueError):
+            TrajectoryLKC(l=1, k=0)
+        with pytest.raises(ValueError):
+            TrajectoryLKC(l=1, k=2, c=0.0)
+
+    def test_empty_db_raises(self):
+        with pytest.raises(InfeasibleError):
+            TrajectoryLKC(l=1, k=2).anonymize(TrajectoryDB(trajectories=[()]))
+
+
+class TestSubsequenceAttack:
+    def test_attack_weakens_after_anonymization(self):
+        db = generate_trajectories(n_records=200, seed=3)
+        model = TrajectoryLKC(l=2, k=5, c=0.9)
+        anonymized, _ = model.anonymize(db)
+        raw = subsequence_linkage_attack(db, db, l=2, seed=1)
+        protected = subsequence_linkage_attack(db, anonymized, l=2, seed=1)
+        assert protected["unique_match_rate"] == 0.0
+        assert protected["avg_candidates"] > raw["avg_candidates"]
+        assert protected["min_candidates"] >= 5
+
+    def test_misaligned_databases_raise(self):
+        db = generate_trajectories(n_records=10, seed=1)
+        other = generate_trajectories(n_records=11, seed=1)
+        with pytest.raises(ValueError):
+            subsequence_linkage_attack(db, other, l=2)

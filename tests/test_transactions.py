@@ -1,0 +1,129 @@
+"""Tests for kᵐ-anonymity over set-valued data."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.errors import InfeasibleError
+from repro.transactions import KmAnonymity, TransactionDB, km_violations
+
+
+@pytest.fixture
+def taxonomy():
+    return Hierarchy.from_tree(
+        {
+            "dairy": ["milk", "cheese", "yogurt"],
+            "meat": ["beef", "pork", "chicken"],
+            "produce": ["apple", "banana", "carrot"],
+        }
+    )
+
+
+@pytest.fixture
+def db(taxonomy, rng):
+    items = list(taxonomy.ground)
+    transactions = [
+        set(rng.choice(items, size=int(rng.integers(2, 5)), replace=False))
+        for _ in range(80)
+    ]
+    return TransactionDB(transactions, taxonomy)
+
+
+class TestTransactionDB:
+    def test_unknown_item_raises(self, taxonomy):
+        with pytest.raises(InfeasibleError, match="not in the taxonomy"):
+            TransactionDB([{"caviar"}], taxonomy)
+
+    def test_len(self, db):
+        assert len(db) == 80
+
+    def test_generalized_at_zero_is_identity_coding(self, db, taxonomy):
+        levels = np.zeros(len(taxonomy.ground), dtype=np.int64)
+        generalized = db.generalized(levels)
+        for raw, gen in zip(db.transactions, generalized):
+            assert {code for _, code in gen} == set(raw)
+
+    def test_generalized_names_use_taxonomy_labels(self, db, taxonomy):
+        levels = np.full(len(taxonomy.ground), 1, dtype=np.int64)
+        names = db.generalized_names(levels)
+        allowed = set(taxonomy.labels(1))
+        assert all(name_set <= allowed for name_set in names)
+
+
+class TestViolations:
+    def test_counts_combinations_below_k(self):
+        transactions = [frozenset({0, 1}), frozenset({0, 1}), frozenset({0, 2})]
+        violations = km_violations(transactions, k=2, m=2)
+        # {2} appears once; {0,2} appears once; {1,2} never occurs (not counted).
+        assert (2,) in violations
+        assert (0, 2) in violations
+        assert (1, 2) not in violations
+
+    def test_satisfied_db_has_none(self):
+        transactions = [frozenset({0, 1})] * 5
+        assert km_violations(transactions, k=3, m=2) == []
+
+    def test_max_report_truncates(self):
+        transactions = [frozenset({i}) for i in range(10)]
+        violations = km_violations(transactions, k=2, m=1, max_report=3)
+        assert len(violations) == 3
+
+
+class TestKmAnonymity:
+    def test_anonymize_reaches_target(self, db):
+        km = KmAnonymity(k=4, m=2)
+        levels = km.anonymize(db)
+        assert km.check(db, levels)
+
+    def test_levels_monotone_progress(self, db, taxonomy):
+        levels = KmAnonymity(k=4, m=2).anonymize(db)
+        assert (levels >= 0).all()
+        assert (levels <= taxonomy.height).all()
+
+    def test_stronger_k_costs_more_utility(self, db):
+        weak = KmAnonymity(k=2, m=2)
+        strong = KmAnonymity(k=10, m=2)
+        loss_weak = weak.utility_loss(db, weak.anonymize(db))
+        loss_strong = strong.utility_loss(db, strong.anonymize(db))
+        assert loss_strong >= loss_weak
+
+    def test_higher_m_costs_at_least_as_much(self, db):
+        m1 = KmAnonymity(k=4, m=1)
+        m2 = KmAnonymity(k=4, m=2)
+        loss_m1 = m1.utility_loss(db, m1.anonymize(db))
+        loss_m2 = m2.utility_loss(db, m2.anonymize(db))
+        assert loss_m2 >= loss_m1 - 1e-12
+
+    def test_global_recoding_consistency(self, db, taxonomy):
+        """Every occurrence of a ground item maps to the same token."""
+        levels = KmAnonymity(k=4, m=2).anonymize(db)
+        generalized = db.generalized(levels)
+        mapping = {}
+        for raw, gen in zip(db.transactions, generalized):
+            for code in raw:
+                level = int(levels[code])
+                token = (
+                    level,
+                    int(taxonomy.map_codes(np.array([code], dtype=np.int32), level)[0]),
+                )
+                assert mapping.setdefault(code, token) == token
+                assert token in gen
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KmAnonymity(k=1, m=2)
+        with pytest.raises(ValueError):
+            KmAnonymity(k=2, m=0)
+
+    def test_infeasible_with_flat_domain_and_huge_k(self, taxonomy):
+        # Singleton transactions of 9 distinct items, k > n transactions:
+        # even the root token appears in only 9 transactions.
+        db = TransactionDB([{item} for item in taxonomy.ground], taxonomy)
+        with pytest.raises(InfeasibleError):
+            KmAnonymity(k=50, m=1).anonymize(db)
+
+    def test_utility_loss_bounds(self, db):
+        km = KmAnonymity(k=4, m=2)
+        levels = km.anonymize(db)
+        loss = km.utility_loss(db, levels)
+        assert 0.0 <= loss <= 1.0
