@@ -35,8 +35,10 @@ from .core import (
     AttributeType,
     Column,
     GeneralizationLattice,
+    GroupStats,
     Hierarchy,
     IntervalHierarchy,
+    LatticeEvaluator,
     Release,
     Schema,
     Table,
@@ -83,6 +85,7 @@ __all__ = [
     "DistinctLDiversity",
     "EntropyLDiversity",
     "GeneralizationLattice",
+    "GroupStats",
     "GuardingNode",
     "Hierarchy",
     "HierarchyError",
@@ -90,6 +93,7 @@ __all__ = [
     "InfeasibleError",
     "IntervalHierarchy",
     "KAnonymity",
+    "LatticeEvaluator",
     "KEAnonymity",
     "KMemberClustering",
     "LKCPrivacy",

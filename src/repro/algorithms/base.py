@@ -31,6 +31,7 @@ __all__ = [
     "AnonymizationAlgorithm",
     "prepare_input",
     "suppress_failing",
+    "suppress_rows",
     "check_models",
     "failing_of_models",
 ]
@@ -81,16 +82,35 @@ def suppress_failing(
     qi_names: Sequence[str],
     models: Sequence[PrivacyModel],
     max_suppression: float,
+    partition: EquivalenceClasses | None = None,
 ) -> tuple[Table, np.ndarray, int]:
     """Drop rows of equivalence classes that violate the models.
 
     Returns ``(kept_table, kept_row_indices, n_suppressed)``. Raises
     :class:`InfeasibleError` if suppression would exceed
     ``max_suppression * n_rows`` or would empty the table.
+
+    Callers that already partitioned ``table`` can pass it via ``partition``
+    to avoid partitioning the same candidate twice. (The lattice searches
+    go one step further and call :func:`suppress_rows` with the evaluation
+    engine's own failing rows, bypassing the model re-check entirely.)
     """
-    partition = partition_by_qi(table, qi_names)
+    if partition is None:
+        partition = partition_by_qi(table, qi_names)
     failing = failing_of_models(table, partition, models)
-    drop = failing_rows(partition, failing)
+    return suppress_rows(table, failing_rows(partition, failing), max_suppression)
+
+
+def suppress_rows(
+    table: Table, drop: np.ndarray, max_suppression: float
+) -> tuple[Table, np.ndarray, int]:
+    """Drop the given row indices within the suppression budget.
+
+    The mechanics of :func:`suppress_failing` with the failing set supplied
+    by the caller — lattice searches pass the evaluation engine's own
+    failing rows so the admission verdict and the suppression step cannot
+    disagree on borderline float comparisons.
+    """
     if drop.size > max_suppression * table.n_rows:
         raise InfeasibleError(
             f"suppressing {drop.size}/{table.n_rows} rows exceeds the "

@@ -10,20 +10,24 @@ experiments use it as the baseline that smarter searches (Incognito,
 Mondrian, TDS) beat. An alternative ``heuristic="loss"`` ablation picks the
 attribute whose single-step generalization costs the least NCP — used by the
 E3 ablation bench.
+
+Node checks and the distinct-value heuristics run on the shared
+:class:`~repro.core.engine.LatticeEvaluator`; only the final winning node is
+materialized into a generalized table.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from ..core.engine import LatticeEvaluator
 from ..core.generalize import HierarchyLike, apply_node
-from ..core.partition import partition_by_qi
 from ..core.release import Release
 from ..core.schema import Schema
 from ..core.table import Table
 from ..errors import InfeasibleError
 from ..privacy.base import PrivacyModel
-from .base import check_models, prepare_input, suppress_failing
+from .base import prepare_input, suppress_rows
 
 __all__ = ["Datafly"]
 
@@ -47,26 +51,30 @@ class Datafly:
     ) -> Release:
         original = prepare_input(table, schema, hierarchies)
         qi_names = schema.quasi_identifiers
+        evaluator = LatticeEvaluator(original, qi_names, hierarchies)
         heights = [hierarchies[name].height for name in qi_names]
         node = [0] * len(qi_names)
 
         while True:
-            candidate = apply_node(original, hierarchies, qi_names, node)
-            partition = partition_by_qi(candidate, qi_names)
-            if check_models(candidate, partition, models):
+            if evaluator.check(node, models):
+                final = apply_node(original, hierarchies, qi_names, node)
                 suppressed = 0
                 kept = None
-                final = candidate
                 break
             # Suppression short-circuit: if few enough rows fail, suppress.
-            try:
-                final, kept, suppressed = suppress_failing(
-                    candidate, qi_names, models, self.max_suppression
+            # The engine's failing rows feed both the budget admission and
+            # the drop itself (one failing-mask computation), so the two can
+            # never disagree on borderline float verdicts.
+            drop = evaluator.failing_rows(node, models)
+            if (
+                drop.size <= self.max_suppression * original.n_rows
+                and drop.size < original.n_rows
+            ):
+                final, kept, suppressed = suppress_rows(
+                    evaluator.materialize(node), drop, self.max_suppression
                 )
                 break
-            except InfeasibleError:
-                pass
-            target = self._pick_attribute(original, candidate, qi_names, node, heights, hierarchies)
+            target = self._pick_attribute(evaluator, node, heights)
             if target is None:
                 raise InfeasibleError(
                     "all quasi-identifiers fully generalized and the models "
@@ -87,27 +95,22 @@ class Datafly:
 
     def _pick_attribute(
         self,
-        original: Table,
-        candidate: Table,
-        qi_names: Sequence[str],
+        evaluator: LatticeEvaluator,
         node: Sequence[int],
         heights: Sequence[int],
-        hierarchies: Mapping[str, HierarchyLike],
     ) -> int | None:
         """Index of the QI to generalize next, or None if all are topped out."""
-        raisable = [i for i in range(len(qi_names)) if node[i] < heights[i]]
+        raisable = [i for i in range(len(node)) if node[i] < heights[i]]
         if not raisable:
             return None
         if self.heuristic == "distinct":
-            return max(raisable, key=lambda i: candidate.column(qi_names[i]).n_distinct())
+            counts = evaluator.distinct_counts(node)
+            return max(raisable, key=counts.__getitem__)
         # "loss" ablation: raise the attribute that *keeps* the most distinct
         # values after its one-step generalization (least coarsening first).
-        def distinct_after_raise(i: int) -> int:
-            name = qi_names[i]
-            raised = hierarchies[name].generalize_column(original.column(name), node[i] + 1)
-            return raised.n_distinct()
-
-        return max(raisable, key=distinct_after_raise)
+        return max(
+            raisable, key=lambda i: evaluator.distinct_after(node, i, node[i] + 1)
+        )
 
     def __repr__(self) -> str:
         return f"Datafly(max_suppression={self.max_suppression}, heuristic={self.heuristic!r})"

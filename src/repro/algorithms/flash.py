@@ -30,15 +30,15 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Sequence
 
+from ..core.engine import LatticeEvaluator
 from ..core.generalize import HierarchyLike, apply_node
 from ..core.lattice import GeneralizationLattice
-from ..core.partition import partition_by_qi
 from ..core.release import Release
 from ..core.schema import Schema
 from ..core.table import Table
 from ..errors import InfeasibleError
 from ..privacy.base import PrivacyModel
-from .base import check_models, prepare_input, suppress_failing
+from .base import prepare_input, suppress_rows
 
 __all__ = ["Flash"]
 
@@ -83,17 +83,19 @@ class Flash:
     ) -> Release:
         original = prepare_input(table, schema, hierarchies)
         qi_names = schema.quasi_identifiers
-        minimal = self.find_minimal_nodes(original, qi_names, hierarchies, models)
+        evaluator = LatticeEvaluator(original, qi_names, hierarchies)
+        minimal = self.find_minimal_nodes(
+            original, qi_names, hierarchies, models, evaluator=evaluator
+        )
         if not minimal:
             raise InfeasibleError("no full-domain generalization satisfies the models")
-        best = self._choose(original, qi_names, hierarchies, minimal)
+        best = self._choose(original, evaluator, minimal)
         candidate = apply_node(original, hierarchies, qi_names, best)
 
         suppressed, kept = 0, None
-        partition = partition_by_qi(candidate, qi_names)
-        if not check_models(candidate, partition, models):  # pragma: no cover - safety
-            candidate, kept, suppressed = suppress_failing(
-                candidate, qi_names, models, self.max_suppression
+        if not evaluator.check(best, models):  # pragma: no cover - safety
+            candidate, kept, suppressed = suppress_rows(
+                candidate, evaluator.failing_rows(best, models), self.max_suppression
             )
         return Release(
             table=candidate,
@@ -114,6 +116,7 @@ class Flash:
         qi_names: Sequence[str],
         hierarchies: Mapping[str, HierarchyLike],
         models: Sequence[PrivacyModel],
+        evaluator: LatticeEvaluator | None = None,
     ) -> list[Node]:
         """Classify every lattice node; return the minimal satisfying antichain.
 
@@ -126,6 +129,8 @@ class Flash:
             raise InfeasibleError(
                 f"Flash requires monotone privacy models; got {non_monotone}"
             )
+        if evaluator is None:
+            evaluator = LatticeEvaluator(table, qi_names, hierarchies)
         lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi_names)
         self.stats = {
             "nodes_checked": 0,
@@ -134,7 +139,6 @@ class Flash:
             "tagged_without_check": 0,
         }
         state: dict[Node, int] = {}
-        qi_table = table  # models may need the sensitive column: keep full table
 
         for stratum in lattice.levels():
             for node in stratum:
@@ -142,7 +146,7 @@ class Flash:
                     continue
                 path = self._build_path(node, lattice, state)
                 self.stats["paths_built"] += 1
-                self._check_path(path, qi_table, qi_names, hierarchies, models, lattice, state)
+                self._check_path(path, evaluator, models, lattice, state)
 
         satisfying = {node for node, s in state.items() if s is _SATISFYING}
         return _minimal_antichain(satisfying)
@@ -177,9 +181,7 @@ class Flash:
     def _check_path(
         self,
         path: list[Node],
-        table: Table,
-        qi_names: Sequence[str],
-        hierarchies: Mapping[str, HierarchyLike],
+        evaluator: LatticeEvaluator,
         models: Sequence[PrivacyModel],
         lattice: GeneralizationLattice,
         state: dict[Node, int],
@@ -188,7 +190,7 @@ class Flash:
         lo, hi = 0, len(path) - 1
         while lo <= hi:
             mid = (lo + hi) // 2
-            if self._satisfies(path[mid], table, qi_names, hierarchies, models):
+            if self._satisfies(path[mid], evaluator, models):
                 self._tag_up(path[mid], lattice, state)
                 hi = mid - 1
             else:
@@ -201,23 +203,11 @@ class Flash:
     def _satisfies(
         self,
         node: Node,
-        table: Table,
-        qi_names: Sequence[str],
-        hierarchies: Mapping[str, HierarchyLike],
+        evaluator: LatticeEvaluator,
         models: Sequence[PrivacyModel],
     ) -> bool:
         self.stats["nodes_checked"] += 1
-        candidate = apply_node(table, hierarchies, qi_names, node)
-        partition = partition_by_qi(candidate, list(qi_names))
-        if check_models(candidate, partition, models):
-            return True
-        if self.max_suppression <= 0:
-            return False
-        failing: set[int] = set()
-        for model in models:
-            failing.update(model.failing_groups(candidate, partition))
-        n_failing_rows = sum(partition.groups[i].size for i in failing)
-        return n_failing_rows <= self.max_suppression * candidate.n_rows
+        return evaluator.evaluate(node, models, self.max_suppression)
 
     def _tag_up(self, node: Node, lattice: GeneralizationLattice, state: dict[Node, int]) -> None:
         for other in lattice.up_set(node):
@@ -236,19 +226,12 @@ class Flash:
     def _choose(
         self,
         table: Table,
-        qi_names: Sequence[str],
-        hierarchies: Mapping[str, HierarchyLike],
+        evaluator: LatticeEvaluator,
         minimal: list[Node],
     ) -> Node:
         if self.score is not None:
             return min(minimal, key=lambda node: self.score(table, node))
-
-        def default_key(node: Node):
-            candidate = apply_node(table.select(list(qi_names)), hierarchies, qi_names, node)
-            n_classes = len(partition_by_qi(candidate, qi_names))
-            return (sum(node), -n_classes)
-
-        return min(minimal, key=default_key)
+        return min(minimal, key=lambda node: (sum(node), -evaluator.n_groups(node)))
 
     def __repr__(self) -> str:
         return f"Flash(max_suppression={self.max_suppression})"

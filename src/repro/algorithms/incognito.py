@@ -26,15 +26,15 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Callable, Mapping, Sequence
 
+from ..core.engine import LatticeEvaluator
 from ..core.generalize import HierarchyLike, apply_node
 from ..core.lattice import GeneralizationLattice
-from ..core.partition import partition_by_qi
 from ..core.release import Release
 from ..core.schema import Schema
 from ..core.table import Table
 from ..errors import InfeasibleError
 from ..privacy.base import PrivacyModel
-from .base import check_models, prepare_input, suppress_failing
+from .base import prepare_input, suppress_rows
 
 __all__ = ["Incognito"]
 
@@ -69,17 +69,19 @@ class Incognito:
     ) -> Release:
         original = prepare_input(table, schema, hierarchies)
         qi_names = schema.quasi_identifiers
-        minimal = self.find_minimal_nodes(original, qi_names, hierarchies, models)
+        evaluator = LatticeEvaluator(original, qi_names, hierarchies)
+        minimal = self.find_minimal_nodes(
+            original, qi_names, hierarchies, models, evaluator=evaluator
+        )
         if not minimal:
             raise InfeasibleError("no full-domain generalization satisfies the models")
-        best = self._choose(original, qi_names, hierarchies, minimal)
+        best = self._choose(original, evaluator, minimal)
         candidate = apply_node(original, hierarchies, qi_names, best)
 
         suppressed, kept = 0, None
-        partition = partition_by_qi(candidate, qi_names)
-        if not check_models(candidate, partition, models):  # pragma: no cover - safety
-            candidate, kept, suppressed = suppress_failing(
-                candidate, qi_names, models, self.max_suppression
+        if not evaluator.check(best, models):  # pragma: no cover - safety
+            candidate, kept, suppressed = suppress_rows(
+                candidate, evaluator.failing_rows(best, models), self.max_suppression
             )
         return Release(
             table=candidate,
@@ -100,8 +102,11 @@ class Incognito:
         qi_names: Sequence[str],
         hierarchies: Mapping[str, HierarchyLike],
         models: Sequence[PrivacyModel],
+        evaluator: LatticeEvaluator | None = None,
     ) -> list[Node]:
         """All minimal satisfying nodes of the full lattice."""
+        if evaluator is None:
+            evaluator = LatticeEvaluator(table, qi_names, hierarchies)
         lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi_names)
         monotone = all(getattr(m, "monotone", False) for m in models)
         self.stats = {
@@ -120,7 +125,7 @@ class Incognito:
             for subset in combinations(names_sorted, size):
                 sub_lattice = lattice.project(subset)
                 satisfying = self._search_subset(
-                    table, subset, sub_lattice, hierarchies, models,
+                    evaluator, subset, sub_lattice, models,
                     satisfying_by_subset, monotone,
                 )
                 if not satisfying:
@@ -135,10 +140,9 @@ class Incognito:
 
     def _search_subset(
         self,
-        table: Table,
+        evaluator: LatticeEvaluator,
         subset: tuple,
         sub_lattice: GeneralizationLattice,
-        hierarchies: Mapping[str, HierarchyLike],
         models: Sequence[PrivacyModel],
         satisfying_by_subset: dict,
         monotone: bool,
@@ -153,11 +157,10 @@ class Incognito:
                         self.stats["pruned_by_subsets"] += 1
                         continue
                 self.stats["nodes_checked"] += 1
-                # Generalize within the full table (not a projection): models
-                # like l-diversity/t-closeness need the sensitive column.
-                candidate = apply_node(table, hierarchies, subset, node)
-                partition = partition_by_qi(candidate, list(subset))
-                if self._satisfies_with_suppression(candidate, partition, models, subset):
+                # Evaluate over the full table's rows (not a projection):
+                # models like l-diversity/t-closeness need the sensitive
+                # column, which GroupStats histograms carry.
+                if evaluator.evaluate(node, models, self.max_suppression, names=subset):
                     if monotone and self.use_predictive_tagging:
                         up = sub_lattice.up_set(node)
                         self.stats["tagged_without_check"] += len(up - satisfying) - 1
@@ -165,17 +168,6 @@ class Incognito:
                     else:
                         satisfying.add(node)
         return satisfying
-
-    def _satisfies_with_suppression(self, candidate, partition, models, subset) -> bool:
-        if check_models(candidate, partition, models):
-            return True
-        if self.max_suppression <= 0:
-            return False
-        failing = set()
-        for model in models:
-            failing.update(model.failing_groups(candidate, partition))
-        n_failing_rows = sum(partition.groups[i].size for i in failing)
-        return n_failing_rows <= self.max_suppression * candidate.n_rows
 
     def _pruned_by_subsets(self, node: Node, subset: tuple, satisfying_by_subset: dict) -> bool:
         """True if any (s-1)-projection of ``node`` was unsatisfying."""
@@ -190,20 +182,13 @@ class Incognito:
     def _choose(
         self,
         table: Table,
-        qi_names: Sequence[str],
-        hierarchies: Mapping[str, HierarchyLike],
+        evaluator: LatticeEvaluator,
         minimal: list[Node],
     ) -> Node:
         """Pick the release node among the minimal antichain."""
         if self.score is not None:
             return min(minimal, key=lambda node: self.score(table, node))
-
-        def default_key(node: Node):
-            candidate = apply_node(table.select(list(qi_names)), hierarchies, qi_names, node)
-            n_classes = len(partition_by_qi(candidate, qi_names))
-            return (sum(node), -n_classes)
-
-        return min(minimal, key=default_key)
+        return min(minimal, key=lambda node: (sum(node), -evaluator.n_groups(node)))
 
     def __repr__(self) -> str:
         return (

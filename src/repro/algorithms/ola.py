@@ -21,17 +21,15 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Sequence
 
-import numpy as np
-
+from ..core.engine import LatticeEvaluator
 from ..core.generalize import HierarchyLike, apply_node
 from ..core.lattice import GeneralizationLattice
-from ..core.partition import partition_by_qi
 from ..core.release import Release
 from ..core.schema import Schema
 from ..core.table import Table
 from ..errors import InfeasibleError
 from ..privacy.base import PrivacyModel
-from .base import failing_of_models, prepare_input, suppress_failing
+from .base import prepare_input, suppress_rows
 
 __all__ = ["OLA"]
 
@@ -68,6 +66,7 @@ class OLA:
     ) -> Release:
         original = prepare_input(table, schema, hierarchies)
         qi_names = schema.quasi_identifiers
+        evaluator = LatticeEvaluator(original, qi_names, hierarchies)
         lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi_names)
         heights = lattice.heights
         self.stats = {"nodes_checked": 0, "lattice_size": lattice.size}
@@ -81,11 +80,7 @@ class OLA:
             if node in unsatisfying:
                 return False
             self.stats["nodes_checked"] += 1
-            candidate = apply_node(original, hierarchies, qi_names, node)
-            partition = partition_by_qi(candidate, qi_names)
-            failing = failing_of_models(candidate, partition, models)
-            n_failing = sum(partition.groups[i].size for i in failing)
-            ok = n_failing <= self.max_suppression * candidate.n_rows
+            ok = evaluator.evaluate(node, models, self.max_suppression)
             if ok:
                 satisfying.update(lattice.up_set(node))
             else:
@@ -141,14 +136,12 @@ class OLA:
 
         best = min(minimal, key=lambda node: self.loss(node, heights))
         candidate = apply_node(original, hierarchies, qi_names, best)
-        partition = partition_by_qi(candidate, qi_names)
-        failing = failing_of_models(candidate, partition, models)
-        if failing:
-            candidate, kept, suppressed = suppress_failing(
-                candidate, qi_names, models, self.max_suppression
-            )
-        else:
+        if evaluator.check(best, models):
             kept, suppressed = None, 0
+        else:
+            candidate, kept, suppressed = suppress_rows(
+                candidate, evaluator.failing_rows(best, models), self.max_suppression
+            )
         return Release(
             table=candidate,
             schema=schema,

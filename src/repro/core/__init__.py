@@ -1,10 +1,11 @@
 """Core substrate: table engine, schema, hierarchies, lattice, partitions."""
 
+from .engine import GroupStats, LatticeEvaluator, supports_stats
 from .generalize import apply_node, apply_partition_recoding, generalized_qi_table
 from .hierarchy import Hierarchy, IntervalHierarchy, suppression_hierarchy
 from .io import read_csv, write_csv
 from .lattice import GeneralizationLattice
-from .partition import EquivalenceClasses, partition_by_qi
+from .partition import EquivalenceClasses, classes_from_labels, partition_by_qi
 from .release import Release
 from .schema import AttributeType, Schema
 from .table import Column, Table
@@ -14,15 +15,19 @@ __all__ = [
     "Column",
     "EquivalenceClasses",
     "GeneralizationLattice",
+    "GroupStats",
     "Hierarchy",
     "IntervalHierarchy",
+    "LatticeEvaluator",
     "Release",
     "Schema",
     "Table",
     "apply_node",
     "apply_partition_recoding",
+    "classes_from_labels",
     "generalized_qi_table",
     "partition_by_qi",
+    "supports_stats",
     "read_csv",
     "suppression_hierarchy",
     "write_csv",

@@ -1,0 +1,559 @@
+"""Vectorized lattice-node evaluation engine.
+
+Checking a candidate lattice node used to mean rebuilding a generalized
+:class:`~repro.core.table.Table` (``apply_node``) and re-partitioning it from
+raw rows (``partition_by_qi``) — per node, per algorithm. This module turns
+node evaluation into a handful of numpy gathers and bincounts shared by
+Incognito, OLA, Flash, and Datafly.
+
+Design
+------
+**LUTs.** At construction the :class:`LatticeEvaluator` encodes every QI
+once into *base codes* — ground-domain codes for categorical QIs (via
+:meth:`Hierarchy.level_map`), rank codes over the distinct values for
+numeric QIs — plus one int lookup table per generalization level.
+Generalizing a QI to level ``lv`` is then the single gather
+``lut[lv][base_codes]``; no Table is ever rebuilt during the search.
+
+**GroupStats.** Evaluating a node packs the per-QI level codes into one
+mixed-radix signature per row (falling back to ``np.unique(axis=0)`` on
+int64 overflow, exactly like :meth:`Table.group_signature`), compacts it
+with ``np.unique`` and materializes a :class:`GroupStats`: per-group sizes
+via ``np.bincount``, per-group representative QI codes, and — lazily, per
+sensitive attribute — the full (n_groups × n_categories) histogram matrix
+via a single flattened bincount (``group_label * n_cats + sens_code``).
+Privacy models that implement the stats fast path
+(``check_stats``/``failing_groups_stats``) are evaluated directly on these
+arrays; other models fall back transparently to ``check(table, partition)``
+on a materialized table.
+
+**Memoization & roll-up contract.** Stats are memoized per ``(names,
+node)``. When a node is requested and a *more specific* node over the same
+QI subset is already cached (componentwise ≤), its stats are *rolled up*
+instead of recomputed from rows: each cached group's representative codes
+are mapped through composed level-to-level LUTs, re-packed, and sizes /
+histograms are aggregated group-wise — O(n_groups) instead of O(n_rows).
+Roll-up preserves the canonical group order (ascending signature, i.e. the
+order :func:`partition_by_qi` produces), so group indices reported by
+``failing_groups_stats`` are interchangeable with the legacy path no matter
+how the stats were derived. Row-level labels are reconstructed lazily
+through the parent chain only when a partition or fallback check needs
+them.
+
+Group ordering is byte-compatible with the legacy path: groups ascend by
+packed signature, rows within a group ascend by index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import HierarchyError, SchemaError
+from .generalize import HierarchyLike, apply_node
+from .hierarchy import Hierarchy
+from .partition import EquivalenceClasses, classes_from_labels
+from .table import Table, pack_code_columns
+
+__all__ = ["GroupStats", "LatticeEvaluator", "supports_stats"]
+
+Node = tuple[int, ...]
+
+
+def supports_stats(model) -> bool:
+    """True if a privacy model opts into the GroupStats fast path.
+
+    A model opts in by implementing both ``check_stats(stats)`` and
+    ``failing_groups_stats(stats)``; composite models may instead expose a
+    ``supports_stats`` boolean attribute that gates delegation.
+    """
+    flag = getattr(model, "supports_stats", None)
+    if flag is not None and not callable(flag):
+        return bool(flag)
+    return hasattr(model, "check_stats") and hasattr(model, "failing_groups_stats")
+
+
+@dataclass
+class GroupStats:
+    """Equivalence-class statistics of one lattice node.
+
+    The stats fast path of privacy models consumes:
+
+    * :attr:`sizes` — int64 per-group sizes;
+    * :meth:`histogram` — (n_groups, n_categories) int64 counts of a
+      sensitive attribute per group;
+    * :meth:`global_distribution` — the table-wide sensitive distribution.
+
+    ``group_codes[g, i]`` is the generalized code of QI ``i`` shared by all
+    rows of group ``g`` — the ingredient of roll-up and of distinct-value
+    heuristics. Row-level labels and the :class:`EquivalenceClasses`
+    partition are reconstructed lazily (through the roll-up parent chain if
+    the stats were derived by roll-up rather than from rows).
+    """
+
+    names: tuple[str, ...]
+    node: Node
+    sizes: np.ndarray
+    group_codes: np.ndarray
+    n_rows: int
+    _engine: "LatticeEvaluator"
+    _row_labels: np.ndarray | None = None
+    _parent: tuple["GroupStats", np.ndarray] | None = None
+    _hists: dict = field(default_factory=dict)
+    _partition: EquivalenceClasses | None = None
+    _cache_key: tuple | None = None
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.sizes.size)
+
+    def min_size(self) -> int:
+        return int(self.sizes.min()) if self.sizes.size else 0
+
+    @property
+    def row_labels(self) -> np.ndarray:
+        """Per-row group label (resolved through the roll-up parent chain)."""
+        if self._row_labels is None:
+            assert self._parent is not None, "root stats always carry row labels"
+            parent, group_map = self._parent
+            self._row_labels = group_map[parent.row_labels]
+            self._engine._note_bytes(self, self._row_labels.nbytes)
+        return self._row_labels
+
+    def histogram(self, sensitive: str) -> np.ndarray:
+        """(n_groups, n_categories) counts of ``sensitive`` per group."""
+        hist = self._hists.get(sensitive)
+        if hist is not None:
+            return hist
+        n_cats = self._engine._column_categories(sensitive)
+        if self._parent is not None:
+            parent, group_map = self._parent
+            hist = np.zeros((self.n_groups, n_cats), dtype=np.int64)
+            np.add.at(hist, group_map, parent.histogram(sensitive))
+        else:
+            codes = self._engine._column_codes(sensitive)
+            flat = np.bincount(
+                self.row_labels * n_cats + codes, minlength=self.n_groups * n_cats
+            )
+            hist = flat.reshape(self.n_groups, n_cats)
+        self._hists[sensitive] = hist
+        self._engine._note_bytes(self, hist.nbytes)
+        return hist
+
+    def global_distribution(self, sensitive: str) -> np.ndarray:
+        """Table-wide distribution of ``sensitive`` (t-closeness baseline)."""
+        counts = self.histogram(sensitive).sum(axis=0).astype(np.float64)
+        total = counts.sum()
+        return counts / total if total else counts
+
+    def partition(self) -> EquivalenceClasses:
+        """The node's EC partition, ordered exactly like ``partition_by_qi``."""
+        if self._partition is None:
+            self._partition = classes_from_labels(
+                self.row_labels, self.names, self.n_rows
+            )
+            # The group arrays are views over one O(n_rows) order array.
+            self._engine._note_bytes(self, self.n_rows * 8)
+        return self._partition
+
+
+class _QIEncoding:
+    """Per-QI precomputation: base codes + one LUT per generalization level."""
+
+    __slots__ = ("base_codes", "luts", "n_labels")
+
+    def __init__(self, base_codes: np.ndarray, luts: list[np.ndarray], n_labels: list[int]):
+        self.base_codes = base_codes
+        self.luts = luts
+        self.n_labels = n_labels
+
+
+class LatticeEvaluator:
+    """Shared node-evaluation engine for full-domain lattice searches.
+
+    Construct once per search from the (identifier-stripped) input table,
+    the QI list, and the hierarchies; then evaluate any node of the full
+    lattice — or of any projected sub-lattice (``names=`` subset, as
+    Incognito's subset phases need) — without rebuilding tables.
+
+    The memo cache holds :class:`GroupStats` keyed by ``(names, node)``;
+    it is bounded both by entry count (``cache_limit``) and by approximate
+    payload bytes (``cache_bytes``, FIFO eviction) so large-lattice searches
+    over many-row tables cannot pin O(nodes × rows) of label arrays.
+    Payload grown after insertion (lazy histograms, lazily-resolved row
+    labels) is accounted too and can trigger eviction of older entries.
+    Evicted entries may stay alive while a rolled-up descendant still
+    references them, but each roll-up chain shares a single per-row label
+    array at its root, so that overhang is bounded.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        qi_names: Sequence[str],
+        hierarchies: Mapping[str, HierarchyLike],
+        cache_limit: int = 8192,
+        cache_bytes: int = 256 * 2**20,
+    ):
+        self.table = table
+        self.qi_names = tuple(qi_names)
+        self.hierarchies = hierarchies
+        self.cache_limit = int(cache_limit)
+        self.cache_bytes = int(cache_bytes)
+        self._cached_bytes = 0
+        # Exact bytes attributed to each *currently cached* entry, so lazy
+        # growth on an already-evicted GroupStats can never leak into the
+        # budget (that would eventually collapse the cache to one entry).
+        self._accounted: dict[tuple[tuple[str, ...], Node], int] = {}
+        self._encodings = {name: self._encode_qi(name) for name in self.qi_names}
+        self._stats_cache: dict[tuple[tuple[str, ...], Node], GroupStats] = {}
+        self._level_maps: dict[tuple[str, int, int], np.ndarray] = {}
+        self._columns: dict[str, tuple[np.ndarray, int]] = {}
+        # Single-entry materialization cache: callers typically ask for the
+        # same node's table twice in a row (check -> suppression count), and
+        # full tables are too large to memoize per node.
+        self._last_materialized: tuple[tuple[tuple[str, ...], Node], Table] | None = None
+
+    # -- precomputation ------------------------------------------------------
+
+    def _encode_qi(self, name: str) -> _QIEncoding:
+        column = self.table.column(name)
+        hierarchy = self.hierarchies[name]
+        if column.is_categorical:
+            if not isinstance(hierarchy, Hierarchy):
+                raise HierarchyError(
+                    f"categorical QI {name!r} needs a Hierarchy, got {type(hierarchy).__name__}"
+                )
+            base = hierarchy.ground_codes(column)
+            luts = [hierarchy.level_map(lv) for lv in range(hierarchy.height + 1)]
+            n_labels = [len(hierarchy.labels(lv)) for lv in range(hierarchy.height + 1)]
+            return _QIEncoding(base, luts, n_labels)
+        # Numeric QI: rank-encode the distinct values, then per-level LUTs
+        # over the distinct-value domain via interval binning.
+        if not hasattr(hierarchy, "bin_values"):
+            raise HierarchyError(
+                f"column {name!r} is numeric; use IntervalHierarchy, "
+                f"got {type(hierarchy).__name__}"
+            )
+        assert column.values is not None
+        uniques, base = np.unique(column.values, return_inverse=True)
+        luts = [np.arange(uniques.size, dtype=np.int64)]
+        n_labels = [int(uniques.size)]
+        for lv in range(1, hierarchy.height + 1):
+            luts.append(hierarchy.bin_values(uniques, lv).astype(np.int64))
+            n_labels.append(len(hierarchy.intervals(lv)))
+        return _QIEncoding(base.astype(np.int64), luts, n_labels)
+
+    def _column_codes(self, name: str) -> np.ndarray:
+        """int64 codes of a categorical (usually sensitive) column."""
+        return self._column(name)[0]
+
+    def _column_categories(self, name: str) -> int:
+        """Category count of a categorical column."""
+        return self._column(name)[1]
+
+    def _column(self, name: str) -> tuple[np.ndarray, int]:
+        cached = self._columns.get(name)
+        if cached is None:
+            column = self.table.column(name)
+            if not column.is_categorical:
+                raise SchemaError(
+                    f"column {name!r} must be categorical for group histograms"
+                )
+            assert column.codes is not None
+            cached = (column.codes.astype(np.int64), len(column.categories))
+            self._columns[name] = cached
+        return cached
+
+    def _level_map_between(self, name: str, low: int, high: int) -> np.ndarray:
+        """Composed LUT mapping level-``low`` codes to level-``high`` codes.
+
+        Valid because every hierarchy level refines the next (checked at
+        Hierarchy construction; interval merging is monotone by design), so
+        scattering ``lut[high]`` through ``lut[low]`` is conflict-free.
+        """
+        key = (name, low, high)
+        comp = self._level_maps.get(key)
+        if comp is None:
+            enc = self._encodings[name]
+            comp = np.zeros(enc.n_labels[low], dtype=np.int64)
+            comp[enc.luts[low]] = enc.luts[high]
+            self._level_maps[key] = comp
+        return comp
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self, node: Sequence[int], names: Sequence[str] | None = None) -> GroupStats:
+        """Memoized :class:`GroupStats` of a node (roll-up when possible)."""
+        names = self.qi_names if names is None else tuple(names)
+        node = tuple(int(lv) for lv in node)
+        key = (names, node)
+        cached = self._stats_cache.get(key)
+        if cached is not None:
+            return cached
+        ancestor = self._rollup_candidate(names, node)
+        if ancestor is not None:
+            stats = self._rollup(ancestor, node)
+        else:
+            stats = self._stats_from_rows(names, node)
+        footprint = self._footprint(stats)
+        while self._stats_cache and (
+            len(self._stats_cache) >= self.cache_limit
+            or self._cached_bytes + footprint > self.cache_bytes
+        ):
+            self._evict_oldest()
+        stats._cache_key = key
+        self._stats_cache[key] = stats
+        self._accounted[key] = footprint
+        self._cached_bytes += footprint
+        return stats
+
+    def _evict_oldest(self) -> None:
+        oldest = next(iter(self._stats_cache))
+        self._stats_cache.pop(oldest)
+        self._cached_bytes -= self._accounted.pop(oldest)
+
+    @staticmethod
+    def _footprint(stats: GroupStats) -> int:
+        """Approximate cached payload bytes of one GroupStats entry."""
+        total = stats.sizes.nbytes + stats.group_codes.nbytes
+        if stats._row_labels is not None:
+            total += stats._row_labels.nbytes
+        if stats._partition is not None:
+            total += stats.n_rows * 8
+        total += sum(hist.nbytes for hist in stats._hists.values())
+        return total
+
+    def _note_bytes(self, stats: GroupStats, n_bytes: int) -> None:
+        """Account for payload grown after insertion (lazy histograms, lazy
+        row labels, partitions) and evict oldest entries if the budget is
+        now exceeded. Growth on stats no longer in the cache is ignored —
+        their bytes were already released at eviction."""
+        key = stats._cache_key
+        if key is None or self._stats_cache.get(key) is not stats:
+            return
+        self._cached_bytes += int(n_bytes)
+        self._accounted[key] += int(n_bytes)
+        while len(self._stats_cache) > 1 and self._cached_bytes > self.cache_bytes:
+            self._evict_oldest()
+
+    def _rollup_candidate(self, names: tuple[str, ...], node: Node) -> GroupStats | None:
+        """Cheapest cached strictly-more-specific node over the same QIs."""
+        best: GroupStats | None = None
+        for (cached_names, cached_node), stats in self._stats_cache.items():
+            if cached_names != names or cached_node == node:
+                continue
+            if all(a <= b for a, b in zip(cached_node, node)):
+                if best is None or stats.n_groups < best.n_groups:
+                    best = stats
+        return best
+
+    def _group(
+        self, code_columns: list[np.ndarray], radices: list[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(labels, first_occurrence_index, group_codes) of packed columns.
+
+        Delegates the packing (and its int64-overflow fallback) to
+        :func:`repro.core.table.pack_code_columns` so the engine's group
+        order is the same code path ``Table.group_rows`` uses, by
+        construction rather than by parallel implementation.
+        """
+        signature = pack_code_columns(code_columns, radices)
+        _, first, labels = np.unique(signature, return_index=True, return_inverse=True)
+        group_codes = np.stack([codes[first] for codes in code_columns], axis=1)
+        return labels, first, group_codes
+
+    def _stats_from_rows(self, names: tuple[str, ...], node: Node) -> GroupStats:
+        code_columns = []
+        radices = []
+        for name, level in zip(names, node):
+            enc = self._encodings[name]
+            code_columns.append(enc.luts[level][enc.base_codes].astype(np.int64))
+            radices.append(enc.n_labels[level])
+        labels, _, group_codes = self._group(code_columns, radices)
+        sizes = np.bincount(labels, minlength=group_codes.shape[0]).astype(np.int64)
+        return GroupStats(
+            names=names,
+            node=node,
+            sizes=sizes,
+            group_codes=group_codes,
+            n_rows=self.table.n_rows,
+            _engine=self,
+            _row_labels=labels,
+        )
+
+    def _rollup(self, parent: GroupStats, node: Node) -> GroupStats:
+        code_columns = []
+        radices = []
+        for i, name in enumerate(parent.names):
+            comp = self._level_map_between(name, parent.node[i], node[i])
+            code_columns.append(comp[parent.group_codes[:, i]])
+            radices.append(self._encodings[name].n_labels[node[i]])
+        group_map, _, group_codes = self._group(code_columns, radices)
+        sizes = np.zeros(group_codes.shape[0], dtype=np.int64)
+        np.add.at(sizes, group_map, parent.sizes)
+        return GroupStats(
+            names=parent.names,
+            node=node,
+            sizes=sizes,
+            group_codes=group_codes,
+            n_rows=parent.n_rows,
+            _engine=self,
+            _parent=(parent, group_map),
+        )
+
+    # -- model evaluation ----------------------------------------------------
+
+    def check(
+        self,
+        node: Sequence[int],
+        models: Sequence,
+        names: Sequence[str] | None = None,
+    ) -> bool:
+        """True iff every model holds at the node (fast path + fallback)."""
+        stats = self.stats(node, names)
+        slow = []
+        for model in models:
+            if supports_stats(model):
+                if not model.check_stats(stats):
+                    return False
+            else:
+                slow.append(model)
+        if not slow:
+            return True
+        candidate = self.materialize(node, names)
+        partition = stats.partition()
+        return all(model.check(candidate, partition) for model in slow)
+
+    def failing_groups(
+        self,
+        node: Sequence[int],
+        models: Sequence,
+        names: Sequence[str] | None = None,
+    ) -> list[int]:
+        """Sorted union of the models' failing group indices at the node."""
+        return sorted(np.flatnonzero(self._failing_mask(node, models, names)).tolist())
+
+    def failing_row_count(
+        self,
+        node: Sequence[int],
+        models: Sequence,
+        names: Sequence[str] | None = None,
+    ) -> int:
+        """Rows belonging to any failing group (the suppression cost)."""
+        stats = self.stats(node, names)
+        mask = self._failing_mask(node, models, names)
+        return int(stats.sizes[mask].sum())
+
+    def failing_rows(
+        self,
+        node: Sequence[int],
+        models: Sequence,
+        names: Sequence[str] | None = None,
+    ) -> np.ndarray:
+        """Ascending row indices of every failing group at the node.
+
+        Suppression steps should consume this rather than re-deriving the
+        failing set through the legacy model path, so a borderline float
+        verdict cannot flip between the search's admission decision and the
+        final suppression.
+        """
+        stats = self.stats(node, names)
+        mask = self._failing_mask(node, models, names)
+        return np.flatnonzero(mask[stats.row_labels])
+
+    def _failing_mask(
+        self, node: Sequence[int], models: Sequence, names: Sequence[str] | None
+    ) -> np.ndarray:
+        stats = self.stats(node, names)
+        mask = np.zeros(stats.n_groups, dtype=bool)
+        slow = []
+        for model in models:
+            if supports_stats(model):
+                indices = model.failing_groups_stats(stats)
+                if len(indices):
+                    mask[np.asarray(indices, dtype=np.int64)] = True
+            else:
+                slow.append(model)
+        if slow:
+            candidate = self.materialize(node, names)
+            partition = stats.partition()
+            for model in slow:
+                indices = model.failing_groups(candidate, partition)
+                if len(indices):
+                    mask[np.asarray(indices, dtype=np.int64)] = True
+        return mask
+
+    def evaluate(
+        self,
+        node: Sequence[int],
+        models: Sequence,
+        max_suppression: float = 0.0,
+        names: Sequence[str] | None = None,
+    ) -> bool:
+        """Node satisfies the models, possibly within a suppression budget.
+
+        With a budget the failing mask is computed directly (one pass, one
+        fallback materialization at most) since a failed check alone cannot
+        decide the verdict anyway.
+        """
+        if max_suppression <= 0:
+            return self.check(node, models, names)
+        stats = self.stats(node, names)
+        mask = self._failing_mask(node, models, names)
+        budget = max_suppression * self.table.n_rows
+        return int(stats.sizes[mask].sum()) <= budget
+
+    # -- materialization & heuristics ---------------------------------------
+
+    def materialize(
+        self, node: Sequence[int], names: Sequence[str] | None = None
+    ) -> Table:
+        """Generalized full table at the node (for the winning node only)."""
+        names = self.qi_names if names is None else tuple(names)
+        key = (names, tuple(int(lv) for lv in node))
+        if self._last_materialized is not None and self._last_materialized[0] == key:
+            return self._last_materialized[1]
+        table = apply_node(self.table, self.hierarchies, names, node)
+        self._last_materialized = (key, table)
+        return table
+
+    def partition(
+        self, node: Sequence[int], names: Sequence[str] | None = None
+    ) -> EquivalenceClasses:
+        """EC partition at the node, interchangeable with ``partition_by_qi``."""
+        return self.stats(node, names).partition()
+
+    def n_groups(self, node: Sequence[int], names: Sequence[str] | None = None) -> int:
+        return self.stats(node, names).n_groups
+
+    def distinct_counts(
+        self, node: Sequence[int], names: Sequence[str] | None = None
+    ) -> list[int]:
+        """Per-QI distinct generalized values present (Datafly heuristic)."""
+        stats = self.stats(node, names)
+        return [
+            int(np.unique(stats.group_codes[:, i]).size)
+            for i in range(stats.group_codes.shape[1])
+        ]
+
+    def distinct_after(
+        self,
+        node: Sequence[int],
+        qi_index: int,
+        new_level: int,
+        names: Sequence[str] | None = None,
+    ) -> int:
+        """Distinct values of one QI if raised to ``new_level`` (loss ablation)."""
+        names = self.qi_names if names is None else tuple(names)
+        stats = self.stats(node, names)
+        comp = self._level_map_between(names[qi_index], int(node[qi_index]), new_level)
+        return int(np.unique(comp[stats.group_codes[:, qi_index]]).size)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatticeEvaluator({len(self.qi_names)} QIs, {self.table.n_rows} rows, "
+            f"{len(self._stats_cache)} cached nodes)"
+        )

@@ -79,23 +79,20 @@ def apply_partition_recoding(
     new_columns: list[Column] = []
     for name, hierarchy in categorical_qis.items():
         codes = table.codes(name)
-        out = [""] * n_rows
+        out = np.empty(n_rows, dtype=object)
         for group in groups:
-            label = _categorical_group_label(hierarchy, codes[group])
-            for row in group:
-                out[row] = label
-        new_columns.append(Column.categorical(name, out))
+            # Vectorized scatter: one label assignment per group, not per row.
+            out[group] = _categorical_group_label(hierarchy, codes[group])
+        new_columns.append(Column.categorical(name, out.tolist()))
 
     fmt = f"%.{precision}g"
     for name in numeric_qis:
         values = table.values(name)
-        out = [""] * n_rows
+        out = np.empty(n_rows, dtype=object)
         for group in groups:
             lo, hi = float(values[group].min()), float(values[group].max())
-            label = fmt % lo if lo == hi else f"[{fmt % lo}-{fmt % hi}]"
-            for row in group:
-                out[row] = label
-        new_columns.append(Column.categorical(name, out))
+            out[group] = fmt % lo if lo == hi else f"[{fmt % lo}-{fmt % hi}]"
+        new_columns.append(Column.categorical(name, out.tolist()))
 
     return table.replace(*new_columns)
 

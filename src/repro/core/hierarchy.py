@@ -170,35 +170,52 @@ class Hierarchy:
         self._check_level(level)
         return self._level_labels[level]
 
+    def level_map(self, level: int) -> np.ndarray:
+        """int32 lookup table: ``level_map(lv)[ground_code] -> level-lv code``.
+
+        Generalizing a whole column is then a single gather,
+        ``level_map(lv)[codes]``, with no Table rebuild — this is the LUT the
+        lattice-evaluation engine precomputes per QI. Treat the returned
+        array as read-only; it is the hierarchy's internal storage.
+        """
+        self._check_level(level)
+        return self._level_maps[level]
+
     def map_codes(self, codes: np.ndarray, level: int) -> np.ndarray:
         """Map ground codes to level-``level`` codes (vectorized)."""
         self._check_level(level)
         return self._level_maps[level][codes]
 
-    def generalize_column(self, column: Column, level: int) -> Column:
-        """Generalize a categorical column whose categories ⊆ ground.
+    def ground_codes(self, column: Column) -> np.ndarray:
+        """Codes of a categorical column translated into ground-domain order.
 
         The column's category order need not match the hierarchy's ground
-        ordering; codes are remapped through a value index.
+        ordering; codes are remapped through a value index. The single
+        shared translation used by both :meth:`generalize_column` and the
+        lattice-evaluation engine — do not fork it.
         """
         if not column.is_categorical:
             raise HierarchyError(f"column {column.name!r} is numeric; use IntervalHierarchy")
         assert column.codes is not None
         if tuple(column.categories) == self.ground:
-            ground_codes = column.codes
-        else:
-            ground_index = {value: code for code, value in enumerate(self.ground)}
-            missing = [v for v in column.categories if v not in ground_index]
-            if missing:
-                raise HierarchyError(
-                    f"column {column.name!r} values {missing} not in hierarchy ground domain"
-                )
-            translate = np.array(
-                [ground_index[v] for v in column.categories], dtype=np.int32
+            return column.codes
+        ground_index = {value: code for code, value in enumerate(self.ground)}
+        missing = [v for v in column.categories if v not in ground_index]
+        if missing:
+            raise HierarchyError(
+                f"column {column.name!r} values {missing} not in hierarchy ground domain"
             )
-            ground_codes = translate[column.codes]
+        translate = np.array(
+            [ground_index[v] for v in column.categories], dtype=np.int32
+        )
+        return translate[column.codes]
+
+    def generalize_column(self, column: Column, level: int) -> Column:
+        """Generalize a categorical column whose categories ⊆ ground."""
         return Column.from_codes(
-            column.name, self.map_codes(ground_codes, level), self.labels(level)
+            column.name,
+            self.map_codes(self.ground_codes(column), level),
+            self.labels(level),
         )
 
     def leaf_count(self, level: int) -> np.ndarray:

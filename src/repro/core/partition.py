@@ -13,9 +13,9 @@ from typing import Sequence
 
 import numpy as np
 
-from .table import Table
+from .table import Table, split_by_labels
 
-__all__ = ["EquivalenceClasses", "partition_by_qi"]
+__all__ = ["EquivalenceClasses", "partition_by_qi", "classes_from_labels"]
 
 
 @dataclass(frozen=True)
@@ -40,7 +40,12 @@ class EquivalenceClasses:
         return len(self.groups)
 
     def sizes(self) -> np.ndarray:
-        return np.array([g.size for g in self.groups], dtype=np.int64)
+        """Per-group sizes (cached; treat the returned array as read-only)."""
+        cached = self.__dict__.get("_sizes")
+        if cached is None:
+            cached = np.array([g.size for g in self.groups], dtype=np.int64)
+            object.__setattr__(self, "_sizes", cached)
+        return cached
 
     def min_size(self) -> int:
         return int(self.sizes().min()) if self.groups else 0
@@ -64,4 +69,19 @@ def partition_by_qi(table: Table, qi_names: Sequence[str]) -> EquivalenceClasses
     groups = table.group_rows(list(qi_names))
     return EquivalenceClasses(
         groups=tuple(groups), qi_names=tuple(qi_names), n_rows=table.n_rows
+    )
+
+
+def classes_from_labels(
+    labels: np.ndarray, qi_names: Sequence[str], n_rows: int
+) -> EquivalenceClasses:
+    """Build an EC partition from per-row integer group labels.
+
+    Groups are ordered by ascending label value and each group's row indices
+    are ascending, matching :meth:`Table.group_rows` exactly — so partitions
+    built from the lattice-evaluation engine's labels are interchangeable
+    with :func:`partition_by_qi` output (same group indices).
+    """
+    return EquivalenceClasses(
+        groups=tuple(split_by_labels(labels)), qi_names=tuple(qi_names), n_rows=int(n_rows)
     )

@@ -28,7 +28,46 @@ import numpy as np
 
 from ..errors import SchemaError
 
-__all__ = ["Column", "Table"]
+__all__ = ["Column", "Table", "pack_code_columns", "split_by_labels"]
+
+_RADIX_LIMIT = 2**62
+
+
+def pack_code_columns(code_columns: Sequence[np.ndarray], radices: Sequence[int]) -> np.ndarray:
+    """Pack parallel integer code columns into one int64 label per row.
+
+    Uses mixed-radix arithmetic over the per-column radices; falls back to
+    ``np.unique(axis=0)`` labelling if the radix product overflows int64.
+    Rows with equal labels agree on every column, and in both paths label
+    order equals lexicographic column order — the ordering contract that
+    keeps :meth:`Table.group_rows` and the lattice-evaluation engine's
+    partitions interchangeable. This is the single shared implementation;
+    do not fork it.
+    """
+    product = 1.0
+    for radix in radices:
+        product *= max(radix, 1)
+    if product < _RADIX_LIMIT:
+        signature = np.zeros(code_columns[0].shape[0], dtype=np.int64)
+        for codes, radix in zip(code_columns, radices):
+            signature *= max(radix, 1)
+            signature += codes
+        return signature
+    stacked = np.stack(code_columns, axis=1)
+    _, labels = np.unique(stacked, axis=0, return_inverse=True)
+    return labels.reshape(-1).astype(np.int64)
+
+
+def split_by_labels(labels: np.ndarray) -> list[np.ndarray]:
+    """Row-index arrays of the groups induced by per-row labels.
+
+    Groups are ordered by ascending label; within a group, row indices
+    ascend (stable argsort keeps original order for equal labels).
+    """
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+    return np.split(order, boundaries)
 
 
 @dataclass(frozen=True)
@@ -98,8 +137,13 @@ class Column:
     def decode(self) -> list:
         """Materialize the column as a Python list of original values."""
         if self.is_categorical:
-            cats = self.categories
-            return [cats[code] for code in self.codes]  # type: ignore[union-attr]
+            # One object-array gather instead of a per-row loop: loop over
+            # the (few) categories, not the (many) rows. Elementwise fill
+            # keeps tuple-valued categories as scalars.
+            lookup = np.empty(len(self.categories), dtype=object)
+            for code, value in enumerate(self.categories):
+                lookup[code] = value
+            return lookup[self.codes].tolist()  # type: ignore[index]
         return list(self.values)  # type: ignore[arg-type]
 
     def take(self, indices: np.ndarray) -> "Column":
@@ -280,26 +324,11 @@ class Table:
                 radices.append(int(codes.max()) + 1 if codes.size else 1)
             code_arrays.append(codes)
 
-        product = 1.0
-        for radix in radices:
-            product *= radix
-        if product < 2**62:
-            signature = np.zeros(self._n_rows, dtype=np.int64)
-            for codes, radix in zip(code_arrays, radices):
-                signature *= radix
-                signature += codes
-            return signature
-        stacked = np.stack(code_arrays, axis=1)
-        _, labels = np.unique(stacked, axis=0, return_inverse=True)
-        return labels.astype(np.int64)
+        return pack_code_columns(code_arrays, radices)
 
     def group_rows(self, names: Sequence[str]) -> list[np.ndarray]:
         """Row-index arrays of the groups induced by the named columns."""
-        signature = self.group_signature(names)
-        order = np.argsort(signature, kind="stable")
-        sorted_sig = signature[order]
-        boundaries = np.flatnonzero(np.diff(sorted_sig)) + 1
-        return [np.sort(chunk) for chunk in np.split(order, boundaries)]
+        return split_by_labels(self.group_signature(names))
 
     # -- conversion / display ----------------------------------------------
 

@@ -83,6 +83,13 @@ def js_divergence(p: np.ndarray, q: np.ndarray) -> float:
     """Jensen–Shannon divergence (symmetric, bounded by log 2)."""
     p, q = _validate_pair(p, q)
     m = 0.5 * (p + q)
+    # 0.5 * (p + q) underflows to 0 when a cell holds the smallest subnormal
+    # float, which would send kl_divergence to inf on a cell the mixture
+    # actually covers; max(p, q) is a valid stand-in (>= the true m up to a
+    # factor of 2, so the log 2 bound still holds).
+    underflow = (m == 0) & ((p > 0) | (q > 0))
+    if underflow.any():
+        m = np.where(underflow, np.maximum(p, q), m)
     return 0.5 * kl_divergence(p, m, smoothing=0.0) + 0.5 * kl_divergence(q, m, smoothing=0.0)
 
 

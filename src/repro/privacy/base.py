@@ -10,6 +10,14 @@ node satisfies it, so does every more general node (given the same record
 set). Incognito's pruning and Datafly's greedy loop rely on this; models
 advertise it via :attr:`PrivacyModel.monotone` so non-monotone extensions can
 opt out of the pruning.
+
+Stats fast path: models may additionally implement ``check_stats(stats)``
+and ``failing_groups_stats(stats)`` over a
+:class:`~repro.core.engine.GroupStats` (per-group sizes and sensitive
+histograms) so lattice searches can evaluate them without materializing a
+generalized table. :func:`supports_stats` reports whether a model opts in;
+models that don't are transparently evaluated through the legacy
+``check(table, partition)`` interface.
 """
 
 from __future__ import annotations
@@ -18,10 +26,11 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..core.engine import supports_stats
 from ..core.partition import EquivalenceClasses
 from ..core.table import Table
 
-__all__ = ["PrivacyModel", "CompositeModel", "failing_rows"]
+__all__ = ["PrivacyModel", "CompositeModel", "failing_rows", "supports_stats"]
 
 
 @runtime_checkable
@@ -59,6 +68,22 @@ class CompositeModel:
         failing: set[int] = set()
         for model in self.models:
             failing.update(model.failing_groups(table, partition))
+        return sorted(failing)
+
+    # -- GroupStats fast path (see repro.core.engine) -----------------------
+
+    @property
+    def supports_stats(self) -> bool:
+        """Fast path available only when every member model opts in."""
+        return all(supports_stats(m) for m in self.models)
+
+    def check_stats(self, stats) -> bool:
+        return all(m.check_stats(stats) for m in self.models)
+
+    def failing_groups_stats(self, stats) -> list[int]:
+        failing: set[int] = set()
+        for model in self.models:
+            failing.update(model.failing_groups_stats(stats))
         return sorted(failing)
 
 

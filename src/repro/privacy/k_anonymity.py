@@ -7,6 +7,8 @@ indistinguishable from at least ``k - 1`` others with respect to linkage.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.partition import EquivalenceClasses
 from ..core.table import Table
 
@@ -29,6 +31,14 @@ class KAnonymity:
 
     def failing_groups(self, table: Table, partition: EquivalenceClasses) -> list[int]:
         return [i for i, g in enumerate(partition.groups) if g.size < self.k]
+
+    # -- GroupStats fast path (see repro.core.engine) -----------------------
+
+    def check_stats(self, stats) -> bool:
+        return bool(stats.sizes.size) and stats.min_size() >= self.k
+
+    def failing_groups_stats(self, stats) -> list[int]:
+        return np.flatnonzero(stats.sizes < self.k).tolist()
 
     def __repr__(self) -> str:
         return f"KAnonymity(k={self.k})"

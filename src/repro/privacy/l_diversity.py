@@ -48,6 +48,26 @@ class _SensitiveModel:
         histograms = partition.sensitive_counts(table, self.sensitive)
         return [i for i, counts in enumerate(histograms) if not self._ok(counts)]
 
+    # -- GroupStats fast path (see repro.core.engine) -----------------------
+
+    def _ok_mask(self, hist: np.ndarray) -> np.ndarray:
+        """Vectorized per-group verdicts over the (groups × categories) matrix."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    @property
+    def supports_stats(self) -> bool:
+        """Only subclasses that vectorize ``_ok_mask`` take the fast path;
+        ones implementing just the legacy ``_ok`` hook fall back cleanly."""
+        return type(self)._ok_mask is not _SensitiveModel._ok_mask
+
+    def check_stats(self, stats) -> bool:
+        if not stats.n_groups:
+            return False
+        return bool(self._ok_mask(stats.histogram(self.sensitive)).all())
+
+    def failing_groups_stats(self, stats) -> list[int]:
+        return np.flatnonzero(~self._ok_mask(stats.histogram(self.sensitive))).tolist()
+
 
 class DistinctLDiversity(_SensitiveModel):
     """Each EC contains at least ℓ distinct sensitive values."""
@@ -61,6 +81,9 @@ class DistinctLDiversity(_SensitiveModel):
 
     def _ok(self, counts: np.ndarray) -> bool:
         return int(np.count_nonzero(counts)) >= self.l
+
+    def _ok_mask(self, hist: np.ndarray) -> np.ndarray:
+        return (hist > 0).sum(axis=1) >= self.l
 
     def __repr__(self) -> str:
         return f"DistinctLDiversity(l={self.l}, sensitive={self.sensitive!r})"
@@ -83,6 +106,15 @@ class EntropyLDiversity(_SensitiveModel):
         probs = counts[counts > 0] / total
         entropy = float(-(probs * np.log(probs)).sum())
         return entropy >= np.log(self.l) - 1e-12
+
+    def _ok_mask(self, hist: np.ndarray) -> np.ndarray:
+        totals = hist.sum(axis=1)
+        safe = np.where(totals > 0, totals, 1).astype(np.float64)
+        probs = hist / safe[:, None]
+        log_probs = np.zeros_like(probs)
+        np.log(probs, out=log_probs, where=hist > 0)
+        entropy = -(probs * log_probs).sum(axis=1)
+        return (totals > 0) & (entropy >= np.log(self.l) - 1e-12)
 
     def __repr__(self) -> str:
         return f"EntropyLDiversity(l={self.l}, sensitive={self.sensitive!r})"
@@ -107,6 +139,17 @@ class RecursiveCLDiversity(_SensitiveModel):
             return False
         tail = nonzero[self.l - 1 :].sum()
         return float(nonzero[0]) < self.c * float(tail)
+
+    def _ok_mask(self, hist: np.ndarray) -> np.ndarray:
+        # Descending sort pushes zeros to the tail, which contributes nothing
+        # to the tail sum — so sorting the full histogram matches sorting the
+        # nonzero counts only.
+        n_nonzero = (hist > 0).sum(axis=1)
+        if hist.shape[1] < self.l:
+            return np.zeros(hist.shape[0], dtype=bool)
+        ordered = np.sort(hist, axis=1)[:, ::-1]
+        tail = ordered[:, self.l - 1 :].sum(axis=1).astype(np.float64)
+        return (n_nonzero >= self.l) & (ordered[:, 0].astype(np.float64) < self.c * tail)
 
     def __repr__(self) -> str:
         return (

@@ -98,6 +98,7 @@ class TCloseness:
         self.ground_distance = ground_distance
         self.hierarchy = hierarchy
         self.name = f"{self.t:g}-closeness({sensitive},{ground_distance})"
+        self._level_aggregates: list[np.ndarray] | None = None
 
     def _emd(self, p: np.ndarray, q: np.ndarray) -> float:
         if self.ground_distance == "equal":
@@ -125,6 +126,60 @@ class TCloseness:
     def failing_groups(self, table: Table, partition: EquivalenceClasses) -> list[int]:
         distances = self.distances(table, partition)
         return [i for i, d in enumerate(distances) if d > self.t + 1e-12]
+
+    # -- GroupStats fast path (see repro.core.engine) -----------------------
+
+    def distances_stats(self, stats) -> np.ndarray:
+        """Per-group EMDs computed matrix-at-a-time from GroupStats."""
+        hist = stats.histogram(self.sensitive).astype(np.float64)
+        global_dist = stats.global_distribution(self.sensitive)
+        totals = hist.sum(axis=1)
+        safe = np.where(totals > 0, totals, 1.0)
+        local = np.where(totals[:, None] > 0, hist / safe[:, None], 0.0)
+        residual = local - global_dist[None, :]
+        if self.ground_distance == "equal":
+            return 0.5 * np.abs(residual).sum(axis=1)
+        if self.ground_distance == "ordered":
+            m = residual.shape[1]
+            if m <= 1:
+                return np.zeros(residual.shape[0])
+            cumulative = np.cumsum(residual, axis=1)
+            return np.abs(cumulative[:, :-1]).sum(axis=1) / (m - 1)
+        assert self.hierarchy is not None
+        hierarchy = self.hierarchy
+        if len(hierarchy.ground) != residual.shape[1]:
+            raise ValueError("distribution length does not match hierarchy ground domain")
+        height = hierarchy.height
+        if height == 0:
+            return np.zeros(residual.shape[0])
+        cost = np.zeros(residual.shape[0])
+        for aggregate in self._aggregates():  # root (level == height) excluded
+            flows = residual @ aggregate
+            cost += np.abs(flows).sum(axis=1)
+        return cost / (2.0 * height)
+
+    def _aggregates(self) -> list[np.ndarray]:
+        """Per-level one-hot (ground × level-values) matrices, cached —
+        they depend only on the (immutable) hierarchy."""
+        if self._level_aggregates is None:
+            assert self.hierarchy is not None
+            ground = np.arange(len(self.hierarchy.ground))
+            matrices = []
+            for level in range(self.hierarchy.height):
+                mapping = self.hierarchy.map_codes(ground, level)
+                aggregate = np.zeros((ground.size, self.hierarchy.level_of_distinct(level)))
+                aggregate[ground, mapping] = 1.0
+                matrices.append(aggregate)
+            self._level_aggregates = matrices
+        return self._level_aggregates
+
+    def check_stats(self, stats) -> bool:
+        if not stats.n_groups:
+            return False
+        return bool((self.distances_stats(stats) <= self.t + 1e-12).all())
+
+    def failing_groups_stats(self, stats) -> list[int]:
+        return np.flatnonzero(self.distances_stats(stats) > self.t + 1e-12).tolist()
 
     def __repr__(self) -> str:
         return (

@@ -58,7 +58,9 @@ class TestEMDProperties:
         d = emd_hierarchical(p, q, h)
         assert 0.0 <= d <= 1.0 + 1e-9
         if np.allclose(p, q):
-            assert d == pytest.approx(0.0, abs=1e-9)
+            # np.allclose admits per-element slack up to ~1e-8, so the EMD of
+            # an "allclose" pair can exceed 1e-9; bound it by the same slack.
+            assert d == pytest.approx(0.0, abs=1e-7)
 
 
 class TestMondrianProperties:
