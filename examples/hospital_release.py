@@ -1,7 +1,10 @@
 """Hospital discharge publishing: defeating the homogeneity and skewness
 attacks.
 
-Walks the ℓ-diversity / t-closeness motivating scenario end to end:
+Walks the ℓ-diversity / t-closeness motivating scenario end to end, with
+each publishing policy written as a declarative job — the three configs
+differ only in their ``models`` list, and ``run_batch`` shares one lattice
+engine across them:
 
 1. publish with k-anonymity only and *run the attacks* to show the leak;
 2. add distinct ℓ-diversity — homogeneity attack dies, skew remains;
@@ -13,21 +16,25 @@ Run with::
     python examples/hospital_release.py
 """
 
-from repro import (
-    Anonymizer,
-    DistinctLDiversity,
-    KAnonymity,
-    TCloseness,
-)
+from repro.api import AnonymizationConfig, run_batch
 from repro.attacks import homogeneity_attack, skewness_gain
-from repro.data import load_medical, medical_hierarchies, medical_schema
-from repro.metrics import gcp
+from repro.data import load_medical, medical_hierarchies
+
+K_ONLY = [{"model": "k-anonymity", "k": 4}]
+DIVERSE = K_ONLY + [{"model": "distinct-l-diversity", "l": 3, "sensitive": "disease"}]
+CLOSE = DIVERSE + [{"model": "t-closeness", "t": 0.2, "sensitive": "disease"}]
+
+STEPS = [
+    ("k=4 only", K_ONLY),
+    ("k=4 + distinct 3-diversity", DIVERSE),
+    ("k=4 + 3-diversity + 0.2-closeness", CLOSE),
+]
 
 
-def audit(name, table, hierarchies, release):
+def audit(name, result):
+    release = result.release
     homogeneity = homogeneity_attack(release, confidence=0.95)
     skew = skewness_gain(release)
-    loss = gcp(table, release, hierarchies)
     print(f"\n--- {name} ---")
     print(f"  classes: {len(release.partition())}, min size: "
           f"{release.equivalence_class_sizes().min()}")
@@ -37,32 +44,34 @@ def audit(name, table, hierarchies, release):
     print(f"  skewness: max EMD from global disease distribution "
           f"{skew['max_emd']:.3f}, belief amplification "
           f"{skew['max_belief_amplification']:.1f}x")
-    print(f"  information loss (GCP): {loss:.3f}")
+    print(f"  information loss (GCP): {result.metrics['gcp']:.3f}")
 
 
 def main() -> None:
     table = load_medical(n_rows=4000, seed=3)
-    schema = medical_schema()
-    hierarchies = medical_hierarchies()
-    anonymizer = Anonymizer(table, schema, hierarchies)
+
+    configs = [
+        AnonymizationConfig.from_dict(
+            {
+                "quasi_identifiers": ["zipcode", "nationality"],
+                "numeric_quasi_identifiers": ["age"],
+                "sensitive": ["disease"],
+                "models": models,
+                "algorithm": {"algorithm": "mondrian", "mode": "strict"},
+                "metrics": ["gcp"],
+            }
+        )
+        for _, models in STEPS
+    ]
+    results = run_batch(configs, table, hierarchies=medical_hierarchies())
 
     # Step 1: k-anonymity alone. Identity is protected, the disease is not:
     # some 4-person classes are all "Flu" — anyone placed there is outed.
-    k_only = anonymizer.apply(KAnonymity(4))
-    audit("k=4 only", table, hierarchies, k_only)
-
     # Step 2: require 3 distinct diseases per class.
-    diverse = anonymizer.apply(KAnonymity(4), DistinctLDiversity(3, "disease"))
-    audit("k=4 + distinct 3-diversity", table, hierarchies, diverse)
-
     # Step 3: additionally bound each class's disease distribution to stay
     # within EMD 0.2 of the hospital-wide distribution.
-    close = anonymizer.apply(
-        KAnonymity(4),
-        DistinctLDiversity(3, "disease"),
-        TCloseness(0.2, "disease"),
-    )
-    audit("k=4 + 3-diversity + 0.2-closeness", table, hierarchies, close)
+    for (name, _), result in zip(STEPS, results):
+        audit(name, result)
 
     print(
         "\nEach step buys a strictly stronger attacker guarantee and costs "

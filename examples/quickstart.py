@@ -1,53 +1,77 @@
-"""Quickstart: anonymize a census extract and audit the release.
+"""Quickstart: describe an anonymization job declaratively, run it, audit it.
+
+The job is plain data — roles, models, algorithm, metrics — so the exact
+same description can be saved as JSON, replayed by the CLI
+(``python -m repro in.csv out.csv --config job.json``), or queued by a
+service. Only the curated Adult generalization trees are passed as live
+objects (they have no JSON spec form); everything else round-trips.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Anonymizer, DistinctLDiversity, KAnonymity, Mondrian
-from repro.data import adult_hierarchies, adult_schema, load_adult
+from repro.api import AnonymizationConfig, run
+from repro.data import adult_hierarchies, load_adult
 from repro.metrics import accuracy_experiment
+
+CONFIG = {
+    # 1. The publishing scenario: which attributes link externally
+    #    (quasi-identifiers), which are sensitive, which to drop.
+    "quasi_identifiers": [
+        "workclass", "education", "marital_status", "race", "sex", "native_country",
+    ],
+    "numeric_quasi_identifiers": ["age"],
+    "sensitive": ["occupation"],
+    # 2. The guarantee: 10-anonymity plus 3 distinct occupations per class.
+    "models": [
+        {"model": "k-anonymity", "k": 10},
+        {"model": "distinct-l-diversity", "l": 3, "sensitive": "occupation"},
+    ],
+    # 3. The algorithm, and the audit metrics to compute into the result.
+    "algorithm": {"algorithm": "mondrian", "mode": "strict"},
+    "metrics": ["linkage", "gcp", "discernibility", "c_avg"],
+}
 
 
 def main() -> None:
-    # 1. Load data. The generator reproduces the UCI Adult schema offline;
-    #    swap in load_adult_file("adult.data") if you have the real file.
+    # The generator reproduces the UCI Adult schema offline; swap in
+    # load_adult_file("adult.data") if you have the real file.
     table = load_adult(n_rows=5000, seed=0)
     print(f"original: {table}")
 
-    # 2. Declare the publishing scenario: which attributes link externally
-    #    (quasi-identifiers), which are sensitive, and how values generalize.
-    schema = adult_schema()  # QIs: age + 6 categoricals; sensitive: occupation
-    anonymizer = Anonymizer(table, schema, adult_hierarchies())
+    config = AnonymizationConfig.from_dict(CONFIG)
+    print(f"\njob as JSON ({len(config.to_json())} bytes): replayable via "
+          "`python -m repro in.csv out.csv --config job.json`")
 
-    # 3. Anonymize: 10-anonymity plus 3-diversity on occupation, via Mondrian.
-    release = anonymizer.apply(
-        KAnonymity(10),
-        DistinctLDiversity(3, "occupation"),
-        algorithm=Mondrian("strict"),
-    )
+    result = run(config, table, hierarchies=adult_hierarchies())
+    release = result.release
+
     print("\nrelease summary:")
     for key, value in release.summary().items():
         print(f"  {key}: {value}")
 
-    # 4. Audit: re-identification risk and information loss.
-    print("\nrisk report:")
-    for key, value in anonymizer.risk_report(release).items():
-        print(f"  {key}: {value:.4f}")
-    print("\nutility report:")
-    for key, value in anonymizer.utility_report(release).items():
-        print(f"  {key}: {value:.4f}")
+    print("\nrequested metrics:")
+    for name, value in result.metrics.items():
+        if isinstance(value, dict):
+            print(f"  {name}:")
+            for k, v in value.items():
+                print(f"    {k}: {v:.4f}")
+        else:
+            print(f"  {name}: {value:.4f}")
+    print("\nphase timings:")
+    for phase, seconds in result.timings.items():
+        print(f"  {phase}: {seconds * 1000:.1f} ms")
 
-    # 5. Check the release still supports mining: predict income from the
+    # 4. Check the release still supports mining: predict income from the
     #    anonymized quasi-identifiers.
-    result = accuracy_experiment(table, release, "salary", seed=1)
+    outcome = accuracy_experiment(table, release, "salary", seed=1)
     print("\nclassification workload (predict salary):")
-    print(f"  trained on original:   {result['original_accuracy']:.3f}")
-    print(f"  trained on anonymized: {result['anonymized_accuracy']:.3f}")
-    print(f"  majority baseline:     {result['baseline_accuracy']:.3f}")
+    print(f"  trained on original:   {outcome['original_accuracy']:.3f}")
+    print(f"  trained on anonymized: {outcome['anonymized_accuracy']:.3f}")
+    print(f"  majority baseline:     {outcome['baseline_accuracy']:.3f}")
 
-    # 6. Inspect a few published rows.
+    # 5. Inspect a few published rows.
     print("\nfirst rows of the release:")
     for row in release.table.head(3).to_rows():
         print(f"  {row}")

@@ -19,6 +19,15 @@ Quickstart::
     print(anon.risk_report(release))
 """
 
+from .api import (
+    AnonymizationConfig,
+    AnonymizationResult,
+    algorithm_registry,
+    metric_registry,
+    model_registry,
+    run,
+    run_batch,
+)
 from .algorithms import (
     Anatomy,
     BottomUpGeneralization,
@@ -47,6 +56,7 @@ from .core import (
 from .core.anonymizer import Anonymizer
 from .errors import (
     BudgetError,
+    ConfigError,
     HierarchyError,
     InfeasibleError,
     NotFittedError,
@@ -73,11 +83,14 @@ __version__ = "1.0.0"
 __all__ = [
     "AlphaKAnonymity",
     "Anatomy",
+    "AnonymizationConfig",
+    "AnonymizationResult",
     "Anonymizer",
     "AttributeType",
     "BudgetError",
     "Column",
     "CompositeModel",
+    "ConfigError",
     "BottomUpGeneralization",
     "Datafly",
     "DeltaPresence",
@@ -110,6 +123,11 @@ __all__ = [
     "TCloseness",
     "Table",
     "TopDownSpecialization",
+    "algorithm_registry",
+    "metric_registry",
+    "model_registry",
     "partition_by_qi",
+    "run",
+    "run_batch",
     "__version__",
 ]

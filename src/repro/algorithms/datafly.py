@@ -35,6 +35,9 @@ __all__ = ["Datafly"]
 class Datafly:
     """Greedy full-domain generalization with record suppression."""
 
+    #: ``anonymize`` accepts an external LatticeEvaluator (batch sharing).
+    uses_evaluator = True
+
     def __init__(self, max_suppression: float = 0.05, heuristic: str = "distinct"):
         if heuristic not in ("distinct", "loss"):
             raise ValueError(f"unknown heuristic {heuristic!r}")
@@ -48,10 +51,12 @@ class Datafly:
         schema: Schema,
         hierarchies: Mapping[str, HierarchyLike],
         models: Sequence[PrivacyModel],
+        evaluator: LatticeEvaluator | None = None,
     ) -> Release:
         original = prepare_input(table, schema, hierarchies)
         qi_names = schema.quasi_identifiers
-        evaluator = LatticeEvaluator(original, qi_names, hierarchies)
+        if evaluator is None:
+            evaluator = LatticeEvaluator(original, qi_names, hierarchies)
         heights = [hierarchies[name].height for name in qi_names]
         node = [0] * len(qi_names)
 

@@ -62,6 +62,9 @@ class Flash:
         then negated EC count).
     """
 
+    #: ``anonymize`` accepts an external LatticeEvaluator (batch sharing).
+    uses_evaluator = True
+
     def __init__(
         self,
         max_suppression: float = 0.0,
@@ -80,10 +83,12 @@ class Flash:
         schema: Schema,
         hierarchies: Mapping[str, HierarchyLike],
         models: Sequence[PrivacyModel],
+        evaluator: LatticeEvaluator | None = None,
     ) -> Release:
         original = prepare_input(table, schema, hierarchies)
         qi_names = schema.quasi_identifiers
-        evaluator = LatticeEvaluator(original, qi_names, hierarchies)
+        if evaluator is None:
+            evaluator = LatticeEvaluator(original, qi_names, hierarchies)
         minimal = self.find_minimal_nodes(
             original, qi_names, hierarchies, models, evaluator=evaluator
         )

@@ -44,6 +44,9 @@ Node = tuple[int, ...]
 class Incognito:
     """Breadth-first lattice search for all minimal satisfying nodes."""
 
+    #: ``anonymize`` accepts an external LatticeEvaluator (batch sharing).
+    uses_evaluator = True
+
     def __init__(
         self,
         max_suppression: float = 0.0,
@@ -66,10 +69,12 @@ class Incognito:
         schema: Schema,
         hierarchies: Mapping[str, HierarchyLike],
         models: Sequence[PrivacyModel],
+        evaluator: LatticeEvaluator | None = None,
     ) -> Release:
         original = prepare_input(table, schema, hierarchies)
         qi_names = schema.quasi_identifiers
-        evaluator = LatticeEvaluator(original, qi_names, hierarchies)
+        if evaluator is None:
+            evaluator = LatticeEvaluator(original, qi_names, hierarchies)
         minimal = self.find_minimal_nodes(
             original, qi_names, hierarchies, models, evaluator=evaluator
         )

@@ -39,6 +39,9 @@ Node = tuple[int, ...]
 class OLA:
     """Binary-search lattice anonymization with a suppression budget."""
 
+    #: ``anonymize`` accepts an external LatticeEvaluator (batch sharing).
+    uses_evaluator = True
+
     def __init__(
         self,
         max_suppression: float = 0.05,
@@ -63,10 +66,12 @@ class OLA:
         schema: Schema,
         hierarchies: Mapping[str, HierarchyLike],
         models: Sequence[PrivacyModel],
+        evaluator: LatticeEvaluator | None = None,
     ) -> Release:
         original = prepare_input(table, schema, hierarchies)
         qi_names = schema.quasi_identifiers
-        evaluator = LatticeEvaluator(original, qi_names, hierarchies)
+        if evaluator is None:
+            evaluator = LatticeEvaluator(original, qi_names, hierarchies)
         lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi_names)
         heights = lattice.heights
         self.stats = {"nodes_checked": 0, "lattice_size": lattice.size}

@@ -1,0 +1,320 @@
+"""The declarative job description: :class:`AnonymizationConfig`.
+
+A config captures everything :func:`repro.api.run` needs apart from the
+data itself — attribute roles, hierarchy builders, privacy-model specs, the
+algorithm spec, a suppression budget, and the report metrics — as plain
+JSON-safe values. One job written as JSON runs identically through
+``run(AnonymizationConfig.from_dict(...))``, the CLI ``--config`` flag, and
+(indirectly) the legacy :meth:`~repro.core.anonymizer.Anonymizer.apply`
+shim, because all three funnel into the same executor.
+
+Hierarchy specs name a builder instead of carrying a live object::
+
+    {"builder": "auto"}                      # pick per column type (default)
+    {"builder": "flat"}                      # one level: value -> "*"
+    {"builder": "prefix"}                    # digit-string prefix masking
+    {"builder": "interval", "bins": 16}      # uniform numeric intervals
+    {"builder": "interval", "cuts": [0, 18, 40, 65, 120]}
+    {"builder": "levels", "rows": {"a": ["ab", "*"], "b": ["ab", "*"]}}
+    {"builder": "tree", "tree": {"EU": ["fr", "es"], "AS": ["jp"]}}
+
+``flat``/``prefix``/bin-count ``interval`` builders derive the domain from
+the table at run time, so one config replays against fresh extracts of the
+same shape; ``cuts``/``levels``/``tree`` pin the domain explicitly.
+Validation errors always name the offending key.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Mapping
+
+from ..core.hierarchy import Hierarchy, IntervalHierarchy
+from ..core.schema import Schema
+from ..core.table import Table
+from ..errors import ConfigError
+from .registry import algorithm_registry, metric_registry, model_registry
+
+__all__ = ["AnonymizationConfig", "build_hierarchies", "build_schema"]
+
+_BUILDERS = ("auto", "flat", "prefix", "interval", "levels", "tree")
+
+
+@dataclass(frozen=True)
+class AnonymizationConfig:
+    """Declarative, serializable description of one anonymization job.
+
+    Construct directly, or from plain data via :meth:`from_dict` /
+    :meth:`from_json`; both validate eagerly and raise
+    :class:`~repro.errors.ConfigError` naming the offending key.
+    """
+
+    #: Categorical quasi-identifier columns.
+    quasi_identifiers: tuple[str, ...] = ()
+    #: Numeric quasi-identifier columns.
+    numeric_quasi_identifiers: tuple[str, ...] = ()
+    #: Sensitive columns (first one feeds sensitive-attribute metrics).
+    sensitive: tuple[str, ...] = ()
+    #: Direct identifiers, removed before anonymization.
+    drop: tuple[str, ...] = ()
+    #: Hierarchy spec per QI; QIs without an entry get ``{"builder": "auto"}``.
+    hierarchies: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    #: Privacy-model specs (see :data:`repro.api.model_registry`).
+    models: tuple[Mapping[str, Any], ...] = ()
+    #: Algorithm spec (see :data:`repro.api.algorithm_registry`).
+    algorithm: Mapping[str, Any] = field(
+        default_factory=lambda: {"algorithm": "mondrian"}
+    )
+    #: Suppression budget override; None keeps the algorithm's own default.
+    max_suppression: float | None = None
+    #: Report metrics computed into the result (see metric registry).
+    metrics: tuple[str, ...] = ()
+    #: Base bin count for ``auto``/bin-count ``interval`` hierarchies.
+    bins: int = 16
+
+    def __post_init__(self):
+        # Normalize sequence fields to tuples so configs hash/compare sanely
+        # even when constructed with lists (e.g. straight from JSON).
+        for name in ("quasi_identifiers", "numeric_quasi_identifiers", "sensitive",
+                     "drop", "metrics"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        object.__setattr__(
+            self, "models", tuple(dict(m) for m in self.models)
+        )
+        object.__setattr__(self, "algorithm", dict(self.algorithm))
+        object.__setattr__(
+            self, "hierarchies", {k: dict(v) for k, v in dict(self.hierarchies).items()}
+        )
+        self.validate()
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        if not self.quasi_identifiers and not self.numeric_quasi_identifiers:
+            raise ConfigError(
+                "config needs at least one entry under 'quasi_identifiers' or "
+                "'numeric_quasi_identifiers'"
+            )
+        seen: dict[str, str] = {}
+        for key in ("quasi_identifiers", "numeric_quasi_identifiers", "sensitive", "drop"):
+            for name in getattr(self, key):
+                if name in seen:
+                    raise ConfigError(
+                        f"column {name!r} appears under both {seen[name]!r} and {key!r}"
+                    )
+                seen[name] = key
+        qi_set = set(self.quasi_identifiers) | set(self.numeric_quasi_identifiers)
+        for name, spec in self.hierarchies.items():
+            if name not in qi_set:
+                raise ConfigError(
+                    f"key {name!r} under 'hierarchies' is not a declared quasi-identifier"
+                )
+            self._validate_hierarchy_spec(name, spec)
+        # Model/algorithm specs are built (and discarded) to surface bad
+        # names, keys, and parameter values at config-construction time.
+        for spec in self.models:
+            model_registry.from_spec(spec)
+        algorithm = algorithm_registry.from_spec(self.algorithm)
+        if self.max_suppression is not None and not hasattr(algorithm, "max_suppression"):
+            raise ConfigError(
+                f"key 'max_suppression' does not apply to algorithm "
+                f"{algorithm_registry.name_of(algorithm)!r} (no suppression "
+                "budget); remove the key or pick a budgeted algorithm"
+            )
+        for name in self.metrics:
+            if name not in metric_registry:
+                raise ConfigError(
+                    f"unknown metric {name!r} under 'metrics'; registered: "
+                    f"{', '.join(metric_registry.names())}"
+                )
+        if self.max_suppression is not None and not 0 <= self.max_suppression < 1:
+            raise ConfigError(
+                f"key 'max_suppression' must lie in [0, 1), got {self.max_suppression}"
+            )
+        if self.bins < 1:
+            raise ConfigError(f"key 'bins' must be >= 1, got {self.bins}")
+
+    def _validate_hierarchy_spec(self, name: str, spec: Mapping[str, Any]) -> None:
+        builder = spec.get("builder")
+        if builder not in _BUILDERS:
+            raise ConfigError(
+                f"hierarchy spec for {name!r} names unknown builder {builder!r}; "
+                f"one of: {', '.join(_BUILDERS)}"
+            )
+        numeric = name in self.numeric_quasi_identifiers
+        if builder == "interval" and not numeric:
+            raise ConfigError(
+                f"hierarchy builder 'interval' for {name!r} needs a numeric QI; "
+                "declare it under 'numeric_quasi_identifiers'"
+            )
+        if builder in ("flat", "prefix", "levels", "tree") and numeric:
+            raise ConfigError(
+                f"hierarchy builder {builder!r} for {name!r} needs a categorical "
+                "QI; numeric QIs take 'interval' (or 'auto')"
+            )
+        if builder == "levels" and not isinstance(spec.get("rows"), Mapping):
+            raise ConfigError(
+                f"hierarchy builder 'levels' for {name!r} needs a 'rows' mapping "
+                "of ground value -> level labels"
+            )
+        if builder == "tree" and not isinstance(spec.get("tree"), Mapping):
+            raise ConfigError(
+                f"hierarchy builder 'tree' for {name!r} needs a 'tree' mapping"
+            )
+        allowed = {
+            "auto": {"builder"},
+            "flat": {"builder", "root"},
+            "prefix": {"builder"},
+            "interval": {"builder", "bins", "cuts", "merge_factor"},
+            "levels": {"builder", "rows"},
+            "tree": {"builder", "tree", "root"},
+        }[builder]
+        unknown = sorted(set(spec) - allowed)
+        if unknown:
+            raise ConfigError(
+                f"unknown key {unknown[0]!r} in hierarchy spec for {name!r} "
+                f"(builder {builder!r} accepts: {', '.join(sorted(allowed))})"
+            )
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-safe dict; ``from_dict`` round-trips it exactly."""
+        out = asdict(self)
+        for key in ("quasi_identifiers", "numeric_quasi_identifiers", "sensitive",
+                    "drop", "metrics"):
+            out[key] = list(out[key])
+        out["models"] = [dict(m) for m in self.models]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AnonymizationConfig":
+        if not isinstance(data, Mapping):
+            raise ConfigError(f"config must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown key {unknown[0]!r} in config; accepted keys: "
+                f"{', '.join(sorted(known))}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnonymizationConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"config is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+# -- materialization against a concrete table --------------------------------
+
+
+def build_schema(config: AnonymizationConfig, table: Table) -> Schema:
+    """Schema from the config's roles; undeclared columns are insensitive."""
+    declared = (
+        set(config.quasi_identifiers)
+        | set(config.numeric_quasi_identifiers)
+        | set(config.sensitive)
+        | set(config.drop)
+    )
+    missing = [name for name in declared if name not in table.column_names]
+    if missing:
+        raise ConfigError(f"config names column {missing[0]!r} not present in the table")
+    return Schema.build(
+        quasi_identifiers=config.quasi_identifiers,
+        numeric_quasi_identifiers=config.numeric_quasi_identifiers,
+        sensitive=config.sensitive,
+        identifying=config.drop,
+        insensitive=[
+            name for name in table.column_names if name not in declared
+        ],
+    )
+
+
+def build_hierarchies(config: AnonymizationConfig, table: Table) -> dict:
+    """Materialize every QI's hierarchy spec against the concrete table."""
+    hierarchies: dict = {}
+    for name in config.quasi_identifiers:
+        spec = config.hierarchies.get(name, {"builder": "auto"})
+        hierarchies[name] = _build_categorical(name, spec, table, config)
+    for name in config.numeric_quasi_identifiers:
+        spec = config.hierarchies.get(name, {"builder": "auto"})
+        hierarchies[name] = _build_interval(name, spec, table, config)
+    return hierarchies
+
+
+def _build_categorical(
+    name: str, spec: Mapping[str, Any], table: Table, config: AnonymizationConfig
+) -> Hierarchy:
+    builder = spec["builder"] if "builder" in spec else "auto"
+    values = sorted(set(table.column(name).decode()), key=str)
+    if builder == "auto":
+        return _prefix_or_flat(values)
+    if builder == "flat":
+        return Hierarchy.flat(values, root=spec.get("root", "*"))
+    if builder == "prefix":
+        hierarchy = _prefix_hierarchy(values)
+        if hierarchy is None:
+            raise ConfigError(
+                f"hierarchy builder 'prefix' for {name!r} needs fixed-width "
+                "digit-string values (e.g. zip codes); use 'flat' or 'levels'"
+            )
+        return hierarchy
+    if builder == "levels":
+        try:
+            return Hierarchy.from_levels(spec["rows"])
+        except Exception as exc:
+            raise ConfigError(
+                f"hierarchy spec 'rows' for {name!r} is malformed: {exc}"
+            ) from exc
+    try:
+        return Hierarchy.from_tree(spec["tree"], root=spec.get("root", "*"))
+    except Exception as exc:
+        raise ConfigError(f"hierarchy spec 'tree' for {name!r} is malformed: {exc}") from exc
+
+
+def _build_interval(
+    name: str, spec: Mapping[str, Any], table: Table, config: AnonymizationConfig
+) -> IntervalHierarchy:
+    merge_factor = int(spec.get("merge_factor", 2))
+    if "cuts" in spec:
+        try:
+            return IntervalHierarchy(list(spec["cuts"]), merge_factor=merge_factor)
+        except Exception as exc:
+            raise ConfigError(f"hierarchy spec 'cuts' for {name!r} is malformed: {exc}") from exc
+    data = table.values(name)
+    lo, hi = float(data.min()), float(data.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    n_bins = int(spec.get("bins", config.bins))
+    return IntervalHierarchy.uniform(
+        lo - 0.001 * span, hi + 0.001 * span, n_bins=n_bins, merge_factor=merge_factor
+    )
+
+
+def _prefix_or_flat(values: list) -> Hierarchy:
+    """Digit-string domains get prefix-masking levels; others get flat."""
+    return _prefix_hierarchy(values) or Hierarchy.flat(values)
+
+
+def _prefix_hierarchy(values: list) -> Hierarchy | None:
+    """Prefix-masking hierarchy for fixed-width digit strings, else None."""
+    texts = [str(v) for v in values]
+    if not texts:
+        return None
+    if all(t.isdigit() and len(t) == len(texts[0]) for t in texts) and len(texts[0]) > 1:
+        width = len(texts[0])
+        rows = {
+            v: [str(v)[: width - i] + "*" * i for i in range(1, width)] + ["*"]
+            for v in values
+        }
+        return Hierarchy.from_levels(rows)
+    return None

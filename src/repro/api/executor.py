@@ -1,0 +1,313 @@
+"""The job executor: one entry point that every public surface funnels into.
+
+:func:`execute` is the single code path that turns (table, schema,
+hierarchies, models, algorithm) into a :class:`AnonymizationResult`; the
+declarative :func:`run`, the batch :func:`run_batch`, the CLI, and the
+legacy :meth:`Anonymizer.apply <repro.core.anonymizer.Anonymizer.apply>`
+shim all call it, which is what makes a job expressed once produce
+byte-identical releases no matter which door it enters through.
+
+:func:`run_batch` additionally shares one
+:class:`~repro.core.engine.LatticeEvaluator` across all jobs that agree on
+roles and hierarchy specs, so a multi-config sweep (an algorithm shootout, a
+k-sweep) evaluates each lattice node once — the engine's memoized
+``GroupStats`` serve every job; ``LatticeEvaluator.cache_info()`` shows the
+sharing (``hits`` grow, ``from_rows`` do not).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.engine import LatticeEvaluator
+from ..core.release import Release
+from ..core.schema import Schema
+from ..core.table import Table
+from .config import AnonymizationConfig, build_hierarchies, build_schema
+from .registry import (
+    MetricContext,
+    algorithm_registry,
+    metric_registry,
+    model_registry,
+)
+
+__all__ = ["AnonymizationResult", "execute", "run", "run_batch", "jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce numpy scalars/arrays and tuples into JSON types."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (bool, int, float, str, type(None))):
+        return value
+    return str(value)
+
+
+@dataclass
+class AnonymizationResult:
+    """The executor's bundled output: release + audit trail + reports.
+
+    ``to_dict()`` is JSON-safe end to end — what a service logs or returns
+    as an API response; the :class:`~repro.core.release.Release` itself
+    (with the published table) stays on the object for library callers.
+    """
+
+    release: Release
+    models: tuple = ()
+    config: AnonymizationConfig | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    engine: LatticeEvaluator | None = None
+
+    @property
+    def table(self) -> Table:
+        return self.release.table
+
+    @property
+    def node(self) -> tuple | None:
+        """Chosen lattice node (full-domain algorithms only)."""
+        return self.release.node
+
+    @property
+    def suppressed(self) -> int:
+        return self.release.suppressed
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "algorithm": self.release.algorithm,
+            "models": [getattr(m, "name", str(m)) for m in self.models],
+            "summary": self.release.summary(),
+            "timings": {k: round(v, 6) for k, v in self.timings.items()},
+            "metrics": self.metrics,
+        }
+        if self.engine is not None:
+            out["engine_cache"] = self.engine.cache_info()
+        if self.config is not None:
+            out["config"] = self.config.to_dict()
+        return jsonable(out)
+
+
+def execute(
+    table: Table,
+    schema: Schema,
+    hierarchies: Mapping[str, Any],
+    models: Sequence,
+    algorithm=None,
+    metrics: Sequence[str] = (),
+    evaluator: LatticeEvaluator | None = None,
+    config: AnonymizationConfig | None = None,
+) -> AnonymizationResult:
+    """Run one job from resolved (live) objects.
+
+    The lowest-level entry point — :func:`run`, :func:`run_batch`, the CLI,
+    and ``Anonymizer.apply`` are wrappers over it. ``evaluator`` is handed
+    to lattice-search algorithms that advertise ``uses_evaluator`` so batch
+    callers can share memoized node statistics across jobs.
+    """
+    if algorithm is None:
+        from ..algorithms.mondrian import Mondrian
+
+        algorithm = Mondrian(mode="strict")
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
+    uses_evaluator = evaluator is not None and getattr(
+        type(algorithm), "uses_evaluator", False
+    )
+    if uses_evaluator:
+        release = algorithm.anonymize(
+            table, schema, hierarchies, list(models), evaluator=evaluator
+        )
+    else:
+        release = algorithm.anonymize(table, schema, hierarchies, list(models))
+    timings["anonymize"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    # Metrics defined against the job's target k (e.g. C_AVG) must see the
+    # requested k, not whatever minimum class size the release happens to have.
+    target_ks = [int(m.k) for m in models if hasattr(m, "k")]
+    context = MetricContext(
+        original=table,
+        release=release,
+        hierarchies=hierarchies,
+        sensitive=tuple(schema.sensitive),
+        extras={"target_k": max(target_ks)} if target_ks else {},
+    )
+    computed = {name: metric_registry.compute(name, context) for name in metrics}
+    if metrics:
+        timings["metrics"] = time.perf_counter() - start
+    return AnonymizationResult(
+        release=release,
+        models=tuple(models),
+        config=config,
+        timings=timings,
+        metrics=computed,
+        # Only algorithms that consumed the evaluator report its cache —
+        # attaching it to e.g. a Mondrian run would imply sharing that
+        # never happened.
+        engine=evaluator if uses_evaluator else None,
+    )
+
+
+def _build_environment(
+    config: AnonymizationConfig,
+    table: Table,
+    hierarchy_overrides: Mapping[str, Any] | None = None,
+) -> tuple[Schema, dict]:
+    """(schema, hierarchies) materialized from a config against a table."""
+    schema = build_schema(config, table)
+    hierarchies = build_hierarchies(config, table)
+    if hierarchy_overrides:
+        hierarchies.update(hierarchy_overrides)
+    return schema, hierarchies
+
+
+def _resolve(
+    config: AnonymizationConfig,
+    table: Table,
+    hierarchy_overrides: Mapping[str, Any] | None = None,
+    environment: tuple[Schema, dict] | None = None,
+):
+    """(schema, hierarchies, models, algorithm) from a config + table.
+
+    ``environment`` lets batch callers reuse one (schema, hierarchies)
+    build across jobs — hierarchy building decodes every categorical QI
+    (O(n_rows) each), which is pure waste to repeat per job.
+    """
+    if environment is None:
+        environment = _build_environment(config, table, hierarchy_overrides)
+    schema, hierarchies = environment
+    models = [model_registry.from_spec(spec) for spec in config.models]
+    algorithm = algorithm_registry.from_spec(config.algorithm)
+    if config.max_suppression is not None and hasattr(algorithm, "max_suppression"):
+        algorithm.max_suppression = float(config.max_suppression)
+    return schema, hierarchies, models, algorithm
+
+
+def run(
+    config: AnonymizationConfig,
+    table: Table,
+    evaluator: LatticeEvaluator | None = None,
+    hierarchies: Mapping[str, Any] | None = None,
+    environment: tuple[Schema, dict] | None = None,
+) -> AnonymizationResult:
+    """Execute one declarative job against a table.
+
+    ``hierarchies`` optionally overrides spec-built hierarchies with live
+    objects (curated domain trees that have no JSON spec form); everything
+    else still comes from the config. ``environment`` is a prebuilt
+    (schema, hierarchies) pair — :func:`run_batch` passes it so a sweep
+    materializes each distinct environment once.
+    """
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
+    schema, built, models, algorithm = _resolve(
+        config, table, hierarchies, environment
+    )
+    timings["prepare"] = time.perf_counter() - start
+    result = execute(
+        table,
+        schema,
+        built,
+        models,
+        algorithm,
+        metrics=config.metrics,
+        evaluator=evaluator,
+        config=config,
+    )
+    result.timings = {**timings, **result.timings}
+    return result
+
+
+def _environment_key(config: AnonymizationConfig) -> tuple[str, str]:
+    """(evaluator_key, schema_key) for batch sharing.
+
+    Jobs with equal evaluator keys see the same hierarchies and lattice
+    evaluator — node statistics only depend on QI roles, hierarchy specs,
+    and dropped columns. The schema key additionally pins the sensitive
+    roles: two jobs may share an evaluator yet need different schemas, and
+    collapsing them would hand job B job A's sensitive column (metrics,
+    release schema) without any error.
+    """
+    import json
+
+    evaluator_key = json.dumps(
+        {
+            "qi": config.quasi_identifiers,
+            "num": config.numeric_quasi_identifiers,
+            "drop": config.drop,
+            "hier": config.hierarchies,
+            "bins": config.bins,
+        },
+        sort_keys=True,
+        default=list,
+    )
+    schema_key = evaluator_key + json.dumps(
+        {"sensitive": config.sensitive}, sort_keys=True, default=list
+    )
+    return evaluator_key, schema_key
+
+
+def run_batch(
+    configs: Iterable[AnonymizationConfig],
+    table: Table,
+    hierarchies: Mapping[str, Any] | None = None,
+) -> list[AnonymizationResult]:
+    """Execute many jobs on one table, sharing lattice evaluation.
+
+    Configs that agree on QI roles and hierarchy specs (the typical sweep:
+    same data scenario, varying models/algorithms/budgets) are served by a
+    single shared :class:`LatticeEvaluator`, so a node evaluated by one
+    job's search is a memo hit for every later job. Results come back in
+    input order, each carrying the shared engine on ``.engine``.
+    ``hierarchies`` overrides spec-built hierarchies with live objects for
+    the whole batch, exactly as in :func:`run`.
+    """
+    configs = list(configs)
+    # Hierarchy builds and evaluators are shared per evaluator key (QI roles
+    # + hierarchy specs); schemas per schema key, which also pins sensitive
+    # roles. The evaluator is lazily created, only when a job's algorithm
+    # actually consumes one — an all-Mondrian sweep never pays for it.
+    hierarchy_builds: dict[str, dict] = {}
+    environments: dict[str, tuple[Schema, dict]] = {}
+    evaluators: dict[str, LatticeEvaluator] = {}
+    results: list[AnonymizationResult] = []
+    for config in configs:
+        evaluator_key, schema_key = _environment_key(config)
+        environment = environments.get(schema_key)
+        if environment is None:
+            built = hierarchy_builds.get(evaluator_key)
+            if built is None:
+                built = build_hierarchies(config, table)
+                if hierarchies:
+                    built.update(hierarchies)
+                hierarchy_builds[evaluator_key] = built
+            environment = (build_schema(config, table), built)
+            environments[schema_key] = environment
+        evaluator = evaluators.get(evaluator_key)
+        if evaluator is None and _uses_evaluator(config):
+            schema, built = environment
+            prepared = table.drop(*schema.identifying) if schema.identifying else table
+            evaluator = LatticeEvaluator(prepared, schema.quasi_identifiers, built)
+            evaluators[evaluator_key] = evaluator
+        results.append(
+            run(config, table, evaluator=evaluator, environment=environment)
+        )
+    return results
+
+
+def _uses_evaluator(config: AnonymizationConfig) -> bool:
+    """True if the config's algorithm class consumes a shared evaluator."""
+    entry = algorithm_registry._entry(config.algorithm["algorithm"])
+    return bool(getattr(entry.cls, "uses_evaluator", False))

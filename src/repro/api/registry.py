@@ -1,0 +1,346 @@
+"""String-keyed registries: the serialization seam of the declarative API.
+
+Every privacy model and algorithm the declarative API can name is registered
+here with the list of constructor parameters that fully describe an
+instance. A registered class round-trips through plain dicts::
+
+    >>> from repro.api import model_registry
+    >>> spec = {"model": "t-closeness", "t": 0.2, "sensitive": "disease"}
+    >>> model = model_registry.from_spec(spec)
+    >>> model_registry.to_spec(model)["t"]
+    0.2
+
+``from_spec`` validates eagerly — unknown names list the registered ones,
+unknown keys are named, and constructor rejections are re-raised as
+:class:`~repro.errors.ConfigError` carrying the registry name — so a bad
+JSON job fails at parse time, not mid-run.
+
+Three registries ship populated:
+
+* :data:`algorithm_registry` — spec key ``"algorithm"``; everything with the
+  standard ``anonymize(table, schema, hierarchies, models)`` signature.
+* :data:`model_registry` — spec key ``"model"``; every privacy model whose
+  constructor arguments are JSON scalars. (δ-presence needs a live
+  population :class:`~repro.core.table.Table` and personalized privacy a
+  guarding-node mapping, so those remain library-API-only.)
+* :data:`metric_registry` — report metrics by name, computed from a
+  :class:`MetricContext` by the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..algorithms import (
+    BottomUpGeneralization,
+    Datafly,
+    Flash,
+    Incognito,
+    Mondrian,
+    OLA,
+    TopDownSpecialization,
+)
+from ..errors import ConfigError
+from ..privacy import (
+    AlphaKAnonymity,
+    BetaLikeness,
+    DistinctLDiversity,
+    EntropyLDiversity,
+    KAnonymity,
+    KEAnonymity,
+    RecursiveCLDiversity,
+    TCloseness,
+)
+
+__all__ = [
+    "Registry",
+    "MetricRegistry",
+    "MetricContext",
+    "algorithm_registry",
+    "model_registry",
+    "metric_registry",
+]
+
+_SCALARS = (bool, int, float, str, type(None))
+
+
+@dataclass
+class _Entry:
+    name: str
+    cls: type
+    params: tuple[str, ...]
+    defaults: Mapping[str, Any]
+    validate: Callable[[Mapping[str, Any]], None] | None
+
+
+class Registry:
+    """Bidirectional name ↔ class mapping with declarative param specs.
+
+    ``params`` double as both constructor keyword names and instance
+    attribute names (every registered class stores its arguments verbatim),
+    which is what makes ``to_spec``/``from_spec`` symmetric without
+    per-class glue code.
+    """
+
+    def __init__(self, kind: str, spec_key: str):
+        self.kind = kind
+        self.spec_key = spec_key
+        self._entries: dict[str, _Entry] = {}
+
+    def register(
+        self,
+        name: str,
+        cls: type,
+        params: Sequence[str] = (),
+        defaults: Mapping[str, Any] | None = None,
+        validate: Callable[[Mapping[str, Any]], None] | None = None,
+    ) -> None:
+        """Register ``cls`` under ``name``.
+
+        ``defaults`` marks optional params (omitted from a spec, the default
+        applies); all other params are required keys. ``validate`` may
+        reject resolved kwargs before construction (e.g. a param value that
+        is only reachable through the programmatic API).
+        """
+        if name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} already registered")
+        self._entries[name] = _Entry(
+            name, cls, tuple(params), dict(defaults or {}), validate
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def _entry(self, name: str) -> _Entry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ConfigError(
+                f"unknown {self.kind} {name!r}; registered: {', '.join(self.names())}"
+            )
+        return entry
+
+    def _entry_for(self, obj: Any) -> _Entry:
+        for entry in self._entries.values():
+            if type(obj) is entry.cls:
+                return entry
+        raise ConfigError(
+            f"{type(obj).__name__} is not a registered {self.kind}; "
+            f"registered: {', '.join(self.names())}"
+        )
+
+    def from_spec(self, spec: Mapping[str, Any]) -> Any:
+        """Instantiate from a plain dict like ``{"model": "k-anonymity", "k": 5}``."""
+        if not isinstance(spec, Mapping):
+            raise ConfigError(
+                f"a {self.kind} spec must be a mapping with a {self.spec_key!r} "
+                f"key, got {type(spec).__name__}"
+            )
+        if self.spec_key not in spec:
+            raise ConfigError(
+                f"{self.kind} spec {dict(spec)!r} is missing the {self.spec_key!r} key"
+            )
+        entry = self._entry(spec[self.spec_key])
+        unknown = sorted(set(spec) - {self.spec_key} - set(entry.params))
+        if unknown:
+            raise ConfigError(
+                f"unknown key {unknown[0]!r} in {self.kind} spec for "
+                f"{entry.name!r}; accepted keys: {', '.join(entry.params) or '(none)'}"
+            )
+        kwargs: dict[str, Any] = {}
+        for param in entry.params:
+            if param in spec:
+                kwargs[param] = spec[param]
+            elif param in entry.defaults:
+                kwargs[param] = entry.defaults[param]
+            else:
+                raise ConfigError(
+                    f"{self.kind} spec for {entry.name!r} is missing the "
+                    f"required key {param!r}"
+                )
+        if entry.validate is not None:
+            entry.validate(kwargs)
+        try:
+            return entry.cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"invalid {self.kind} spec for {entry.name!r}: {exc}") from exc
+
+    def to_spec(self, obj: Any) -> dict[str, Any]:
+        """Serialize a registered instance back to a plain JSON-safe dict."""
+        entry = self._entry_for(obj)
+        spec: dict[str, Any] = {self.spec_key: entry.name}
+        for param in entry.params:
+            value = getattr(obj, param)
+            if not isinstance(value, _SCALARS):
+                raise ConfigError(
+                    f"{self.kind} {entry.name!r} holds a non-serializable value "
+                    f"for {param!r} ({type(value).__name__}); construct it "
+                    "through the library API instead of a spec"
+                )
+            spec[param] = value
+        return spec
+
+    def name_of(self, obj: Any) -> str:
+        return self._entry_for(obj).name
+
+
+@dataclass
+class MetricContext:
+    """Everything a report metric may consume, bundled by the executor."""
+
+    original: Any  # Table
+    release: Any  # Release
+    hierarchies: Mapping[str, Any]
+    sensitive: tuple[str, ...] = ()
+    extras: dict = field(default_factory=dict)
+
+
+class MetricRegistry:
+    """Named report metrics: ``name -> fn(MetricContext) -> JSON-able value``."""
+
+    def __init__(self):
+        self._metrics: dict[str, Callable[[MetricContext], Any]] = {}
+
+    def register(self, name: str, fn: Callable[[MetricContext], Any]) -> None:
+        if name in self._metrics:
+            raise ValueError(f"metric {name!r} already registered")
+        self._metrics[name] = fn
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def compute(self, name: str, context: MetricContext) -> Any:
+        fn = self._metrics.get(name)
+        if fn is None:
+            raise ConfigError(
+                f"unknown metric {name!r}; registered: {', '.join(self.names())}"
+            )
+        return fn(context)
+
+
+# -- the stock registries ----------------------------------------------------
+
+algorithm_registry = Registry("algorithm", "algorithm")
+model_registry = Registry("privacy model", "model")
+metric_registry = MetricRegistry()
+
+
+def _no_hierarchical_ground(kwargs: Mapping[str, Any]) -> None:
+    if kwargs.get("ground_distance") == "hierarchical":
+        raise ConfigError(
+            "key 'ground_distance' may not be 'hierarchical' in a t-closeness "
+            "spec (it needs a live sensitive-attribute Hierarchy); construct "
+            "TCloseness programmatically instead"
+        )
+
+
+model_registry.register("k-anonymity", KAnonymity, params=("k",))
+model_registry.register(
+    "distinct-l-diversity", DistinctLDiversity, params=("l", "sensitive")
+)
+model_registry.register(
+    "entropy-l-diversity", EntropyLDiversity, params=("l", "sensitive")
+)
+model_registry.register(
+    "recursive-l-diversity", RecursiveCLDiversity, params=("c", "l", "sensitive")
+)
+model_registry.register(
+    "t-closeness",
+    TCloseness,
+    params=("t", "sensitive", "ground_distance"),
+    defaults={"ground_distance": "equal"},
+    validate=_no_hierarchical_ground,
+)
+model_registry.register(
+    "alpha-k-anonymity", AlphaKAnonymity, params=("alpha", "k", "sensitive")
+)
+model_registry.register("beta-likeness", BetaLikeness, params=("beta", "sensitive"))
+model_registry.register("ke-anonymity", KEAnonymity, params=("k", "e", "sensitive"))
+
+algorithm_registry.register(
+    "mondrian",
+    Mondrian,
+    params=("mode", "target"),
+    defaults={"mode": "strict", "target": None},
+)
+algorithm_registry.register(
+    "datafly",
+    Datafly,
+    params=("max_suppression", "heuristic"),
+    defaults={"max_suppression": 0.05, "heuristic": "distinct"},
+)
+algorithm_registry.register(
+    "incognito", Incognito, params=("max_suppression",), defaults={"max_suppression": 0.0}
+)
+algorithm_registry.register(
+    "ola", OLA, params=("max_suppression",), defaults={"max_suppression": 0.05}
+)
+algorithm_registry.register(
+    "flash", Flash, params=("max_suppression",), defaults={"max_suppression": 0.0}
+)
+algorithm_registry.register(
+    "bottom-up",
+    BottomUpGeneralization,
+    params=("max_suppression",),
+    defaults={"max_suppression": 0.0},
+)
+algorithm_registry.register(
+    "tds",
+    TopDownSpecialization,
+    params=("target", "max_steps"),
+    defaults={"target": None, "max_steps": 10_000},
+)
+
+
+def _register_stock_metrics() -> None:
+    from ..attacks.linkage import linkage_risks
+    from ..metrics.discernibility import c_avg, discernibility_of_release
+    from ..metrics.entropy_loss import non_uniform_entropy
+    from ..metrics.loss import gcp
+    from ..metrics.precision import precision
+
+    metric_registry.register(
+        "gcp", lambda ctx: gcp(ctx.original, ctx.release, ctx.hierarchies)
+    )
+    metric_registry.register("precision", lambda ctx: precision(ctx.release, ctx.hierarchies))
+    metric_registry.register(
+        "non_uniform_entropy",
+        lambda ctx: non_uniform_entropy(ctx.original, ctx.release, ctx.hierarchies),
+    )
+    metric_registry.register(
+        "discernibility", lambda ctx: discernibility_of_release(ctx.release)
+    )
+    metric_registry.register(
+        "c_avg",
+        # Normalized by the job's requested k (C_AVG's definition); only a
+        # job with no k-bearing model falls back to the observed minimum.
+        lambda ctx: c_avg(
+            ctx.release.partition(),
+            k=int(
+                ctx.extras.get("target_k")
+                or max(int(ctx.release.equivalence_class_sizes().min()), 1)
+            ),
+        ),
+    )
+    metric_registry.register("linkage", lambda ctx: linkage_risks(ctx.release))
+    metric_registry.register("homogeneity", _homogeneity)
+
+
+def _homogeneity(ctx: MetricContext) -> dict:
+    if not ctx.sensitive:
+        raise ConfigError(
+            "metric 'homogeneity' needs a sensitive attribute; declare one "
+            "under the 'sensitive' key"
+        )
+    from ..attacks.attribute import homogeneity_attack
+
+    return homogeneity_attack(ctx.release, ctx.sensitive[0])
+
+
+_register_stock_metrics()

@@ -7,10 +7,16 @@ Usage::
         --sensitive disease --k 5 --l 2 \
         --algorithm mondrian --report
 
-Hierarchies are derived automatically: categorical QIs get prefix/flat
-hierarchies, numeric QIs get uniform interval hierarchies over their
-observed range. For production use, construct hierarchies programmatically
-with the library API instead.
+or, declaratively, with the whole job described as JSON::
+
+    python -m repro input.csv output.csv --config job.json --report
+
+Flags are parsed into the same :class:`repro.api.AnonymizationConfig` a
+``--config`` file deserializes to, and both run through
+:func:`repro.api.run` — the CLI has no private algorithm table or wiring of
+its own. Hierarchies default to the ``auto`` builder (prefix/flat for
+categorical QIs, uniform intervals for numeric QIs); pin them in the config
+file for production use.
 """
 
 from __future__ import annotations
@@ -18,32 +24,27 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
-import numpy as np
-
-from .algorithms import BottomUpGeneralization, Datafly, Flash, Incognito, Mondrian
-from .algorithms.ola import OLA
-from .attacks import homogeneity_attack, linkage_risks
-from .core.anonymizer import Anonymizer
-from .core.hierarchy import Hierarchy, IntervalHierarchy
+from .api import AnonymizationConfig, algorithm_registry, run
 from .core.io import read_csv, write_csv
-from .core.schema import Schema
-from .core.table import Table
 from .errors import ReproError
-from .metrics import gcp
-from .privacy import DistinctLDiversity, KAnonymity, TCloseness
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "config_from_args"]
 
-ALGORITHMS = {
-    "mondrian": lambda: Mondrian("strict"),
-    "mondrian-relaxed": lambda: Mondrian("relaxed"),
-    "datafly": lambda: Datafly(max_suppression=0.05),
-    "incognito": lambda: Incognito(max_suppression=0.02),
-    "ola": lambda: OLA(max_suppression=0.05),
-    "flash": lambda: Flash(max_suppression=0.02),
-    "bottom-up": lambda: BottomUpGeneralization(max_suppression=0.05),
+#: Suppression budgets the flag-mode CLI has always used per algorithm
+#: (registry defaults are library-wide; these preserve CLI behavior).
+_CLI_BUDGETS = {
+    "datafly": 0.05,
+    "incognito": 0.02,
+    "ola": 0.05,
+    "flash": 0.02,
+    "bottom-up": 0.05,
 }
+
+#: Report metrics computed when ``--report`` is given and the config does
+#: not request its own set ("homogeneity" joins when a sensitive exists).
+_REPORT_METRICS = ("linkage", "gcp")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("input", help="input CSV path (with header row)")
     parser.add_argument("output", help="output CSV path")
+    parser.add_argument("--config", default=None, metavar="JOB_JSON",
+                        help="declarative job description (JSON file with "
+                             "AnonymizationConfig keys); overrides role/model flags")
     parser.add_argument("--qi", action="append", default=[],
                         help="categorical quasi-identifier column (repeatable)")
     parser.add_argument("--numeric-qi", action="append", default=[],
@@ -66,7 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="distinct l-diversity level (0 = off)")
     parser.add_argument("--t", type=float, default=0.0,
                         help="t-closeness threshold (0 = off)")
-    parser.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="mondrian")
+    parser.add_argument("--algorithm",
+                        choices=sorted([*algorithm_registry.names(), "mondrian-relaxed"]),
+                        default="mondrian")
+    parser.add_argument("--max-suppression", type=float, default=None,
+                        help="suppression budget override (fraction of rows)")
     parser.add_argument("--bins", type=int, default=16,
                         help="base bins for auto numeric hierarchies")
     parser.add_argument("--report", action="store_true",
@@ -74,94 +82,117 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def auto_hierarchies(table: Table, schema: Schema, n_bins: int) -> dict:
-    """Derive sensible default hierarchies from the data."""
-    hierarchies: dict = {}
-    for name in schema.categorical_quasi_identifiers:
-        values = sorted(set(table.column(name).decode()), key=str)
-        hierarchies[name] = _prefix_or_flat(values)
-    for name in schema.numeric_quasi_identifiers:
-        data = table.values(name)
-        lo, hi = float(data.min()), float(data.max())
-        if hi <= lo:
-            hi = lo + 1.0
-        span = hi - lo
-        hierarchies[name] = IntervalHierarchy.uniform(
-            lo - 0.001 * span, hi + 0.001 * span, n_bins=n_bins
+def config_from_args(args: argparse.Namespace) -> AnonymizationConfig:
+    """Translate role/model flags into a declarative config."""
+    models: list[dict] = [{"model": "k-anonymity", "k": args.k}]
+    if args.l:
+        models.append(
+            {"model": "distinct-l-diversity", "l": args.l, "sensitive": args.sensitive[0]}
         )
-    return hierarchies
+    if args.t:
+        models.append(
+            {"model": "t-closeness", "t": args.t, "sensitive": args.sensitive[0]}
+        )
+    if args.algorithm == "mondrian-relaxed":
+        algorithm = {"algorithm": "mondrian", "mode": "relaxed"}
+    else:
+        algorithm = {"algorithm": args.algorithm}
+    max_suppression = args.max_suppression
+    if max_suppression is None:
+        max_suppression = _CLI_BUDGETS.get(args.algorithm)
+    metrics: tuple = ()
+    if args.report:
+        metrics = _REPORT_METRICS + (("homogeneity",) if args.sensitive else ())
+    return AnonymizationConfig(
+        quasi_identifiers=args.qi,
+        numeric_quasi_identifiers=args.numeric_qi,
+        sensitive=args.sensitive,
+        drop=args.drop,
+        models=models,
+        algorithm=algorithm,
+        max_suppression=max_suppression,
+        metrics=metrics,
+        bins=args.bins,
+    )
 
 
-def _prefix_or_flat(values: list) -> Hierarchy:
-    """Digit-string domains get prefix-masking levels; others get flat."""
-    texts = [str(v) for v in values]
-    if all(t.isdigit() and len(t) == len(texts[0]) for t in texts) and len(texts[0]) > 1:
-        width = len(texts[0])
-        rows = {
-            v: [str(v)[: width - i] + "*" * i for i in range(1, width)] + ["*"]
-            for v in values
-        }
-        return Hierarchy.from_levels(rows)
-    return Hierarchy.flat(values)
+def _load_config(args: argparse.Namespace) -> AnonymizationConfig:
+    overrides: dict = {}
+    if args.max_suppression is not None:
+        overrides["max_suppression"] = args.max_suppression
+    config = AnonymizationConfig.from_json(Path(args.config).read_text())
+    if args.report and not config.metrics:
+        overrides["metrics"] = _REPORT_METRICS + (
+            ("homogeneity",) if config.sensitive else ()
+        )
+    elif not args.report and config.metrics:
+        # Without --report the CLI never surfaces metric values; computing
+        # the job file's battery (full passes over the release) would be
+        # pure wasted wall-clock.
+        overrides["metrics"] = ()
+    if overrides:
+        config = AnonymizationConfig.from_dict({**config.to_dict(), **overrides})
+    return config
+
+
+def _reject_job_flags_with_config(parser: argparse.ArgumentParser,
+                                  args: argparse.Namespace) -> None:
+    """--config describes the whole job; silently dropping job flags would
+    let e.g. a --k sweep over one job file publish N identical releases."""
+    conflicting = [
+        flag
+        for flag, name in (
+            ("--qi", "qi"), ("--numeric-qi", "numeric_qi"),
+            ("--sensitive", "sensitive"), ("--drop", "drop"),
+            ("--k", "k"), ("--l", "l"), ("--t", "t"),
+            ("--algorithm", "algorithm"), ("--bins", "bins"),
+        )
+        if getattr(args, name) != parser.get_default(name)
+    ]
+    if conflicting:
+        parser.error(
+            f"{', '.join(conflicting)} cannot be combined with --config "
+            "(the job file describes the whole job; only --max-suppression "
+            "and --report apply on top)"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not args.qi and not args.numeric_qi:
-        parser.error("declare at least one --qi or --numeric-qi")
-    if (args.l or args.t) and not args.sensitive:
-        parser.error("--l/--t require --sensitive")
+    if args.config is None:
+        if not args.qi and not args.numeric_qi:
+            parser.error("declare at least one --qi or --numeric-qi (or use --config)")
+        if (args.l or args.t) and not args.sensitive:
+            parser.error("--l/--t require --sensitive")
+    else:
+        _reject_job_flags_with_config(parser, args)
 
     try:
-        table = read_csv(args.input, categorical=args.qi + args.sensitive,
-                         numeric=args.numeric_qi)
-        schema = Schema.build(
-            quasi_identifiers=args.qi,
-            numeric_quasi_identifiers=args.numeric_qi,
-            sensitive=args.sensitive,
-            identifying=args.drop,
-            insensitive=[
-                name for name in table.column_names
-                if name not in set(args.qi) | set(args.numeric_qi)
-                | set(args.sensitive) | set(args.drop)
-            ],
+        config = (
+            _load_config(args) if args.config is not None else config_from_args(args)
         )
-        hierarchies = auto_hierarchies(table, schema, args.bins)
-        anonymizer = Anonymizer(table, schema, hierarchies)
-
-        models = [KAnonymity(args.k)]
-        if args.l:
-            models.append(DistinctLDiversity(args.l, args.sensitive[0]))
-        if args.t:
-            models.append(TCloseness(args.t, args.sensitive[0]))
-
-        release = anonymizer.apply(*models, algorithm=ALGORITHMS[args.algorithm]())
-        write_csv(release.table, args.output)
+        table = read_csv(
+            args.input,
+            categorical=list(config.quasi_identifiers) + list(config.sensitive),
+            numeric=list(config.numeric_quasi_identifiers),
+        )
+        result = run(config, table)
+        write_csv(result.release.table, args.output)
 
         if args.report:
-            report = {
-                "summary": release.summary(),
-                "linkage": linkage_risks(release),
-                "gcp": gcp(table, release, hierarchies),
-            }
-            if args.sensitive:
-                report["homogeneity"] = homogeneity_attack(release)
-            print(json.dumps(report, indent=2, default=_jsonable), file=sys.stderr)
+            report = result.to_dict()
+            # Keep risk/utility values at the top level (historic CLI shape)
+            # alongside the structured result.
+            report.update(report.pop("metrics"))
+            print(json.dumps(report, indent=2), file=sys.stderr)
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-
-
-def _jsonable(value):
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, tuple):
-        return list(value)
-    return str(value)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,8 +1,11 @@
-"""The :class:`Anonymizer` facade — the library's main entry point.
+"""The :class:`Anonymizer` facade — the object-style entry point.
 
 Wires together a table, a schema, hierarchies, privacy models, and an
 algorithm, and produces a :class:`Release` plus convenience hooks for risk
-and utility reporting.
+and utility reporting. :meth:`Anonymizer.apply` is a thin shim over the
+declarative executor in :mod:`repro.api` — jobs that should be queued,
+serialized, or batched belong there (``AnonymizationConfig`` + ``run`` /
+``run_batch``); this facade remains for interactive, live-object use.
 
 Example
 -------
@@ -57,12 +60,18 @@ class Anonymizer:
 
         ``algorithm`` defaults to Mondrian (strict), the best
         utility/robustness tradeoff among the shipped algorithms.
-        """
-        if algorithm is None:
-            from ..algorithms.mondrian import Mondrian
 
-            algorithm = Mondrian(mode="strict")
-        return algorithm.anonymize(self.table, self.schema, self.hierarchies, list(models))
+        A thin shim over :func:`repro.api.execute` — the same executor that
+        serves declarative :class:`~repro.api.AnonymizationConfig` jobs and
+        the CLI, so all three produce identical releases. Use
+        :func:`repro.api.run` directly when you need timings, report
+        metrics, or a JSON-safe result object.
+        """
+        from ..api.executor import execute
+
+        return execute(
+            self.table, self.schema, self.hierarchies, list(models), algorithm
+        ).release
 
     def risk_report(self, release: Release) -> dict:
         """Re-identification risk summary of a release (see attacks module)."""

@@ -102,6 +102,7 @@ class GroupStats:
     _row_labels: np.ndarray | None = None
     _parent: tuple["GroupStats", np.ndarray] | None = None
     _hists: dict = field(default_factory=dict)
+    _external: tuple | None = None
     _partition: EquivalenceClasses | None = None
     _cache_key: tuple | None = None
 
@@ -158,16 +159,45 @@ class GroupStats:
             self._engine._note_bytes(self, self.n_rows * 8)
         return self._partition
 
+    def external_counts(self, table: Table) -> np.ndarray:
+        """Per-group row counts of an external table at this node (memoized).
+
+        The δ-presence fast path's ``p`` vector: population rows encoded
+        through the same hierarchies at this node's generalization, counted
+        per group in this stats' group order. Single-slot memo, pinning the
+        table it was computed from — a long-cached node never accumulates
+        retired population tables across refreshes.
+        """
+        if self._external is None or self._external[0] is not table:
+            counts = self._engine.external_group_counts(self, table)
+            self._external = (table, counts)
+            self._engine._note_bytes(self, counts.nbytes)
+            return counts
+        return self._external[1]
+
 
 class _QIEncoding:
-    """Per-QI precomputation: base codes + one LUT per generalization level."""
+    """Per-QI precomputation: base codes + one LUT per generalization level.
 
-    __slots__ = ("base_codes", "luts", "n_labels")
+    ``uniques`` is the sorted distinct-value array a numeric QI's rank codes
+    index into (None for categorical QIs); external tables — e.g. the
+    population table of δ-presence — are translated into the same code space
+    through it.
+    """
 
-    def __init__(self, base_codes: np.ndarray, luts: list[np.ndarray], n_labels: list[int]):
+    __slots__ = ("base_codes", "luts", "n_labels", "uniques")
+
+    def __init__(
+        self,
+        base_codes: np.ndarray,
+        luts: list[np.ndarray],
+        n_labels: list[int],
+        uniques: np.ndarray | None = None,
+    ):
         self.base_codes = base_codes
         self.luts = luts
         self.n_labels = n_labels
+        self.uniques = uniques
 
 
 class LatticeEvaluator:
@@ -209,8 +239,22 @@ class LatticeEvaluator:
         self._accounted: dict[tuple[tuple[str, ...], Node], int] = {}
         self._encodings = {name: self._encode_qi(name) for name in self.qi_names}
         self._stats_cache: dict[tuple[tuple[str, ...], Node], GroupStats] = {}
+        # Roll-up memo index: names -> level-sum -> set of cached nodes.
+        # A roll-up ancestor of ``node`` is componentwise <= ``node``, hence
+        # has a strictly smaller level sum, so candidate lookup only touches
+        # the strata below the node's instead of scanning the whole cache.
+        self._stratum_index: dict[tuple[str, ...], dict[int, set[Node]]] = {}
+        # Cumulative cache telemetry (never reset by eviction); run_batch
+        # and the E35 bench read these to prove cross-job node sharing.
+        self.counters = {"hits": 0, "from_rows": 0, "rollups": 0, "evictions": 0}
         self._level_maps: dict[tuple[str, int, int], np.ndarray] = {}
         self._columns: dict[str, tuple[np.ndarray, int]] = {}
+        # External-table ground codes, one slot per QI name: the domain
+        # translation is node-independent, so a lattice search re-evaluating
+        # δ-presence at every node pays for it once per table. Single-slot
+        # so a long-lived evaluator seeing refreshed population tables never
+        # pins retired ones; the entry stores the table for identity checks.
+        self._external_grounds: dict[str, tuple[Table, np.ndarray]] = {}
         # Single-entry materialization cache: callers typically ask for the
         # same node's table twice in a row (check -> suppression count), and
         # full tables are too large to memoize per node.
@@ -244,7 +288,7 @@ class LatticeEvaluator:
         for lv in range(1, hierarchy.height + 1):
             luts.append(hierarchy.bin_values(uniques, lv).astype(np.int64))
             n_labels.append(len(hierarchy.intervals(lv)))
-        return _QIEncoding(base.astype(np.int64), luts, n_labels)
+        return _QIEncoding(base.astype(np.int64), luts, n_labels, uniques=uniques)
 
     def _column_codes(self, name: str) -> np.ndarray:
         """int64 codes of a categorical (usually sensitive) column."""
@@ -292,12 +336,15 @@ class LatticeEvaluator:
         key = (names, node)
         cached = self._stats_cache.get(key)
         if cached is not None:
+            self.counters["hits"] += 1
             return cached
         ancestor = self._rollup_candidate(names, node)
         if ancestor is not None:
             stats = self._rollup(ancestor, node)
+            self.counters["rollups"] += 1
         else:
             stats = self._stats_from_rows(names, node)
+            self.counters["from_rows"] += 1
         footprint = self._footprint(stats)
         while self._stats_cache and (
             len(self._stats_cache) >= self.cache_limit
@@ -306,14 +353,35 @@ class LatticeEvaluator:
             self._evict_oldest()
         stats._cache_key = key
         self._stats_cache[key] = stats
+        self._stratum_index.setdefault(names, {}).setdefault(sum(node), set()).add(node)
         self._accounted[key] = footprint
         self._cached_bytes += footprint
         return stats
+
+    def cache_info(self) -> dict:
+        """Cumulative cache telemetry plus current occupancy.
+
+        ``from_rows`` counts O(n_rows) stats computations, ``rollups``
+        O(n_groups) derivations, ``hits`` memo returns. A shared evaluator
+        re-used across batch jobs shows ``hits`` growing while ``from_rows``
+        stays put — the evidence that lattice nodes are evaluated once.
+        """
+        return {
+            **self.counters,
+            "entries": len(self._stats_cache),
+            "bytes": self._cached_bytes,
+        }
 
     def _evict_oldest(self) -> None:
         oldest = next(iter(self._stats_cache))
         self._stats_cache.pop(oldest)
         self._cached_bytes -= self._accounted.pop(oldest)
+        names, node = oldest
+        stratum = self._stratum_index[names][sum(node)]
+        stratum.discard(node)
+        if not stratum:
+            del self._stratum_index[names][sum(node)]
+        self.counters["evictions"] += 1
 
     @staticmethod
     def _footprint(stats: GroupStats) -> int:
@@ -324,6 +392,8 @@ class LatticeEvaluator:
         if stats._partition is not None:
             total += stats.n_rows * 8
         total += sum(hist.nbytes for hist in stats._hists.values())
+        if stats._external is not None:
+            total += stats._external[1].nbytes
         return total
 
     def _note_bytes(self, stats: GroupStats, n_bytes: int) -> None:
@@ -340,15 +410,34 @@ class LatticeEvaluator:
             self._evict_oldest()
 
     def _rollup_candidate(self, names: tuple[str, ...], node: Node) -> GroupStats | None:
-        """Cheapest cached strictly-more-specific node over the same QIs."""
-        best: GroupStats | None = None
-        for (cached_names, cached_node), stats in self._stats_cache.items():
-            if cached_names != names or cached_node == node:
+        """Cheapest cached strictly-more-specific node over the same QIs.
+
+        Strata are probed from the most general (highest level sum below the
+        node's) downward, and the first stratum holding an ancestor wins:
+        roll-up cost is O(parent.n_groups) and group counts shrink as level
+        sums grow, so the nearest stratum is where the cheapest parents live.
+        This keeps candidate lookup proportional to the cached nodes *below*
+        the requested node for the same QI subset, not to the whole cache —
+        large-lattice batch sweeps previously degraded on the linear scan.
+        """
+        strata = self._stratum_index.get(names)
+        if not strata:
+            return None
+        node_sum = sum(node)
+        for stratum_sum in sorted(strata, reverse=True):
+            if stratum_sum >= node_sum:
+                # Equal sums + componentwise <= would force equality, and an
+                # exact hit was already handled; larger sums cannot qualify.
                 continue
-            if all(a <= b for a, b in zip(cached_node, node)):
-                if best is None or stats.n_groups < best.n_groups:
-                    best = stats
-        return best
+            best: GroupStats | None = None
+            for cached_node in strata[stratum_sum]:
+                if all(a <= b for a, b in zip(cached_node, node)):
+                    stats = self._stats_cache[(names, cached_node)]
+                    if best is None or stats.n_groups < best.n_groups:
+                        best = stats
+            if best is not None:
+                return best
+        return None
 
     def _group(
         self, code_columns: list[np.ndarray], radices: list[int]
@@ -403,6 +492,73 @@ class LatticeEvaluator:
             _engine=self,
             _parent=(parent, group_map),
         )
+
+    def _external_ground(
+        self, name: str, table: Table, column, hierarchy: Hierarchy
+    ) -> np.ndarray:
+        """External rows as research-domain ground codes (-1 = no match)."""
+        entry = self._external_grounds.get(name)
+        if entry is not None and entry[0] is table:
+            return entry[1]
+        ground_index = {value: code for code, value in enumerate(hierarchy.ground)}
+        translate = np.array(
+            [ground_index.get(v, -1) for v in column.categories], dtype=np.int64
+        )
+        ground = translate[column.codes]
+        self._external_grounds[name] = (table, ground)
+        return ground
+
+    def external_group_counts(self, stats: GroupStats, table: Table) -> np.ndarray:
+        """Rows of an external table matching each of ``stats``' groups.
+
+        The external table (e.g. δ-presence's population) is generalized
+        through the same hierarchies at ``stats.node`` and its rows are
+        matched against the groups' representative codes. Values outside the
+        research table's domain — an unseen category, or (at level 0) a
+        numeric value absent from the research column — match no group.
+        Returns int64 counts aligned with ``stats``' group order.
+        """
+        code_columns: list[np.ndarray] = []
+        radices: list[int] = []
+        valid = np.ones(table.n_rows, dtype=bool)
+        for i, (name, level) in enumerate(zip(stats.names, stats.node)):
+            enc = self._encodings[name]
+            column = table.column(name)
+            hierarchy = self.hierarchies[name]
+            if column.is_categorical:
+                assert isinstance(hierarchy, Hierarchy) and column.codes is not None
+                ground = self._external_ground(name, table, column, hierarchy)
+                valid &= ground >= 0
+                codes = enc.luts[level][np.where(ground >= 0, ground, 0)]
+            else:
+                assert column.values is not None and enc.uniques is not None
+                if level == 0:
+                    ranks = np.searchsorted(enc.uniques, column.values)
+                    ranks = np.clip(ranks, 0, enc.uniques.size - 1)
+                    valid &= enc.uniques[ranks] == column.values
+                    codes = ranks.astype(np.int64)
+                else:
+                    codes = hierarchy.bin_values(column.values, level).astype(np.int64)
+            code_columns.append(codes)
+            radices.append(enc.n_labels[level])
+        # Pack external rows and group representatives in ONE call: the
+        # int64-overflow fallback labels by np.unique(axis=0), and labels
+        # from separate pack calls would not be comparable.
+        joint = [
+            np.concatenate([codes, stats.group_codes[:, i]])
+            for i, codes in enumerate(code_columns)
+        ]
+        packed = pack_code_columns(joint, radices)
+        external_sig = packed[: table.n_rows][valid]
+        group_sig = packed[table.n_rows :]
+        uniques, match_counts = np.unique(external_sig, return_counts=True)
+        slots = np.searchsorted(uniques, group_sig)
+        slots = np.clip(slots, 0, max(uniques.size - 1, 0))
+        counts = np.zeros(stats.n_groups, dtype=np.int64)
+        if uniques.size:
+            matched = uniques[slots] == group_sig
+            counts[matched] = match_counts[slots[matched]]
+        return counts
 
     # -- model evaluation ----------------------------------------------------
 

@@ -32,5 +32,13 @@ class BudgetError(ReproError):
     """A differential-privacy accountant has exhausted its budget."""
 
 
+class ConfigError(ReproError):
+    """A declarative job spec (``repro.api``) is malformed.
+
+    Messages always name the offending key or registry name so a bad JSON
+    job description can be fixed without reading library source.
+    """
+
+
 class NotFittedError(ReproError):
     """A mining model was asked to predict before being fitted."""

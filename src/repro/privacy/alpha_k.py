@@ -48,5 +48,20 @@ class AlphaKAnonymity:
         histograms = partition.sensitive_counts(table, self.sensitive)
         return [i for i, counts in enumerate(histograms) if not self._ok(counts)]
 
+    # -- GroupStats fast path (see repro.core.engine) -----------------------
+
+    def _ok_mask(self, stats) -> np.ndarray:
+        hist = stats.histogram(self.sensitive)
+        totals = hist.sum(axis=1)
+        return (totals >= self.k) & (
+            hist.max(axis=1).astype(np.float64) <= self.alpha * totals + 1e-12
+        )
+
+    def check_stats(self, stats) -> bool:
+        return bool(stats.n_groups) and bool(self._ok_mask(stats).all())
+
+    def failing_groups_stats(self, stats) -> list[int]:
+        return np.flatnonzero(~self._ok_mask(stats)).tolist()
+
     def __repr__(self) -> str:
         return f"AlphaKAnonymity(alpha={self.alpha}, k={self.k}, sensitive={self.sensitive!r})"

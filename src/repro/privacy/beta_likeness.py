@@ -61,5 +61,33 @@ class BetaLikeness:
         gains = self.max_gains(table, partition)
         return [i for i, g in enumerate(gains) if g > self.beta + 1e-12]
 
+    # -- GroupStats fast path (see repro.core.engine) -----------------------
+
+    def max_gains_stats(self, stats) -> np.ndarray:
+        """Per-group maximum relative gains, matrix-at-a-time from GroupStats."""
+        hist = stats.histogram(self.sensitive).astype(np.float64)
+        global_dist = stats.global_distribution(self.sensitive)
+        totals = hist.sum(axis=1)
+        safe = np.where(totals > 0, totals, 1.0)
+        local = hist / safe[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gains = np.where(
+                global_dist[None, :] > 0,
+                (local - global_dist[None, :]) / global_dist[None, :],
+                0.0,
+            )
+        out = gains.max(axis=1) if hist.shape[1] else np.zeros(hist.shape[0])
+        impossible = ((global_dist[None, :] == 0) & (local > 0)).any(axis=1)
+        out = np.where(impossible, np.inf, out)
+        return np.where(totals > 0, out, 0.0)
+
+    def check_stats(self, stats) -> bool:
+        if not stats.n_groups:
+            return False
+        return bool((self.max_gains_stats(stats) <= self.beta + 1e-12).all())
+
+    def failing_groups_stats(self, stats) -> list[int]:
+        return np.flatnonzero(self.max_gains_stats(stats) > self.beta + 1e-12).tolist()
+
     def __repr__(self) -> str:
         return f"BetaLikeness(beta={self.beta}, sensitive={self.sensitive!r})"

@@ -78,6 +78,38 @@ class DeltaPresence:
             if not (self.delta_min - 1e-12 <= b <= self.delta_max + 1e-12)
         ]
 
+    # -- GroupStats fast path (see repro.core.engine) -----------------------
+    #
+    # Unlike the legacy path — which requires the caller to re-bind an
+    # already-generalized population via ``with_population`` before every
+    # node check — the fast path generalizes the (raw) population through
+    # the engine's own hierarchies at the evaluated node, so δ-presence
+    # composes with lattice searches out of the box.
+
+    def beliefs_stats(self, stats) -> np.ndarray:
+        """``r / p`` per group, with the population generalized at the node."""
+        population_counts = stats.external_counts(self.population)
+        with np.errstate(divide="ignore"):
+            return np.where(
+                population_counts > 0,
+                stats.sizes / population_counts.astype(np.float64),
+                np.inf,
+            )
+
+    def check_stats(self, stats) -> bool:
+        if not stats.n_groups:
+            return False
+        beliefs = self.beliefs_stats(stats)
+        return bool(
+            ((beliefs >= self.delta_min - 1e-12) & (beliefs <= self.delta_max + 1e-12)).all()
+        )
+
+    def failing_groups_stats(self, stats) -> list[int]:
+        beliefs = self.beliefs_stats(stats)
+        return np.flatnonzero(
+            ~((beliefs >= self.delta_min - 1e-12) & (beliefs <= self.delta_max + 1e-12))
+        ).tolist()
+
     def __repr__(self) -> str:
         return f"DeltaPresence({self.delta_min}, {self.delta_max})"
 

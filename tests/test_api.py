@@ -1,0 +1,529 @@
+"""The declarative job API: registries, AnonymizationConfig, executor.
+
+Pins the api_redesign contracts:
+
+* every registered algorithm/model round-trips through ``to_spec``/
+  ``from_spec`` (property-tested over the parameter space);
+* ``AnonymizationConfig`` round-trips through JSON, and malformed specs
+  fail with errors naming the offending key or registry name;
+* one job expressed as JSON produces byte-identical releases through
+  ``run()``, the CLI ``--config`` path, and the legacy
+  ``Anonymizer.apply()`` shim;
+* ``run_batch`` over several configs on one table shares the lattice
+  engine, so nodes evaluated by one job are cache hits for the next.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Anonymizer
+from repro.api import (
+    AnonymizationConfig,
+    algorithm_registry,
+    build_hierarchies,
+    build_schema,
+    metric_registry,
+    model_registry,
+    run,
+    run_batch,
+)
+from repro.cli import main as cli_main
+from repro.core.io import read_csv
+from repro.errors import ConfigError
+
+CSV_TEXT = (
+    "zipcode,job,age,disease\n"
+    "13053,engineer,29,flu\n"
+    "13068,teacher,31,hiv\n"
+    "13053,engineer,35,ulcer\n"
+    "13068,nurse,40,flu\n"
+    "14850,teacher,22,flu\n"
+    "14850,nurse,24,cancer\n"
+    "14853,engineer,28,hiv\n"
+    "14853,teacher,33,ulcer\n"
+)
+
+JOB = {
+    "quasi_identifiers": ["zipcode", "job"],
+    "numeric_quasi_identifiers": ["age"],
+    "sensitive": ["disease"],
+    "models": [{"model": "k-anonymity", "k": 2}],
+    "algorithm": {"algorithm": "flash"},
+    "metrics": ["gcp", "linkage"],
+}
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(CSV_TEXT)
+    return path
+
+
+@pytest.fixture
+def table(csv_path):
+    return read_csv(csv_path, categorical=["zipcode", "job", "disease"], numeric=["age"])
+
+
+# -- registries --------------------------------------------------------------
+
+# Per-parameter value strategies: every registered class is described by
+# (name, params), so one table drives the whole property test.
+_PARAM_STRATEGIES = {
+    "k": st.integers(1, 50),
+    "l": st.integers(2, 8),
+    "c": st.floats(0.5, 10, allow_nan=False),
+    "t": st.floats(0, 1, allow_nan=False),
+    "e": st.floats(0, 100, allow_nan=False),
+    "alpha": st.floats(0.01, 1, allow_nan=False),
+    "beta": st.floats(0.01, 10, allow_nan=False),
+    "sensitive": st.sampled_from(["disease", "occupation"]),
+    "ground_distance": st.sampled_from(["equal", "ordered"]),
+    "max_suppression": st.floats(0, 0.5, allow_nan=False),
+    "heuristic": st.sampled_from(["distinct", "loss"]),
+    "mode": st.sampled_from(["strict", "relaxed"]),
+    "target": st.none(),
+    "max_steps": st.integers(1, 10_000),
+}
+
+
+def _spec_strategy(registry):
+    entries = [(name, registry._entries[name].params) for name in registry.names()]
+
+    def build(draw):
+        name, params = draw(st.sampled_from(entries))
+        spec = {registry.spec_key: name}
+        for param in params:
+            spec[param] = draw(_PARAM_STRATEGIES[param])
+        return spec
+
+    return st.composite(build)()
+
+
+class TestRegistryRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(spec=_spec_strategy(model_registry))
+    def test_every_model_round_trips(self, spec):
+        model = model_registry.from_spec(spec)
+        dumped = model_registry.to_spec(model)
+        clone = model_registry.from_spec(dumped)
+        assert type(clone) is type(model)
+        assert model_registry.to_spec(clone) == dumped
+        for param, expected in spec.items():
+            if param == "model":
+                continue
+            value = getattr(clone, param)
+            if isinstance(expected, float):
+                assert value == pytest.approx(expected)
+            else:
+                assert value == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(spec=_spec_strategy(algorithm_registry))
+    def test_every_algorithm_round_trips(self, spec):
+        algorithm = algorithm_registry.from_spec(spec)
+        dumped = algorithm_registry.to_spec(algorithm)
+        clone = algorithm_registry.from_spec(dumped)
+        assert type(clone) is type(algorithm)
+        assert algorithm_registry.to_spec(clone) == dumped
+
+    def test_defaults_apply_and_round_trip(self):
+        model = model_registry.from_spec(
+            {"model": "t-closeness", "t": 0.2, "sensitive": "disease"}
+        )
+        assert model.ground_distance == "equal"
+        assert model_registry.to_spec(model)["ground_distance"] == "equal"
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ConfigError, match="unknown privacy model 'k-anon'"):
+            model_registry.from_spec({"model": "k-anon", "k": 3})
+
+    def test_unknown_key_is_named(self):
+        with pytest.raises(ConfigError, match="unknown key 'kk'"):
+            model_registry.from_spec({"model": "k-anonymity", "kk": 3})
+
+    def test_missing_required_key_is_named(self):
+        with pytest.raises(ConfigError, match="missing the required key 'sensitive'"):
+            model_registry.from_spec({"model": "distinct-l-diversity", "l": 2})
+
+    def test_missing_spec_key_is_named(self):
+        with pytest.raises(ConfigError, match="missing the 'algorithm' key"):
+            algorithm_registry.from_spec({"k": 3})
+
+    def test_constructor_rejection_carries_registry_name(self):
+        with pytest.raises(ConfigError, match="invalid privacy model spec for 'k-anonymity'"):
+            model_registry.from_spec({"model": "k-anonymity", "k": 0})
+
+    def test_hierarchical_ground_distance_rejected_in_spec(self):
+        with pytest.raises(ConfigError, match="ground_distance"):
+            model_registry.from_spec(
+                {
+                    "model": "t-closeness",
+                    "t": 0.2,
+                    "sensitive": "disease",
+                    "ground_distance": "hierarchical",
+                }
+            )
+
+    def test_unregistered_instance_to_spec_raises(self):
+        class Custom:
+            pass
+
+        with pytest.raises(ConfigError, match="not a registered"):
+            model_registry.to_spec(Custom())
+
+    def test_metric_registry_unknown_name(self):
+        from repro.api.registry import MetricContext
+
+        with pytest.raises(ConfigError, match="unknown metric 'nope'"):
+            metric_registry.compute("nope", MetricContext(None, None, {}))
+
+
+# -- AnonymizationConfig -----------------------------------------------------
+
+
+class TestConfig:
+    def test_json_round_trip_exact(self):
+        config = AnonymizationConfig.from_dict(JOB)
+        clone = AnonymizationConfig.from_json(config.to_json())
+        assert clone == config
+        assert clone.to_dict() == config.to_dict()
+        json.dumps(config.to_dict())  # JSON-safe all the way down
+
+    def test_unknown_top_level_key_is_named(self):
+        with pytest.raises(ConfigError, match="unknown key 'quasi_identifier'"):
+            AnonymizationConfig.from_dict({"quasi_identifier": ["a"]})
+
+    def test_needs_a_quasi_identifier(self):
+        with pytest.raises(ConfigError, match="quasi_identifiers"):
+            AnonymizationConfig.from_dict({"sensitive": ["disease"]})
+
+    def test_duplicate_role_is_named(self):
+        with pytest.raises(ConfigError, match="'age'.*'numeric_quasi_identifiers'.*'sensitive'"):
+            AnonymizationConfig.from_dict(
+                {"numeric_quasi_identifiers": ["age"], "sensitive": ["age"]}
+            )
+
+    def test_bad_model_spec_fails_at_config_time(self):
+        with pytest.raises(ConfigError, match="unknown privacy model"):
+            AnonymizationConfig.from_dict(
+                {**JOB, "models": [{"model": "nope", "k": 2}]}
+            )
+
+    def test_unknown_metric_is_named(self):
+        with pytest.raises(ConfigError, match="unknown metric 'gpc'"):
+            AnonymizationConfig.from_dict({**JOB, "metrics": ["gpc"]})
+
+    def test_hierarchy_for_undeclared_qi_is_named(self):
+        with pytest.raises(ConfigError, match="'city'.*not a declared quasi-identifier"):
+            AnonymizationConfig.from_dict(
+                {**JOB, "hierarchies": {"city": {"builder": "flat"}}}
+            )
+
+    def test_unknown_builder_is_named(self):
+        with pytest.raises(ConfigError, match="unknown builder 'tree-ish'"):
+            AnonymizationConfig.from_dict(
+                {**JOB, "hierarchies": {"job": {"builder": "tree-ish"}}}
+            )
+
+    def test_unknown_builder_key_is_named(self):
+        with pytest.raises(ConfigError, match="unknown key 'bin'"):
+            AnonymizationConfig.from_dict(
+                {**JOB, "hierarchies": {"age": {"builder": "interval", "bin": 4}}}
+            )
+
+    def test_interval_builder_requires_numeric_qi(self):
+        with pytest.raises(ConfigError, match="'interval' for 'job' needs a numeric"):
+            AnonymizationConfig.from_dict(
+                {**JOB, "hierarchies": {"job": {"builder": "interval"}}}
+            )
+
+    def test_not_json(self):
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            AnonymizationConfig.from_json("{nope")
+
+    def test_invalid_json_config_via_cli_returns_error(self, csv_path, tmp_path, capsys):
+        job = tmp_path / "job.json"
+        job.write_text(json.dumps({"quasi_identifiers": ["zipcode"], "metrics": ["gpc"]}))
+        rc = cli_main([str(csv_path), str(tmp_path / "out.csv"), "--config", str(job)])
+        assert rc == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+
+# -- hierarchy builders ------------------------------------------------------
+
+
+class TestHierarchyBuilders:
+    def test_auto_prefix_for_digit_strings(self, table):
+        config = AnonymizationConfig.from_dict(JOB)
+        hierarchies = build_hierarchies(config, table)
+        assert hierarchies["zipcode"].height == 5  # 5-digit prefix masking
+        assert hierarchies["job"].height == 1  # flat fallback
+
+    def test_explicit_builders(self, table):
+        config = AnonymizationConfig.from_dict(
+            {
+                **JOB,
+                "hierarchies": {
+                    "zipcode": {"builder": "flat"},
+                    "job": {
+                        "builder": "tree",
+                        "tree": {"tech": ["engineer"], "care": ["teacher", "nurse"]},
+                    },
+                    "age": {"builder": "interval", "cuts": [20, 30, 40, 50]},
+                },
+            }
+        )
+        hierarchies = build_hierarchies(config, table)
+        assert hierarchies["zipcode"].height == 1
+        assert "tech" in hierarchies["job"].labels(1)
+        assert hierarchies["age"].intervals(1) == [(20, 30), (30, 40), (40, 50)]
+
+    def test_prefix_builder_rejects_non_digit_domain(self, table):
+        config = AnonymizationConfig.from_dict(
+            {**JOB, "hierarchies": {"job": {"builder": "prefix"}}}
+        )
+        with pytest.raises(ConfigError, match="'prefix' for 'job' needs fixed-width"):
+            build_hierarchies(config, table)
+
+    def test_schema_roles_and_missing_column(self, table):
+        config = AnonymizationConfig.from_dict(JOB)
+        schema = build_schema(config, table)
+        assert schema.quasi_identifiers == ["zipcode", "job", "age"]
+        assert schema.sensitive == ["disease"]
+        bad = AnonymizationConfig.from_dict({**JOB, "drop": ["ssn"]})
+        with pytest.raises(ConfigError, match="'ssn'.*not present"):
+            build_schema(bad, table)
+
+
+# -- executor ----------------------------------------------------------------
+
+
+def _fingerprint(table):
+    return [(col.name, tuple(col.decode())) for col in table]
+
+
+class TestExecutor:
+    def test_result_bundle(self, table):
+        result = run(AnonymizationConfig.from_dict(JOB), table)
+        assert result.release.table.n_rows == 8
+        assert result.node is not None
+        assert set(result.metrics) == {"gcp", "linkage"}
+        assert "anonymize" in result.timings and "prepare" in result.timings
+        payload = result.to_dict()
+        json.dumps(payload)  # fully JSON-safe
+        assert payload["summary"]["min_class_size"] >= 2
+        assert payload["config"]["models"] == JOB["models"]
+
+    def test_c_avg_uses_requested_k(self, table):
+        """C_AVG normalizes by the job's k, not the observed min class size."""
+        from repro.metrics.discernibility import c_avg
+
+        result = run(
+            AnonymizationConfig.from_dict({**JOB, "metrics": ["c_avg"]}), table
+        )
+        assert result.metrics["c_avg"] == c_avg(result.release.partition(), k=2)
+
+    def test_same_job_byte_identical_via_run_cli_and_apply(
+        self, csv_path, tmp_path, table
+    ):
+        job_path = tmp_path / "job.json"
+        job_path.write_text(json.dumps(JOB))
+
+        # Path 1: the declarative executor on the parsed JSON.
+        from repro.core.io import write_csv
+
+        config = AnonymizationConfig.from_json(job_path.read_text())
+        out_run = tmp_path / "run.csv"
+        write_csv(run(config, table).release.table, out_run)
+
+        # Path 2: the CLI --config route.
+        out_cli = tmp_path / "cli.csv"
+        assert cli_main([str(csv_path), str(out_cli), "--config", str(job_path)]) == 0
+
+        # Path 3: the legacy Anonymizer.apply shim with equivalent objects.
+        schema = build_schema(config, table)
+        hierarchies = build_hierarchies(config, table)
+        models = [model_registry.from_spec(spec) for spec in config.models]
+        algorithm = algorithm_registry.from_spec(config.algorithm)
+        release = Anonymizer(table, schema, hierarchies).apply(
+            *models, algorithm=algorithm
+        )
+        out_apply = tmp_path / "apply.csv"
+        write_csv(release.table, out_apply)
+
+        assert out_run.read_bytes() == out_cli.read_bytes()
+        assert out_run.read_bytes() == out_apply.read_bytes()
+
+    def test_max_suppression_override(self, table):
+        from repro.api.executor import _resolve
+
+        config = AnonymizationConfig.from_dict(
+            {**JOB, "algorithm": {"algorithm": "incognito"}, "max_suppression": 0.25}
+        )
+        _, _, _, algorithm = _resolve(config, table)
+        assert algorithm.max_suppression == 0.25
+
+    def test_max_suppression_rejected_for_unbudgeted_algorithm(self):
+        """A budget the algorithm cannot honor fails loudly at config time."""
+        for name in ("mondrian", "tds"):
+            with pytest.raises(ConfigError, match="max_suppression"):
+                AnonymizationConfig.from_dict(
+                    {**JOB, "algorithm": {"algorithm": name}, "max_suppression": 0.05}
+                )
+
+    def test_run_batch_shares_lattice_nodes(self, table):
+        base = {k: v for k, v in JOB.items() if k != "metrics"}
+        configs = [
+            AnonymizationConfig.from_dict({**base, "algorithm": {"algorithm": name}})
+            for name in ("incognito", "flash", "ola")
+        ]
+
+        solo_from_rows = 0
+        solo_results = []
+        for config in configs:
+            result = run(config, table)
+            solo_results.append(result)
+
+        # Independent runs: count node computations with private engines.
+        from repro.core.engine import LatticeEvaluator
+
+        for config in configs:
+            schema = build_schema(config, table)
+            hierarchies = build_hierarchies(config, table)
+            evaluator = LatticeEvaluator(table, schema.quasi_identifiers, hierarchies)
+            run(config, table, evaluator=evaluator)
+            solo_from_rows += evaluator.cache_info()["from_rows"]
+            solo_from_rows += evaluator.cache_info()["rollups"]
+
+        batch_results = run_batch(configs, table)
+        engine = batch_results[0].engine
+        assert engine is not None
+        assert all(result.engine is engine for result in batch_results)
+        info = engine.cache_info()
+        # Shared nodes are computed once: later jobs hit the memo instead.
+        assert info["hits"] > 0
+        assert info["from_rows"] + info["rollups"] < solo_from_rows
+        # And sharing never changes the outputs.
+        for solo, batch in zip(solo_results, batch_results):
+            assert solo.release.node == batch.release.node
+            assert _fingerprint(solo.release.table) == _fingerprint(batch.release.table)
+
+    def test_run_batch_groups_by_environment(self, table):
+        """Different QI sets get different engines; equal ones share."""
+        config_a = AnonymizationConfig.from_dict(JOB)
+        config_b = AnonymizationConfig.from_dict(
+            {**JOB, "quasi_identifiers": ["zipcode"]}
+        )
+        results = run_batch([config_a, config_b, config_a], table)
+        assert results[0].engine is results[2].engine
+        assert results[0].engine is not results[1].engine
+
+    def test_run_batch_respects_per_job_sensitive(self, table):
+        """Jobs differing only in sensitive share an engine, not a schema."""
+        base = {
+            **{k: v for k, v in JOB.items() if k not in ("sensitive", "metrics")},
+            "quasi_identifiers": ["zipcode"],
+        }
+        config_a = AnonymizationConfig.from_dict(
+            {**base, "sensitive": ["disease"], "metrics": ["homogeneity"]}
+        )
+        config_b = AnonymizationConfig.from_dict(
+            {**base, "sensitive": ["job"], "metrics": ["homogeneity"]}
+        )
+        solo = [run(config_a, table), run(config_b, table)]
+        batch = run_batch([config_a, config_b], table)
+        for solo_result, batch_result in zip(solo, batch):
+            assert solo_result.metrics["homogeneity"] == batch_result.metrics["homogeneity"]
+        # The lattice engine is still shared across the differing-sensitive
+        # jobs (node stats don't depend on sensitive roles).
+        assert batch[0].engine is batch[1].engine
+        assert batch[1].engine.cache_info()["hits"] > 0
+
+    def test_homogeneity_metric_requires_sensitive(self, table):
+        config = AnonymizationConfig.from_dict(
+            {
+                "quasi_identifiers": ["zipcode", "job"],
+                "numeric_quasi_identifiers": ["age"],
+                "models": [{"model": "k-anonymity", "k": 2}],
+                "metrics": ["homogeneity"],
+            }
+        )
+        with pytest.raises(ConfigError, match="homogeneity"):
+            run(config, table)
+
+
+class TestCLIConfig:
+    def test_cli_config_end_to_end_with_report(self, csv_path, tmp_path, capsys):
+        job = tmp_path / "job.json"
+        job.write_text(json.dumps(JOB))
+        out = tmp_path / "anon.csv"
+        rc = cli_main([str(csv_path), str(out), "--config", str(job), "--report"])
+        assert rc == 0
+        published = read_csv(out, categorical=["zipcode", "job", "disease", "age"])
+        groups = published.group_rows(["zipcode", "job", "age"])
+        assert min(g.size for g in groups) >= 2
+        report = json.loads(capsys.readouterr().err)
+        assert report["summary"]["min_class_size"] >= 2
+        assert 0 <= report["gcp"] <= 1
+        assert report["config"]["algorithm"] == {"algorithm": "flash"}
+        assert report["timings"]["anonymize"] >= 0
+
+    def test_cli_flags_build_equivalent_config(self, csv_path, tmp_path):
+        """Flag mode and an equivalent config file produce identical output."""
+        out_flags = tmp_path / "flags.csv"
+        assert cli_main(
+            [
+                str(csv_path), str(out_flags),
+                "--qi", "zipcode", "--qi", "job", "--numeric-qi", "age",
+                "--sensitive", "disease", "--k", "2", "--algorithm", "flash",
+            ]
+        ) == 0
+        job = tmp_path / "job.json"
+        job.write_text(
+            json.dumps(
+                {
+                    **{k: v for k, v in JOB.items() if k != "metrics"},
+                    "max_suppression": 0.02,  # the CLI's historic flash budget
+                }
+            )
+        )
+        out_config = tmp_path / "config.csv"
+        assert cli_main([str(csv_path), str(out_config), "--config", str(job)]) == 0
+        assert out_flags.read_bytes() == out_config.read_bytes()
+
+    def test_cli_config_without_report_skips_metrics(self, csv_path, tmp_path):
+        """Metric values are only surfaced by --report; don't compute them."""
+        from repro.cli import _load_config, build_parser
+
+        job = tmp_path / "job.json"
+        job.write_text(json.dumps(JOB))
+        out = tmp_path / "anon.csv"
+        args = build_parser().parse_args([str(csv_path), str(out), "--config", str(job)])
+        assert _load_config(args).metrics == ()
+        args = build_parser().parse_args(
+            [str(csv_path), str(out), "--config", str(job), "--report"]
+        )
+        assert _load_config(args).metrics == ("gcp", "linkage")
+
+    def test_cli_missing_config_file(self, csv_path, tmp_path, capsys):
+        rc = cli_main(
+            [str(csv_path), str(tmp_path / "x.csv"), "--config", str(tmp_path / "no.json")]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestNumpyJsonable:
+    def test_jsonable_handles_numpy_and_tuples(self):
+        from repro.api import jsonable
+
+        payload = jsonable(
+            {"a": np.int64(3), "b": np.float64(0.5), "c": (1, 2), "d": np.arange(2)}
+        )
+        assert payload == {"a": 3, "b": 0.5, "c": [1, 2], "d": [0, 1]}
+        json.dumps(payload)

@@ -23,7 +23,10 @@ from repro.core import (
 )
 from repro.data.synthetic import random_scenario
 from repro.privacy import (
+    AlphaKAnonymity,
+    BetaLikeness,
     CompositeModel,
+    DeltaPresence,
     DistinctLDiversity,
     EntropyLDiversity,
     KAnonymity,
@@ -42,7 +45,10 @@ def fast_models():
         RecursiveCLDiversity(2.0, 2, SENSITIVE),
         TCloseness(0.35, SENSITIVE, ground_distance="equal"),
         TCloseness(0.35, SENSITIVE, ground_distance="ordered"),
+        AlphaKAnonymity(0.6, 3, SENSITIVE),
+        BetaLikeness(1.5, SENSITIVE),
         CompositeModel(KAnonymity(3), DistinctLDiversity(2, SENSITIVE)),
+        CompositeModel(AlphaKAnonymity(0.7, 2, SENSITIVE), BetaLikeness(2.0, SENSITIVE)),
     ]
 
 
@@ -398,6 +404,118 @@ class TestReviewHardening:
         value = js_divergence(p, q)
         assert np.isfinite(value)
         assert 0.0 <= value <= np.log(2) + 1e-9
+
+
+class TestDeltaPresenceFastPath:
+    """δ-presence generalizes its population at the node on the fast path.
+
+    The legacy path requires the caller to re-bind an already-generalized
+    population via ``with_population`` per node; parity is therefore
+    checked against exactly that re-bound legacy model.
+    """
+
+    def _scenario(self, seed):
+        table, qi, hierarchies = scenario(seed, n_rows=140)
+        rng = np.random.default_rng(seed)
+        # Population = research subset + duplicated rows (same value domain).
+        extra = rng.integers(0, table.n_rows, 90)
+        population = table.take(np.concatenate([np.arange(table.n_rows), extra]))
+        return table, qi, hierarchies, population
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_matches_rebound_legacy_on_every_node(self, seed):
+        table, qi, hierarchies, population = self._scenario(seed)
+        fast = DeltaPresence(0.0, 0.75, population, qi)
+        assert supports_stats(fast)
+        lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi)
+        evaluator = LatticeEvaluator(table, qi, hierarchies)
+        for node in lattice.nodes():
+            candidate = apply_node(table, hierarchies, qi, node)
+            partition = partition_by_qi(candidate, qi)
+            rebound = fast.with_population(
+                apply_node(population, hierarchies, qi, node)
+            )
+            stats = evaluator.stats(node)
+            assert fast.check_stats(stats) == rebound.check(candidate, partition), node
+            assert (
+                fast.failing_groups_stats(stats)
+                == rebound.failing_groups(candidate, partition)
+            ), node
+
+    def test_unseen_population_values_match_no_group(self):
+        table, qi, hierarchies, population = self._scenario(1)
+        evaluator = LatticeEvaluator(table, qi, hierarchies)
+        stats = evaluator.stats((0,) * len(qi))
+        counts = stats.external_counts(population)
+        # Every research row appears in the population, so every group
+        # matches at least its own rows.
+        assert (counts >= stats.sizes).all()
+        # A population over a disjoint numeric domain matches nothing at
+        # level 0 (values absent from the research column).
+        from repro.core.table import Column, Table
+
+        shifted = Table(
+            [
+                table.column(qi[0]),
+                table.column(qi[1]),
+                Column.numeric("num", table.values("num") + 1e9),
+                table.column(SENSITIVE),
+            ]
+        )
+        assert stats.external_counts(shifted).sum() == 0
+
+    def test_composite_with_delta_presence_takes_fast_path(self):
+        table, qi, hierarchies, population = self._scenario(2)
+        composite = CompositeModel(
+            KAnonymity(3), DeltaPresence(0.0, 0.9, population, qi)
+        )
+        assert supports_stats(composite)
+
+
+class TestEngineCacheTelemetry:
+    def test_cache_info_counts_hits_and_sources(self):
+        table, qi, hierarchies = scenario(10, n_rows=80)
+        evaluator = LatticeEvaluator(table, qi, hierarchies)
+        bottom = (0,) * len(qi)
+        top = tuple(hierarchies[name].height for name in qi)
+        evaluator.stats(bottom)
+        evaluator.stats(bottom)
+        evaluator.stats(top)  # rolls up from the cached bottom
+        info = evaluator.cache_info()
+        assert info["hits"] == 1
+        assert info["from_rows"] == 1
+        assert info["rollups"] == 1
+        assert info["entries"] == 2
+        assert info["bytes"] > 0
+
+    def test_stratum_index_tracks_cache_under_eviction(self):
+        table, qi, hierarchies = scenario(7, n_rows=90)
+        lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi)
+        evaluator = LatticeEvaluator(table, qi, hierarchies, cache_limit=5)
+        for node in lattice.nodes():
+            evaluator.stats(node)
+            indexed = {
+                (names, node_)
+                for names, strata in evaluator._stratum_index.items()
+                for nodes in strata.values()
+                for node_ in nodes
+            }
+            assert indexed == set(evaluator._stats_cache)
+        assert evaluator.counters["evictions"] > 0
+
+    def test_rollup_prefers_most_general_cached_ancestor(self):
+        table, qi, hierarchies = scenario(11, n_rows=80)
+        evaluator = LatticeEvaluator(table, qi, hierarchies)
+        bottom = (0,) * len(qi)
+        mid = (1,) + (0,) * (len(qi) - 1)
+        evaluator.stats(bottom)
+        evaluator.stats(mid)
+        top = tuple(hierarchies[name].height for name in qi)
+        stats = evaluator.stats(top)
+        # The mid node lives in a higher stratum than the bottom, so it is
+        # the chosen roll-up parent.
+        assert stats._parent is not None
+        assert stats._parent[0].node == mid
 
 
 class TestSatelliteChanges:
