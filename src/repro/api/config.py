@@ -48,6 +48,23 @@ class AnonymizationConfig:
     Construct directly, or from plain data via :meth:`from_dict` /
     :meth:`from_json`; both validate eagerly and raise
     :class:`~repro.errors.ConfigError` naming the offending key.
+
+    Example (doctested)::
+
+        >>> config = AnonymizationConfig.from_dict({
+        ...     "quasi_identifiers": ["zipcode"],
+        ...     "models": [{"model": "k-anonymity", "k": 5}],
+        ... })
+        >>> config.algorithm                     # defaults are filled in
+        {'algorithm': 'mondrian'}
+        >>> AnonymizationConfig.from_json(config.to_json()) == config
+        True
+        >>> AnonymizationConfig.from_dict(
+        ...     {"quasi_identifiers": ["zipcode"],
+        ...      "models": [{"model": "k-anon"}]})  # doctest: +ELLIPSIS
+        Traceback (most recent call last):
+            ...
+        repro.errors.ConfigError: unknown privacy model 'k-anon'; registered: ...
     """
 
     #: Categorical quasi-identifier columns.

@@ -12,12 +12,17 @@ byte-identical releases no matter which door it enters through.
 roles and hierarchy specs, so a multi-config sweep (an algorithm shootout, a
 k-sweep) evaluates each lattice node once — the engine's memoized
 ``GroupStats`` serve every job; ``LatticeEvaluator.cache_info()`` shows the
-sharing (``hits`` grow, ``from_rows`` do not).
+sharing (``hits`` grow, ``from_rows`` do not). With ``workers > 1`` the
+jobs of a batch run on a thread pool against the same shared evaluator,
+whose cache is thread-safe and single-flight — two workers never evaluate
+the same lattice node twice, and results are byte-identical to sequential
+execution (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -209,6 +214,23 @@ def run(
     else still comes from the config. ``environment`` is a prebuilt
     (schema, hierarchies) pair — :func:`run_batch` passes it so a sweep
     materializes each distinct environment once.
+
+    Example (doctested)::
+
+        >>> from repro.core.table import Table
+        >>> table = Table.from_dict(
+        ...     {"zip": ["130", "130", "148", "148"]}, categorical=["zip"])
+        >>> result = run(AnonymizationConfig.from_dict({
+        ...     "quasi_identifiers": ["zip"],
+        ...     "models": [{"model": "k-anonymity", "k": 2}],
+        ...     "algorithm": {"algorithm": "flash"},
+        ... }), table)
+        >>> result.node       # level 0 already satisfies k=2 here
+        (0,)
+        >>> result.release.table.column("zip").decode()
+        ['130', '130', '148', '148']
+        >>> sorted(result.to_dict())  # JSON-safe report for logs/services
+        ['algorithm', 'config', 'metrics', 'models', 'summary', 'timings']
     """
     timings: dict[str, float] = {}
     start = time.perf_counter()
@@ -263,6 +285,7 @@ def run_batch(
     configs: Iterable[AnonymizationConfig],
     table: Table,
     hierarchies: Mapping[str, Any] | None = None,
+    workers: int = 1,
 ) -> list[AnonymizationResult]:
     """Execute many jobs on one table, sharing lattice evaluation.
 
@@ -273,16 +296,48 @@ def run_batch(
     input order, each carrying the shared engine on ``.engine``.
     ``hierarchies`` overrides spec-built hierarchies with live objects for
     the whole batch, exactly as in :func:`run`.
+
+    ``workers > 1`` dispatches the jobs across a thread pool. Jobs still
+    share evaluators exactly as in sequential mode — the engine's cache is
+    thread-safe with single-flight computation, so concurrent searches
+    never evaluate one lattice node twice (the ``coalesced`` counter of
+    :meth:`LatticeEvaluator.cache_info` shows how often a worker waited on
+    another's in-flight node instead). Every job's computation is
+    deterministic and isolated apart from that cache, so the returned
+    releases are byte-identical to ``workers=1`` regardless of scheduling.
+
+    Example (doctested)::
+
+        >>> from repro.core.table import Table
+        >>> table = Table.from_dict(
+        ...     {"zip": ["130", "130", "148", "148", "130", "148"],
+        ...      "disease": ["flu", "hiv", "flu", "flu", "flu", "hiv"]},
+        ...     categorical=["zip", "disease"],
+        ... )
+        >>> jobs = [
+        ...     AnonymizationConfig.from_dict({
+        ...         "quasi_identifiers": ["zip"], "sensitive": ["disease"],
+        ...         "models": [{"model": "k-anonymity", "k": k}],
+        ...         "algorithm": {"algorithm": "flash"},
+        ...     })
+        ...     for k in (2, 3)
+        ... ]
+        >>> results = run_batch(jobs, table, workers=2)
+        >>> [r.node for r in results]           # input order is preserved
+        [(0,), (0,)]
+        >>> results[0].engine is results[1].engine  # one shared evaluator
+        True
     """
     configs = list(configs)
-    # Hierarchy builds and evaluators are shared per evaluator key (QI roles
-    # + hierarchy specs); schemas per schema key, which also pins sensitive
-    # roles. The evaluator is lazily created, only when a job's algorithm
-    # actually consumes one — an all-Mondrian sweep never pays for it.
+    # Planning pass, sequential: hierarchy builds and evaluators are shared
+    # per evaluator key (QI roles + hierarchy specs); schemas per schema
+    # key, which also pins sensitive roles. An evaluator is only created
+    # once a job's algorithm actually consumes one — an all-Mondrian sweep
+    # never pays for it.
     hierarchy_builds: dict[str, dict] = {}
     environments: dict[str, tuple[Schema, dict]] = {}
     evaluators: dict[str, LatticeEvaluator] = {}
-    results: list[AnonymizationResult] = []
+    plans: list[tuple[AnonymizationConfig, tuple[Schema, dict], LatticeEvaluator | None]] = []
     for config in configs:
         evaluator_key, schema_key = _environment_key(config)
         environment = environments.get(schema_key)
@@ -301,10 +356,23 @@ def run_batch(
             prepared = table.drop(*schema.identifying) if schema.identifying else table
             evaluator = LatticeEvaluator(prepared, schema.quasi_identifiers, built)
             evaluators[evaluator_key] = evaluator
-        results.append(
+        plans.append((config, environment, evaluator))
+
+    if int(workers) <= 1 or len(plans) <= 1:
+        return [
             run(config, table, evaluator=evaluator, environment=environment)
-        )
-    return results
+            for config, environment, evaluator in plans
+        ]
+    # Worker threads share evaluators (thread-safe, single-flight) and the
+    # read-only table/schemas/hierarchies; everything else is per-job state.
+    with ThreadPoolExecutor(max_workers=min(int(workers), len(plans))) as pool:
+        futures = [
+            pool.submit(
+                run, config, table, evaluator=evaluator, environment=environment
+            )
+            for config, environment, evaluator in plans
+        ]
+        return [future.result() for future in futures]
 
 
 def _uses_evaluator(config: AnonymizationConfig) -> bool:

@@ -11,6 +11,16 @@ or, declaratively, with the whole job described as JSON::
 
     python -m repro input.csv output.csv --config job.json --report
 
+or as a batch — a JSON *list* of jobs run through
+:func:`repro.api.run_batch`, optionally in parallel::
+
+    python -m repro input.csv output.csv --config jobs.json --workers 4
+
+Batch mode writes one release per job to numbered outputs derived from the
+output path (``output.1.csv``, ``output.2.csv``, ... in job order), shares
+lattice evaluation across jobs exactly like the library API, and with
+``--report`` prints a JSON array of per-job reports to stderr.
+
 Flags are parsed into the same :class:`repro.api.AnonymizationConfig` a
 ``--config`` file deserializes to, and both run through
 :func:`repro.api.run` — the CLI has no private algorithm table or wiring of
@@ -26,9 +36,9 @@ import json
 import sys
 from pathlib import Path
 
-from .api import AnonymizationConfig, algorithm_registry, run
+from .api import AnonymizationConfig, algorithm_registry, run, run_batch
 from .core.io import read_csv, write_csv
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 
 __all__ = ["main", "build_parser", "config_from_args"]
 
@@ -56,7 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("output", help="output CSV path")
     parser.add_argument("--config", default=None, metavar="JOB_JSON",
                         help="declarative job description (JSON file with "
-                             "AnonymizationConfig keys); overrides role/model flags")
+                             "AnonymizationConfig keys, or a JSON list of such "
+                             "jobs for batch mode); overrides role/model flags")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker threads for batch mode (--config with a "
+                             "JSON list of jobs); jobs share one lattice "
+                             "engine and outputs are identical at any N")
     parser.add_argument("--qi", action="append", default=[],
                         help="categorical quasi-identifier column (repeatable)")
     parser.add_argument("--numeric-qi", action="append", default=[],
@@ -116,11 +131,12 @@ def config_from_args(args: argparse.Namespace) -> AnonymizationConfig:
     )
 
 
-def _load_config(args: argparse.Namespace) -> AnonymizationConfig:
+def _apply_cli_overrides(
+    config: AnonymizationConfig, args: argparse.Namespace
+) -> AnonymizationConfig:
     overrides: dict = {}
     if args.max_suppression is not None:
         overrides["max_suppression"] = args.max_suppression
-    config = AnonymizationConfig.from_json(Path(args.config).read_text())
     if args.report and not config.metrics:
         overrides["metrics"] = _REPORT_METRICS + (
             ("homogeneity",) if config.sensitive else ()
@@ -133,6 +149,49 @@ def _load_config(args: argparse.Namespace) -> AnonymizationConfig:
     if overrides:
         config = AnonymizationConfig.from_dict({**config.to_dict(), **overrides})
     return config
+
+
+def _load_configs(args: argparse.Namespace) -> tuple[list[AnonymizationConfig], bool]:
+    """(configs, is_batch) from ``--config``: one job object, or a list."""
+    try:
+        data = json.loads(Path(args.config).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"config is not valid JSON: {exc}") from exc
+    is_batch = isinstance(data, list)
+    jobs = data if is_batch else [data]
+    if not jobs:
+        raise ConfigError("config file holds an empty job list")
+    return (
+        [_apply_cli_overrides(AnonymizationConfig.from_dict(job), args) for job in jobs],
+        is_batch,
+    )
+
+
+def _column_roles(configs: list[AnonymizationConfig]) -> tuple[list[str], list[str]]:
+    """Union of (categorical, numeric) column typings across a batch.
+
+    A column typed categorically by one job and numerically by another
+    cannot be loaded consistently from one CSV, so that is rejected rather
+    than letting one job silently win.
+    """
+    categorical: set[str] = set()
+    numeric: set[str] = set()
+    for config in configs:
+        categorical.update(config.quasi_identifiers)
+        categorical.update(config.sensitive)
+        numeric.update(config.numeric_quasi_identifiers)
+    clashing = sorted(categorical & numeric)
+    if clashing:
+        raise ConfigError(
+            f"column {clashing[0]!r} is categorical in one batch job and "
+            "numeric in another; batch jobs must agree on column types"
+        )
+    return sorted(categorical), sorted(numeric)
+
+
+def _numbered_output(path: Path, index: int) -> Path:
+    """``out.csv`` -> ``out.3.csv`` for job index 3 (1-based, job order)."""
+    return path.with_name(f"{path.stem}.{index}{path.suffix}")
 
 
 def _reject_job_flags_with_config(parser: argparse.ArgumentParser,
@@ -157,10 +216,22 @@ def _reject_job_flags_with_config(parser: argparse.ArgumentParser,
         )
 
 
+def _report_payload(result) -> dict:
+    report = result.to_dict()
+    # Keep risk/utility values at the top level (historic CLI shape)
+    # alongside the structured result.
+    report.update(report.pop("metrics"))
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
     if args.config is None:
+        if args.workers != 1:
+            parser.error("--workers requires --config with a JSON list of jobs")
         if not args.qi and not args.numeric_qi:
             parser.error("declare at least one --qi or --numeric-qi (or use --config)")
         if (args.l or args.t) and not args.sensitive:
@@ -169,23 +240,34 @@ def main(argv: list[str] | None = None) -> int:
         _reject_job_flags_with_config(parser, args)
 
     try:
-        config = (
-            _load_config(args) if args.config is not None else config_from_args(args)
-        )
-        table = read_csv(
-            args.input,
-            categorical=list(config.quasi_identifiers) + list(config.sensitive),
-            numeric=list(config.numeric_quasi_identifiers),
-        )
-        result = run(config, table)
-        write_csv(result.release.table, args.output)
+        if args.config is not None:
+            configs, is_batch = _load_configs(args)
+            if not is_batch and args.workers != 1:
+                # Silently running one job on one thread would contradict
+                # what the flag promises; say what shape the file needs.
+                raise ConfigError(
+                    "--workers applies to batch mode: --config must hold a "
+                    "JSON list of jobs, got a single job object"
+                )
+        else:
+            configs, is_batch = [config_from_args(args)], False
+        categorical, numeric = _column_roles(configs)
+        table = read_csv(args.input, categorical=categorical, numeric=numeric)
 
+        if is_batch:
+            results = run_batch(configs, table, workers=args.workers)
+            output = Path(args.output)
+            for index, result in enumerate(results, start=1):
+                write_csv(result.release.table, _numbered_output(output, index))
+            if args.report:
+                payload = [_report_payload(result) for result in results]
+                print(json.dumps(payload, indent=2), file=sys.stderr)
+            return 0
+
+        result = run(configs[0], table)
+        write_csv(result.release.table, args.output)
         if args.report:
-            report = result.to_dict()
-            # Keep risk/utility values at the top level (historic CLI shape)
-            # alongside the structured result.
-            report.update(report.pop("metrics"))
-            print(json.dumps(report, indent=2), file=sys.stderr)
+            print(json.dumps(_report_payload(result), indent=2), file=sys.stderr)
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -42,12 +42,24 @@ them.
 
 Group ordering is byte-compatible with the legacy path: groups ascend by
 packed signature, rows within a group ascend by index.
+
+**Concurrency.** One evaluator may serve several worker threads at once
+(:func:`repro.api.run_batch` with ``workers > 1``). The memo cache is
+guarded by a single mutex, and computations are *single-flight*: the first
+thread to request an uncached node registers an in-flight marker and
+computes outside the lock; any other thread asking for the same ``(names,
+node)`` meanwhile blocks on that marker instead of recomputing
+(``cache_info()["coalesced"]`` counts those waits), so no node's stats are
+ever derived twice. Lazily-grown payload (histograms, row labels,
+partitions) is serialized per :class:`GroupStats` by its own re-entrant
+lock. See ``docs/architecture.md`` for the full design.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -91,6 +103,13 @@ class GroupStats:
     heuristics. Row-level labels and the :class:`EquivalenceClasses`
     partition are reconstructed lazily (through the roll-up parent chain if
     the stats were derived by roll-up rather than from rows).
+
+    The eager fields (sizes, group_codes) are immutable after construction;
+    every lazily-grown field is guarded by ``_lock`` so one stats object can
+    serve several worker threads. The lock is re-entrant (``partition()``
+    resolves ``row_labels`` while holding it) and locks are only ever taken
+    child-then-parent along the acyclic roll-up chain, so the order is
+    deadlock-free.
     """
 
     names: tuple[str, ...]
@@ -105,6 +124,7 @@ class GroupStats:
     _external: tuple | None = None
     _partition: EquivalenceClasses | None = None
     _cache_key: tuple | None = None
+    _lock: Any = field(default_factory=threading.RLock, repr=False, compare=False)
 
     @property
     def n_groups(self) -> int:
@@ -116,32 +136,34 @@ class GroupStats:
     @property
     def row_labels(self) -> np.ndarray:
         """Per-row group label (resolved through the roll-up parent chain)."""
-        if self._row_labels is None:
-            assert self._parent is not None, "root stats always carry row labels"
-            parent, group_map = self._parent
-            self._row_labels = group_map[parent.row_labels]
-            self._engine._note_bytes(self, self._row_labels.nbytes)
-        return self._row_labels
+        with self._lock:
+            if self._row_labels is None:
+                assert self._parent is not None, "root stats always carry row labels"
+                parent, group_map = self._parent
+                self._row_labels = group_map[parent.row_labels]
+                self._engine._note_bytes(self, self._row_labels.nbytes)
+            return self._row_labels
 
     def histogram(self, sensitive: str) -> np.ndarray:
         """(n_groups, n_categories) counts of ``sensitive`` per group."""
-        hist = self._hists.get(sensitive)
-        if hist is not None:
+        with self._lock:
+            hist = self._hists.get(sensitive)
+            if hist is not None:
+                return hist
+            n_cats = self._engine._column_categories(sensitive)
+            if self._parent is not None:
+                parent, group_map = self._parent
+                hist = np.zeros((self.n_groups, n_cats), dtype=np.int64)
+                np.add.at(hist, group_map, parent.histogram(sensitive))
+            else:
+                codes = self._engine._column_codes(sensitive)
+                flat = np.bincount(
+                    self.row_labels * n_cats + codes, minlength=self.n_groups * n_cats
+                )
+                hist = flat.reshape(self.n_groups, n_cats)
+            self._hists[sensitive] = hist
+            self._engine._note_bytes(self, hist.nbytes)
             return hist
-        n_cats = self._engine._column_categories(sensitive)
-        if self._parent is not None:
-            parent, group_map = self._parent
-            hist = np.zeros((self.n_groups, n_cats), dtype=np.int64)
-            np.add.at(hist, group_map, parent.histogram(sensitive))
-        else:
-            codes = self._engine._column_codes(sensitive)
-            flat = np.bincount(
-                self.row_labels * n_cats + codes, minlength=self.n_groups * n_cats
-            )
-            hist = flat.reshape(self.n_groups, n_cats)
-        self._hists[sensitive] = hist
-        self._engine._note_bytes(self, hist.nbytes)
-        return hist
 
     def global_distribution(self, sensitive: str) -> np.ndarray:
         """Table-wide distribution of ``sensitive`` (t-closeness baseline)."""
@@ -151,13 +173,14 @@ class GroupStats:
 
     def partition(self) -> EquivalenceClasses:
         """The node's EC partition, ordered exactly like ``partition_by_qi``."""
-        if self._partition is None:
-            self._partition = classes_from_labels(
-                self.row_labels, self.names, self.n_rows
-            )
-            # The group arrays are views over one O(n_rows) order array.
-            self._engine._note_bytes(self, self.n_rows * 8)
-        return self._partition
+        with self._lock:
+            if self._partition is None:
+                self._partition = classes_from_labels(
+                    self.row_labels, self.names, self.n_rows
+                )
+                # The group arrays are views over one O(n_rows) order array.
+                self._engine._note_bytes(self, self.n_rows * 8)
+            return self._partition
 
     def external_counts(self, table: Table) -> np.ndarray:
         """Per-group row counts of an external table at this node (memoized).
@@ -168,12 +191,13 @@ class GroupStats:
         table it was computed from — a long-cached node never accumulates
         retired population tables across refreshes.
         """
-        if self._external is None or self._external[0] is not table:
-            counts = self._engine.external_group_counts(self, table)
-            self._external = (table, counts)
-            self._engine._note_bytes(self, counts.nbytes)
-            return counts
-        return self._external[1]
+        with self._lock:
+            if self._external is None or self._external[0] is not table:
+                counts = self._engine.external_group_counts(self, table)
+                self._external = (table, counts)
+                self._engine._note_bytes(self, counts.nbytes)
+                return counts
+            return self._external[1]
 
 
 class _QIEncoding:
@@ -217,6 +241,33 @@ class LatticeEvaluator:
     Evicted entries may stay alive while a rolled-up descendant still
     references them, but each roll-up chain shares a single per-row label
     array at its root, so that overhang is bounded.
+
+    The evaluator is thread-safe: cache bookkeeping runs under one mutex and
+    node computations are single-flight (see the module docstring), so
+    :func:`repro.api.run_batch` can point several worker threads at one
+    shared evaluator without ever evaluating a node twice.
+
+    Example (doctested)::
+
+        >>> import numpy as np
+        >>> from repro.core.table import Table
+        >>> from repro.core.hierarchy import Hierarchy
+        >>> table = Table.from_dict(
+        ...     {"city": ["paris", "paris", "lyon", "osaka"],
+        ...      "disease": ["flu", "flu", "hiv", "flu"]},
+        ...     categorical=["city", "disease"],
+        ... )
+        >>> hierarchy = Hierarchy.from_tree({"EU": ["paris", "lyon"],
+        ...                                  "AS": ["osaka"]})
+        >>> engine = LatticeEvaluator(table, ["city"], {"city": hierarchy})
+        >>> engine.stats((1,)).sizes.tolist()   # EU: 3 rows, AS: 1 row
+        [3, 1]
+        >>> engine.n_groups((2,))               # everything rolls up to '*'
+        1
+        >>> engine.stats((1,)).histogram("disease").tolist()
+        [[2, 1], [1, 0]]
+        >>> engine.cache_info()["from_rows"]
+        1
     """
 
     def __init__(
@@ -245,8 +296,19 @@ class LatticeEvaluator:
         # the strata below the node's instead of scanning the whole cache.
         self._stratum_index: dict[tuple[str, ...], dict[int, set[Node]]] = {}
         # Cumulative cache telemetry (never reset by eviction); run_batch
-        # and the E35 bench read these to prove cross-job node sharing.
-        self.counters = {"hits": 0, "from_rows": 0, "rollups": 0, "evictions": 0}
+        # and the E35/E36 benches read these to prove cross-job node sharing
+        # and single-flight coalescing under parallel workers.
+        self.counters = {
+            "hits": 0,
+            "from_rows": 0,
+            "rollups": 0,
+            "evictions": 0,
+            "coalesced": 0,
+        }
+        # One mutex guards every cache structure above plus the in-flight
+        # table; node computation itself runs outside it (single-flight).
+        self._mutex = threading.Lock()
+        self._inflight: dict[tuple[tuple[str, ...], Node], threading.Event] = {}
         self._level_maps: dict[tuple[str, int, int], np.ndarray] = {}
         self._columns: dict[str, tuple[np.ndarray, int]] = {}
         # External-table ground codes, one slot per QI name: the domain
@@ -317,6 +379,11 @@ class LatticeEvaluator:
         Valid because every hierarchy level refines the next (checked at
         Hierarchy construction; interval merging is monotone by design), so
         scattering ``lut[high]`` through ``lut[low]`` is conflict-free.
+
+        Unlocked on purpose: the memo write is idempotent (two racing
+        threads compute identical arrays and either may win), so the worst
+        case is one wasted recomputation, never a wrong value. The same
+        holds for the ``_columns`` and ``_external_grounds`` memos.
         """
         key = (name, low, high)
         comp = self._level_maps.get(key)
@@ -330,33 +397,71 @@ class LatticeEvaluator:
     # -- stats ---------------------------------------------------------------
 
     def stats(self, node: Sequence[int], names: Sequence[str] | None = None) -> GroupStats:
-        """Memoized :class:`GroupStats` of a node (roll-up when possible)."""
+        """Memoized :class:`GroupStats` of a node (roll-up when possible).
+
+        Thread-safe and single-flight: when several workers request the same
+        uncached ``(names, node)`` at once, exactly one computes it (from
+        rows or by roll-up) while the others block on the computation's
+        in-flight marker and then read the freshly cached entry — counted
+        under ``coalesced`` in :meth:`cache_info`.
+        """
         names = self.qi_names if names is None else tuple(names)
         node = tuple(int(lv) for lv in node)
         key = (names, node)
-        cached = self._stats_cache.get(key)
-        if cached is not None:
-            self.counters["hits"] += 1
-            return cached
-        ancestor = self._rollup_candidate(names, node)
-        if ancestor is not None:
-            stats = self._rollup(ancestor, node)
-            self.counters["rollups"] += 1
-        else:
-            stats = self._stats_from_rows(names, node)
-            self.counters["from_rows"] += 1
-        footprint = self._footprint(stats)
-        while self._stats_cache and (
-            len(self._stats_cache) >= self.cache_limit
-            or self._cached_bytes + footprint > self.cache_bytes
-        ):
-            self._evict_oldest()
-        stats._cache_key = key
-        self._stats_cache[key] = stats
-        self._stratum_index.setdefault(names, {}).setdefault(sum(node), set()).add(node)
-        self._accounted[key] = footprint
-        self._cached_bytes += footprint
-        return stats
+        event = None
+        # The marker is registered inside the try so *any* exit — including
+        # an exception raised mid-computation, or an async exception landing
+        # right after registration — clears it and wakes the waiters, who
+        # then find neither entry nor marker and take over ownership.
+        try:
+            while True:
+                with self._mutex:
+                    cached = self._stats_cache.get(key)
+                    if cached is not None:
+                        self.counters["hits"] += 1
+                        return cached
+                    waiter = self._inflight.get(key)
+                    if waiter is None:
+                        # This thread owns the computation; the roll-up
+                        # candidate is picked under the mutex (it reads the
+                        # cache), the computation itself runs outside it.
+                        ancestor = self._rollup_candidate(names, node)
+                        event = threading.Event()
+                        self._inflight[key] = event
+                        break
+                # Another worker is computing this exact node: wait for it,
+                # then loop to read the cached result (or take over if it
+                # failed / the entry was immediately evicted).
+                waiter.wait()
+                with self._mutex:
+                    self.counters["coalesced"] += 1
+            if ancestor is not None:
+                stats = self._rollup(ancestor, node)
+                counter = "rollups"
+            else:
+                stats = self._stats_from_rows(names, node)
+                counter = "from_rows"
+            with self._mutex:
+                self.counters[counter] += 1
+                footprint = self._footprint(stats)
+                while self._stats_cache and (
+                    len(self._stats_cache) >= self.cache_limit
+                    or self._cached_bytes + footprint > self.cache_bytes
+                ):
+                    self._evict_oldest()
+                stats._cache_key = key
+                self._stats_cache[key] = stats
+                self._stratum_index.setdefault(names, {}).setdefault(
+                    sum(node), set()
+                ).add(node)
+                self._accounted[key] = footprint
+                self._cached_bytes += footprint
+            return stats
+        finally:
+            if event is not None:
+                with self._mutex:
+                    del self._inflight[key]
+                event.set()
 
     def cache_info(self) -> dict:
         """Cumulative cache telemetry plus current occupancy.
@@ -365,12 +470,19 @@ class LatticeEvaluator:
         O(n_groups) derivations, ``hits`` memo returns. A shared evaluator
         re-used across batch jobs shows ``hits`` growing while ``from_rows``
         stays put — the evidence that lattice nodes are evaluated once.
+        ``coalesced`` counts requests that blocked on another worker's
+        in-flight computation of the same node instead of recomputing it
+        (each such request is then also a ``hit`` when it reads the freshly
+        cached entry); with zero evictions, ``from_rows + rollups ==
+        entries`` proves no node was ever evaluated twice, sequentially or
+        under parallel workers.
         """
-        return {
-            **self.counters,
-            "entries": len(self._stats_cache),
-            "bytes": self._cached_bytes,
-        }
+        with self._mutex:
+            return {
+                **self.counters,
+                "entries": len(self._stats_cache),
+                "bytes": self._cached_bytes,
+            }
 
     def _evict_oldest(self) -> None:
         oldest = next(iter(self._stats_cache))
@@ -401,13 +513,14 @@ class LatticeEvaluator:
         row labels, partitions) and evict oldest entries if the budget is
         now exceeded. Growth on stats no longer in the cache is ignored —
         their bytes were already released at eviction."""
-        key = stats._cache_key
-        if key is None or self._stats_cache.get(key) is not stats:
-            return
-        self._cached_bytes += int(n_bytes)
-        self._accounted[key] += int(n_bytes)
-        while len(self._stats_cache) > 1 and self._cached_bytes > self.cache_bytes:
-            self._evict_oldest()
+        with self._mutex:
+            key = stats._cache_key
+            if key is None or self._stats_cache.get(key) is not stats:
+                return
+            self._cached_bytes += int(n_bytes)
+            self._accounted[key] += int(n_bytes)
+            while len(self._stats_cache) > 1 and self._cached_bytes > self.cache_bytes:
+                self._evict_oldest()
 
     def _rollup_candidate(self, names: tuple[str, ...], node: Node) -> GroupStats | None:
         """Cheapest cached strictly-more-specific node over the same QIs.

@@ -340,6 +340,16 @@ class Table:
             for i in range(self._n_rows)
         ]
 
+    def fingerprint(self) -> list[tuple]:
+        """Hashable content identity: ``[(name, decoded values), ...]``.
+
+        Two tables fingerprint equal iff they publish the same values in
+        the same order — the equality behind the API's byte-identical-
+        release guarantees (one job through every door, parallel vs
+        sequential batches), asserted by tests and benchmarks alike.
+        """
+        return [(col.name, tuple(col.decode())) for col in self]
+
     def __repr__(self) -> str:
         kinds = ", ".join(
             f"{name}:{'cat' if col.is_categorical else 'num'}"

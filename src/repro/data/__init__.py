@@ -1,7 +1,7 @@
 """Datasets: synthetic Adult census, hospital discharge, generic generators."""
 
 from .adult import ADULT_CATEGORICAL, ADULT_NUMERIC, adult_schema, load_adult, load_adult_file
-from .adult_hierarchy import adult_hierarchies
+from .adult_hierarchy import adult_hierarchies, adult_hierarchy_specs
 from .medical import DISEASES, load_medical, medical_hierarchies, medical_schema
 from .synthetic import gaussian_numeric, random_scenario, zipf_categorical
 
@@ -10,6 +10,7 @@ __all__ = [
     "ADULT_NUMERIC",
     "DISEASES",
     "adult_hierarchies",
+    "adult_hierarchy_specs",
     "adult_schema",
     "gaussian_numeric",
     "load_adult",

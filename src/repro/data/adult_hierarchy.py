@@ -4,14 +4,57 @@ These mirror the hierarchies ARX and the PPDP papers ship for Adult:
 work class into sector, education into stage, marital status into
 civil state, country into region, race/sex into suppression-only, and
 age into widening intervals (5 → 10 → 20 → 40 → all).
+
+They are available in two equivalent forms:
+
+* :func:`adult_hierarchies` — live :class:`~repro.core.hierarchy.Hierarchy`
+  objects, for the library API;
+* :func:`adult_hierarchy_specs` — the same hierarchies as declarative
+  builder specs (``adult_hierarchies.json``, shipped next to this module),
+  ready to embed under the ``hierarchies`` key of an
+  :class:`~repro.api.AnonymizationConfig`. Because every spec pins its
+  domain explicitly (``tree``/``levels`` rows, interval ``cuts``), a whole
+  Adult job is plain JSON end to end — it can be queued, shipped, and
+  replayed with no live objects riding along. The spec format is
+  documented in ``docs/api.md``; equivalence with the live objects is
+  pinned by ``tests/test_data.py``.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from ..core.hierarchy import Hierarchy, IntervalHierarchy
 from .adult import EDUCATION, MARITAL, NATIVE_COUNTRY, RACE, SEX, WORKCLASS, OCCUPATION
 
-__all__ = ["adult_hierarchies"]
+__all__ = ["adult_hierarchies", "adult_hierarchy_specs"]
+
+_SPEC_PATH = Path(__file__).with_name("adult_hierarchies.json")
+
+
+def adult_hierarchy_specs() -> dict:
+    """The curated Adult hierarchies as JSON-safe builder specs.
+
+    Returns a fresh ``{column: hierarchy spec}`` dict loaded from
+    ``adult_hierarchies.json`` — drop it (or a subset of it) under a
+    config's ``hierarchies`` key to run Adult jobs as pure data::
+
+        config = AnonymizationConfig.from_dict({
+            "quasi_identifiers": ["workclass", "education"],
+            "numeric_quasi_identifiers": ["age"],
+            "hierarchies": {
+                name: spec
+                for name, spec in adult_hierarchy_specs().items()
+                if name in ("workclass", "education", "age")
+            },
+            "models": [{"model": "k-anonymity", "k": 5}],
+        })
+
+    Building these specs against a table (``build_hierarchies``) yields
+    hierarchies level-for-level identical to :func:`adult_hierarchies`.
+    """
+    return json.loads(_SPEC_PATH.read_text())
 
 
 def adult_hierarchies() -> dict:

@@ -304,7 +304,7 @@ class TestHierarchyBuilders:
 
 
 def _fingerprint(table):
-    return [(col.name, tuple(col.decode())) for col in table]
+    return table.fingerprint()
 
 
 class TestExecutor:
@@ -498,17 +498,19 @@ class TestCLIConfig:
 
     def test_cli_config_without_report_skips_metrics(self, csv_path, tmp_path):
         """Metric values are only surfaced by --report; don't compute them."""
-        from repro.cli import _load_config, build_parser
+        from repro.cli import _load_configs, build_parser
 
         job = tmp_path / "job.json"
         job.write_text(json.dumps(JOB))
         out = tmp_path / "anon.csv"
         args = build_parser().parse_args([str(csv_path), str(out), "--config", str(job)])
-        assert _load_config(args).metrics == ()
+        configs, is_batch = _load_configs(args)
+        assert configs[0].metrics == () and not is_batch
         args = build_parser().parse_args(
             [str(csv_path), str(out), "--config", str(job), "--report"]
         )
-        assert _load_config(args).metrics == ("gcp", "linkage")
+        configs, _ = _load_configs(args)
+        assert configs[0].metrics == ("gcp", "linkage")
 
     def test_cli_missing_config_file(self, csv_path, tmp_path, capsys):
         rc = cli_main(

@@ -5,6 +5,7 @@ import pytest
 
 from repro.data import (
     adult_hierarchies,
+    adult_hierarchy_specs,
     adult_schema,
     load_adult,
     load_medical,
@@ -13,6 +14,87 @@ from repro.data import (
     random_scenario,
     zipf_categorical,
 )
+
+
+class TestAdultHierarchySpecs:
+    """The shipped spec file must match the curated live hierarchies."""
+
+    def test_specs_cover_every_curated_hierarchy(self):
+        assert set(adult_hierarchy_specs()) == set(adult_hierarchies())
+
+    def test_specs_are_json_safe_and_fresh(self):
+        import json
+
+        specs = adult_hierarchy_specs()
+        json.dumps(specs)  # plain data end to end
+        specs["age"]["cuts"] = []  # mutating a copy ...
+        assert adult_hierarchy_specs()["age"]["cuts"]  # ... not the source
+
+    def test_spec_built_hierarchies_match_curated(self):
+        """build_hierarchies on the specs == adult_hierarchies(), level for
+        level — so jobs shipped as pure data generalize identically."""
+        from repro.api import AnonymizationConfig, build_hierarchies
+
+        table = load_adult(800, seed=11)
+        specs = adult_hierarchy_specs()
+        live = adult_hierarchies()
+        config = AnonymizationConfig.from_dict(
+            {
+                "quasi_identifiers": [
+                    name for name in specs if name != "age"
+                ],
+                "numeric_quasi_identifiers": ["age"],
+                "hierarchies": specs,
+                "models": [{"model": "k-anonymity", "k": 2}],
+            }
+        )
+        built = build_hierarchies(config, table)
+        for name, hierarchy in built.items():
+            curated = live[name]
+            assert hierarchy.height == curated.height, name
+            if hasattr(hierarchy, "labels"):  # categorical
+                assert hierarchy.ground == curated.ground, name
+                for level in range(hierarchy.height + 1):
+                    assert hierarchy.labels(level) == curated.labels(level), (
+                        name,
+                        level,
+                    )
+            else:  # interval
+                assert hierarchy.cuts == curated.cuts, name
+                assert hierarchy.merge_factor == curated.merge_factor, name
+
+    def test_pure_data_job_matches_live_override_run(self):
+        """A config carrying the specs releases byte-identically to the same
+        config run with the curated live hierarchies overriding."""
+        from repro.api import AnonymizationConfig, run
+
+        table = load_adult(600, seed=2)
+        specs = adult_hierarchy_specs()
+        config = AnonymizationConfig.from_dict(
+            {
+                "quasi_identifiers": ["workclass", "education", "occupation"],
+                "numeric_quasi_identifiers": ["age"],
+                "sensitive": ["marital_status"],
+                "hierarchies": {
+                    name: specs[name]
+                    for name in ("workclass", "education", "occupation", "age")
+                },
+                "models": [{"model": "k-anonymity", "k": 3}],
+                "algorithm": {"algorithm": "flash", "max_suppression": 0.02},
+            }
+        )
+        live = {
+            name: hierarchy
+            for name, hierarchy in adult_hierarchies().items()
+            if name in ("workclass", "education", "occupation", "age")
+        }
+        spec_run = run(config, table)
+        live_run = run(config, table, hierarchies=live)
+        assert spec_run.release.node == live_run.release.node
+        assert (
+            spec_run.release.table.fingerprint()
+            == live_run.release.table.fingerprint()
+        )
 
 
 class TestAdult:

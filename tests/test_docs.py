@@ -1,0 +1,67 @@
+"""Documentation health: dead links and doctested API examples.
+
+Mirrors the two CI documentation gates inside the tier-1 suite so they
+cannot rot unnoticed between CI configurations:
+
+* ``tools/check_links.py`` — every relative markdown link in README,
+  ROADMAP, CHANGES, docs/, benchmarks/README and examples/README must
+  resolve, and docs/architecture.md + docs/api.md must be linked from the
+  README;
+* the usage examples in the ``repro.api`` modules' and the engine's
+  docstrings must actually run (same modules CI covers with
+  ``pytest --doctest-modules src/repro/api src/repro/core/engine.py``).
+"""
+
+import doctest
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLinks:
+    def test_no_dead_links(self):
+        checker = _load_check_links()
+        assert checker.check_links() == []
+
+    def test_required_docs_exist(self):
+        for required in ("docs/architecture.md", "docs/api.md",
+                         "benchmarks/README.md", "examples/README.md"):
+            assert (ROOT / required).is_file(), required
+
+
+class TestDoctests:
+    MODULES = (
+        "repro.api",
+        "repro.api.config",
+        "repro.api.executor",
+        "repro.api.registry",
+        "repro.core.engine",
+    )
+
+    def test_api_docstring_examples_run(self):
+        for name in self.MODULES:
+            __import__(name)
+            results = doctest.testmod(sys.modules[name], verbose=False)
+            assert results.failed == 0, f"doctest failures in {name}"
+
+    def test_api_modules_carry_examples(self):
+        """The documented entry points keep at least one runnable example."""
+        total = 0
+        for name in ("repro.api.config", "repro.api.executor", "repro.core.engine"):
+            __import__(name)
+            finder = doctest.DocTestFinder()
+            total += sum(
+                len(test.examples) for test in finder.find(sys.modules[name])
+            )
+        assert total >= 3

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Dead-link check for the repo's markdown docs (CI gate).
+
+Scans README.md, ROADMAP.md, CHANGES.md, docs/, benchmarks/README.md and
+examples/README.md for markdown links whose target is a relative path, and
+fails when a target does not exist. External links (http/https/mailto) and
+pure in-page anchors are skipped; a ``path#anchor`` target is checked for
+the path part only.
+
+Also enforces the documentation contract directly: ``docs/architecture.md``
+and ``docs/api.md`` must exist and be linked from README.md.
+
+Run from anywhere: ``python tools/check_links.py`` (exit 1 on any dead
+link, listing every offender). ``tests/test_docs.py`` runs the same check
+in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Documents under the link contract. Globs are relative to the repo root.
+DOC_GLOBS = (
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/*.md",
+    "benchmarks/README.md",
+    "examples/README.md",
+)
+
+#: Files that must exist and be linked from README.md.
+REQUIRED_FROM_README = ("docs/architecture.md", "docs/api.md")
+
+# Inline markdown links: [text](target) with an optional "title".
+_LINK = re.compile(r"\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _targets(text: str):
+    for match in _LINK.finditer(text):
+        yield match.group(1)
+
+
+def check_links(root: Path = ROOT) -> list[str]:
+    """Every problem found, as ``file: message`` strings (empty = clean)."""
+    problems: list[str] = []
+    documents = [
+        path for pattern in DOC_GLOBS for path in sorted(root.glob(pattern))
+    ]
+    for path in documents:
+        for target in _targets(path.read_text()):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                problems.append(
+                    f"{path.relative_to(root)}: dead link -> {target}"
+                )
+
+    readme = root / "README.md"
+    readme_text = readme.read_text() if readme.exists() else ""
+    for required in REQUIRED_FROM_README:
+        if not (root / required).exists():
+            problems.append(f"{required}: required doc is missing")
+        elif required not in readme_text:
+            problems.append(f"README.md: does not link {required}")
+    return problems
+
+
+def main() -> int:
+    problems = check_links()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} dead link(s) / missing doc(s)", file=sys.stderr)
+        return 1
+    print("docs link check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
