@@ -143,6 +143,13 @@ class Flash:
             "paths_built": 0,
             "tagged_without_check": 0,
         }
+        # Deterministic cache fill: Flash's first stats request is a
+        # mid-path bisection pivot, and lower nodes visited later cannot
+        # roll up from it — so which nodes came "from rows" depended on the
+        # request order, which parallel batch jobs race over. Seeding the
+        # lattice bottom first gives every other node a roll-up ancestor,
+        # pinning the engine's from_rows/rollups profile at any worker count.
+        evaluator.stats(lattice.bottom)
         state: dict[Node, int] = {}
 
         for stratum in lattice.levels():

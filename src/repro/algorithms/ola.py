@@ -75,6 +75,13 @@ class OLA:
         lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi_names)
         heights = lattice.heights
         self.stats = {"nodes_checked": 0, "lattice_size": lattice.size}
+        # Deterministic cache fill: OLA probes the top first (which can
+        # never serve as a roll-up ancestor), so mid-stratum probes used to
+        # be O(n_rows) from-rows computations in an order parallel batch
+        # jobs race over. Seeding the bottom gives every probe a roll-up
+        # ancestor, pinning the engine's from_rows/rollups profile at any
+        # worker count — and making each probe O(n_groups) instead.
+        evaluator.stats(lattice.bottom)
 
         satisfying: set[Node] = set()
         unsatisfying: set[Node] = set()

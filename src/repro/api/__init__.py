@@ -28,7 +28,16 @@ serving anonymization as a multi-tenant service.
 """
 
 from .config import AnonymizationConfig, build_hierarchies, build_schema
-from .executor import AnonymizationResult, execute, jsonable, run, run_batch
+from .executor import (
+    PLANS,
+    AnonymizationResult,
+    BatchPlan,
+    BatchPlanner,
+    execute,
+    jsonable,
+    run,
+    run_batch,
+)
 from .registry import (
     MetricContext,
     MetricRegistry,
@@ -41,8 +50,11 @@ from .registry import (
 __all__ = [
     "AnonymizationConfig",
     "AnonymizationResult",
+    "BatchPlan",
+    "BatchPlanner",
     "MetricContext",
     "MetricRegistry",
+    "PLANS",
     "Registry",
     "algorithm_registry",
     "build_hierarchies",

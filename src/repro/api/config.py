@@ -30,6 +30,7 @@ import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Mapping
 
+from ..core.cache import check_cache_bytes
 from ..core.hierarchy import Hierarchy, IntervalHierarchy
 from ..core.schema import Schema
 from ..core.table import Table
@@ -89,6 +90,11 @@ class AnonymizationConfig:
     metrics: tuple[str, ...] = ()
     #: Base bin count for ``auto``/bin-count ``interval`` hierarchies.
     bins: int = 16
+    #: Engine-cache byte budget for this job's lattice evaluator; None
+    #: keeps the engine default (256 MiB). Batch planning may slice a
+    #: global ``run_batch(cache_bytes=...)`` budget further, but never
+    #: above this cap.
+    cache_bytes: int | None = None
 
     def __post_init__(self):
         # Normalize sequence fields to tuples so configs hash/compare sanely
@@ -151,6 +157,21 @@ class AnonymizationConfig:
             )
         if self.bins < 1:
             raise ConfigError(f"key 'bins' must be >= 1, got {self.bins}")
+        if self.cache_bytes is not None:
+            # Rejected here, not when the engine is finally built: a bad
+            # budget in a queued job file should fail at parse time.
+            try:
+                check_cache_bytes(self.cache_bytes)
+            except ValueError as exc:
+                raise ConfigError(f"key 'cache_bytes' {exc}") from None
+            if not getattr(type(algorithm), "uses_evaluator", False):
+                # Same silent-knob guard as max_suppression above: a memory
+                # bound the algorithm can never consume must not validate.
+                raise ConfigError(
+                    f"key 'cache_bytes' does not apply to algorithm "
+                    f"{algorithm_registry.name_of(algorithm)!r} (no lattice "
+                    "engine); remove the key or pick a full-domain algorithm"
+                )
 
     def _validate_hierarchy_spec(self, name: str, spec: Mapping[str, Any]) -> None:
         builder = spec.get("builder")

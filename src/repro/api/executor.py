@@ -17,6 +17,19 @@ jobs of a batch run on a thread pool against the same shared evaluator,
 whose cache is thread-safe and single-flight — two workers never evaluate
 the same lattice node twice, and results are byte-identical to sequential
 execution (see ``docs/architecture.md``).
+
+Batches are laid out by the cache-aware :class:`BatchPlanner`. It estimates
+each environment's engine-cache footprint from the hierarchy LUTs and the
+lattice size (:func:`repro.core.cache.estimate_cache_footprint`), and —
+when a global ``cache_bytes`` budget is set and the sweep's combined
+working set overflows it — schedules environments in **waves**: each wave's
+evaluators get budget slices large enough to hold their working sets, and a
+finished wave's caches are released before the next fills. That keeps an
+over-budget sweep byte-identical to sequential execution with zero
+``recomputed_after_evict`` thrash, instead of silently re-computing evicted
+nodes mid-run. ``run_batch(plan="auto"|"waves"|"shared", cache_bytes=...)``
+are the knobs; the planner can also shard a wave into per-worker evaluator
+clones whose memos merge back between waves (``BatchPlanner(shard=True)``).
 """
 
 from __future__ import annotations
@@ -28,10 +41,17 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..core.cache import (
+    DEFAULT_CACHE_BYTES,
+    EngineCacheStore,
+    check_cache_bytes,
+    estimate_cache_footprint,
+)
 from ..core.engine import LatticeEvaluator
 from ..core.release import Release
 from ..core.schema import Schema
 from ..core.table import Table
+from ..errors import ConfigError
 from .config import AnonymizationConfig, build_hierarchies, build_schema
 from .registry import (
     MetricContext,
@@ -40,7 +60,19 @@ from .registry import (
     model_registry,
 )
 
-__all__ = ["AnonymizationResult", "execute", "run", "run_batch", "jsonable"]
+__all__ = [
+    "AnonymizationResult",
+    "BatchPlan",
+    "BatchPlanner",
+    "PLANS",
+    "execute",
+    "run",
+    "run_batch",
+    "jsonable",
+]
+
+#: Recognized ``plan=`` values for :func:`run_batch`.
+PLANS = ("auto", "waves", "shared")
 
 
 def jsonable(value: Any) -> Any:
@@ -237,6 +269,23 @@ def run(
     schema, built, models, algorithm = _resolve(
         config, table, hierarchies, environment
     )
+    if (
+        evaluator is None
+        and config.cache_bytes is not None
+        and getattr(type(algorithm), "uses_evaluator", False)
+    ):
+        # A config-level engine budget only binds if the evaluator is built
+        # out here — the algorithm's own fallback evaluator would use the
+        # library default. Budgeted evaluators get the stratum-aware
+        # eviction policy: pressure is expected, so shed nodes that roll
+        # back up in O(n_groups) instead of O(n_rows) recomputations.
+        evaluator = _make_evaluator(
+            table,
+            schema,
+            built,
+            cache_bytes=config.cache_bytes,
+            cache_policy="stratum",
+        )
     timings["prepare"] = time.perf_counter() - start
     result = execute(
         table,
@@ -257,10 +306,12 @@ def _environment_key(config: AnonymizationConfig) -> tuple[str, str]:
 
     Jobs with equal evaluator keys see the same hierarchies and lattice
     evaluator — node statistics only depend on QI roles, hierarchy specs,
-    and dropped columns. The schema key additionally pins the sensitive
-    roles: two jobs may share an evaluator yet need different schemas, and
-    collapsing them would hand job B job A's sensitive column (metrics,
-    release schema) without any error.
+    and dropped columns; an explicit per-job ``cache_bytes`` is part of the
+    key too, since jobs demanding different budgets cannot share one store.
+    The schema key additionally pins the sensitive roles: two jobs may
+    share an evaluator yet need different schemas, and collapsing them
+    would hand job B job A's sensitive column (metrics, release schema)
+    without any error.
     """
     import json
 
@@ -271,6 +322,7 @@ def _environment_key(config: AnonymizationConfig) -> tuple[str, str]:
             "drop": config.drop,
             "hier": config.hierarchies,
             "bins": config.bins,
+            "cache_bytes": config.cache_bytes,
         },
         sort_keys=True,
         default=list,
@@ -286,6 +338,8 @@ def run_batch(
     table: Table,
     hierarchies: Mapping[str, Any] | None = None,
     workers: int = 1,
+    plan: str = "auto",
+    cache_bytes: int | None = None,
 ) -> list[AnonymizationResult]:
     """Execute many jobs on one table, sharing lattice evaluation.
 
@@ -305,6 +359,18 @@ def run_batch(
     another's in-flight node instead). Every job's computation is
     deterministic and isolated apart from that cache, so the returned
     releases are byte-identical to ``workers=1`` regardless of scheduling.
+
+    ``cache_bytes`` sets a *global* engine-cache budget for the whole
+    batch, and ``plan`` chooses how the :class:`BatchPlanner` spends it:
+    ``"shared"`` keeps every environment's evaluator alive at once (each
+    gets a budget slice proportional to its estimated footprint);
+    ``"waves"`` schedules environments in budget-sized waves, releasing a
+    finished wave's caches before the next fills, so each working set gets
+    a slice it actually fits in; ``"auto"`` (default) picks waves exactly
+    when the estimated combined footprint overflows the budget. Releases
+    are byte-identical across all three plans at any worker count — the
+    plan only decides how much silent recomputation an over-budget sweep
+    pays (``cache_info()["recomputed_after_evict"]``).
 
     Example (doctested)::
 
@@ -328,54 +394,405 @@ def run_batch(
         >>> results[0].engine is results[1].engine  # one shared evaluator
         True
     """
-    configs = list(configs)
-    # Planning pass, sequential: hierarchy builds and evaluators are shared
-    # per evaluator key (QI roles + hierarchy specs); schemas per schema
-    # key, which also pins sensitive roles. An evaluator is only created
-    # once a job's algorithm actually consumes one — an all-Mondrian sweep
-    # never pays for it.
-    hierarchy_builds: dict[str, dict] = {}
-    environments: dict[str, tuple[Schema, dict]] = {}
-    evaluators: dict[str, LatticeEvaluator] = {}
-    plans: list[tuple[AnonymizationConfig, tuple[Schema, dict], LatticeEvaluator | None]] = []
-    for config in configs:
-        evaluator_key, schema_key = _environment_key(config)
-        environment = environments.get(schema_key)
-        if environment is None:
-            built = hierarchy_builds.get(evaluator_key)
-            if built is None:
-                built = build_hierarchies(config, table)
-                if hierarchies:
-                    built.update(hierarchies)
-                hierarchy_builds[evaluator_key] = built
-            environment = (build_schema(config, table), built)
-            environments[schema_key] = environment
-        evaluator = evaluators.get(evaluator_key)
-        if evaluator is None and _uses_evaluator(config):
-            schema, built = environment
-            prepared = table.drop(*schema.identifying) if schema.identifying else table
-            evaluator = LatticeEvaluator(prepared, schema.quasi_identifiers, built)
-            evaluators[evaluator_key] = evaluator
-        plans.append((config, environment, evaluator))
-
-    if int(workers) <= 1 or len(plans) <= 1:
-        return [
-            run(config, table, evaluator=evaluator, environment=environment)
-            for config, environment, evaluator in plans
-        ]
-    # Worker threads share evaluators (thread-safe, single-flight) and the
-    # read-only table/schemas/hierarchies; everything else is per-job state.
-    with ThreadPoolExecutor(max_workers=min(int(workers), len(plans))) as pool:
-        futures = [
-            pool.submit(
-                run, config, table, evaluator=evaluator, environment=environment
-            )
-            for config, environment, evaluator in plans
-        ]
-        return [future.result() for future in futures]
+    planner = BatchPlanner(
+        configs,
+        table,
+        hierarchies=hierarchies,
+        workers=workers,
+        plan=plan,
+        cache_bytes=cache_bytes,
+    )
+    return planner.execute()
 
 
 def _uses_evaluator(config: AnonymizationConfig) -> bool:
     """True if the config's algorithm class consumes a shared evaluator."""
     entry = algorithm_registry._entry(config.algorithm["algorithm"])
     return bool(getattr(entry.cls, "uses_evaluator", False))
+
+
+def _make_evaluator(
+    table: Table,
+    schema: Schema,
+    hierarchies: Mapping[str, Any],
+    cache: EngineCacheStore | None = None,
+    cache_bytes: int | None = None,
+    cache_policy: str = "lru",
+) -> LatticeEvaluator:
+    """Evaluator over the identifier-stripped table, with an optional store."""
+    prepared = table.drop(*schema.identifying) if schema.identifying else table
+    if cache is not None:
+        return LatticeEvaluator(prepared, schema.quasi_identifiers, hierarchies, cache=cache)
+    if cache_bytes is not None:
+        # An explicit byte budget is the whole contract — no entry cap.
+        return LatticeEvaluator(
+            prepared,
+            schema.quasi_identifiers,
+            hierarchies,
+            cache=EngineCacheStore(
+                cache_limit=None, cache_bytes=int(cache_bytes), policy=cache_policy
+            ),
+        )
+    return LatticeEvaluator(
+        prepared, schema.quasi_identifiers, hierarchies, cache_policy=cache_policy
+    )
+
+
+@dataclass(eq=False)  # identity semantics: groups key shard maps
+class _EnvGroup:
+    """One shared-evaluator environment inside a batch plan."""
+
+    evaluator_key: str
+    schema: Schema
+    hierarchies: dict
+    job_indices: list[int] = field(default_factory=list)
+    uses_evaluator: bool = False
+    includes_incognito: bool = False
+    sensitive_categories: tuple[int, ...] = ()
+    base_budget: int = DEFAULT_CACHE_BYTES
+    footprint: int = 0
+    demand: int = 0
+    budget: int = 0
+    evaluator: LatticeEvaluator | None = None
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The planner's resolved layout, inspectable before execution.
+
+    ``waves`` holds job indices per wave (input order within a wave);
+    ``footprints`` and ``budgets`` map evaluator keys to estimated working
+    sets and resolved store budgets. ``mode`` is ``"shared"`` or
+    ``"waves"`` — what ``plan="auto"`` resolved to.
+    """
+
+    mode: str
+    waves: tuple[tuple[int, ...], ...]
+    footprints: Mapping[str, int]
+    budgets: Mapping[str, int]
+    cache_bytes: int | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return jsonable(
+            {
+                "mode": self.mode,
+                "waves": [list(wave) for wave in self.waves],
+                "footprints": dict(self.footprints),
+                "budgets": dict(self.budgets),
+                "cache_bytes": self.cache_bytes,
+            }
+        )
+
+
+class BatchPlanner:
+    """Cache-aware layout and dispatch of a job batch.
+
+    The planner groups jobs into shared-evaluator environments (same QI
+    roles + hierarchy specs), estimates each environment's engine-cache
+    footprint from its hierarchy LUT label counts and lattice size
+    (:func:`repro.core.cache.estimate_cache_footprint` — Incognito jobs add
+    their projected sub-lattices), and lays the batch out against the
+    global ``cache_bytes`` budget:
+
+    * ``plan="shared"`` — every environment's evaluator is alive for the
+      whole batch; with a global budget, each gets a slice proportional to
+      its estimated footprint (capped at its configured per-job budget).
+    * ``plan="waves"`` — environments are next-fit packed, in first-
+      appearance order, into waves whose combined demand fits the budget;
+      a finished wave's caches are released (entries dropped, counters
+      kept) before the next wave fills. Each evaluator's slice therefore
+      covers its estimated working set, which is what drives
+      ``recomputed_after_evict`` to zero on sweeps whose *combined*
+      working set overflows the budget.
+    * ``plan="auto"`` — ``"waves"`` exactly when a global budget is set
+      and the summed demand overflows it, else ``"shared"``.
+
+    Planner-built evaluators use the stratum-aware eviction policy: under
+    pressure the store sheds nodes reconstructible by O(n_groups) roll-up
+    before the O(n_rows) roots.
+
+    ``shard=True`` additionally splits each wave's same-environment jobs
+    across per-worker evaluator clones (no cache-lock contention at all)
+    and merges the shard memos back into the environment's canonical store
+    between waves (:meth:`LatticeEvaluator.adopt`); results then report
+    the canonical engine. Every shard — the canonical store included, for
+    the wave's duration — gets an equal slice of the environment's budget,
+    so the mid-wave total stays inside the planned ceiling. Sharding
+    trades duplicate node evaluations across shards for zero contention,
+    so the single-flight accounting identity ``from_rows + rollups ==
+    entries`` does not hold for merged stores (``merged`` counts the
+    adopted entries).
+
+    Releases are byte-identical across every plan/shard/worker combination
+    — job outputs are pure functions of (config, table, hierarchies); the
+    planner only decides cache residency and scheduling.
+    """
+
+    def __init__(
+        self,
+        configs: Iterable[AnonymizationConfig],
+        table: Table,
+        hierarchies: Mapping[str, Any] | None = None,
+        workers: int = 1,
+        plan: str = "auto",
+        cache_bytes: int | None = None,
+        shard: bool = False,
+    ):
+        if plan not in PLANS:
+            raise ConfigError(
+                f"key 'plan' must be one of {', '.join(PLANS)}; got {plan!r}"
+            )
+        if cache_bytes is not None:
+            try:
+                check_cache_bytes(cache_bytes)
+            except ValueError as exc:
+                raise ConfigError(f"key 'cache_bytes' {exc}") from None
+        self.configs = list(configs)
+        self.table = table
+        self.hierarchy_overrides = hierarchies
+        self.workers = int(workers)
+        self.requested_plan = plan
+        self.cache_bytes = cache_bytes
+        self.shard = bool(shard)
+        self._plan: BatchPlan | None = None
+        self._groups: list[_EnvGroup] = []
+        self._wave_groups: list[list[_EnvGroup]] = []
+        self._jobs: list[tuple[AnonymizationConfig, tuple[Schema, dict], _EnvGroup]] = []
+
+    # -- planning --------------------------------------------------------------
+
+    def plan(self) -> BatchPlan:
+        """Resolve (and memoize) the batch layout without executing it."""
+        if self._plan is None:
+            self._analyze()
+            self._plan = self._layout()
+        return self._plan
+
+    def _analyze(self) -> None:
+        """Group jobs into environments and estimate their cache demand."""
+        hierarchy_builds: dict[str, dict] = {}
+        environments: dict[str, tuple[Schema, dict]] = {}
+        groups: dict[str, _EnvGroup] = {}
+        for index, config in enumerate(self.configs):
+            evaluator_key, schema_key = _environment_key(config)
+            environment = environments.get(schema_key)
+            if environment is None:
+                built = hierarchy_builds.get(evaluator_key)
+                if built is None:
+                    built = build_hierarchies(config, self.table)
+                    if self.hierarchy_overrides:
+                        built.update(self.hierarchy_overrides)
+                    hierarchy_builds[evaluator_key] = built
+                environment = (build_schema(config, self.table), built)
+                environments[schema_key] = environment
+            group = groups.get(evaluator_key)
+            if group is None:
+                schema, built = environment
+                group = _EnvGroup(
+                    evaluator_key=evaluator_key, schema=schema, hierarchies=built
+                )
+                if config.cache_bytes is not None:
+                    group.base_budget = config.cache_bytes
+                groups[evaluator_key] = group
+                self._groups.append(group)
+            group.job_indices.append(index)
+            if _uses_evaluator(config):
+                group.uses_evaluator = True
+            if config.algorithm.get("algorithm") == "incognito":
+                group.includes_incognito = True
+            if config.sensitive:
+                cats = set(group.sensitive_categories)
+                for name in config.sensitive:
+                    column = self.table.column(name)
+                    if column.is_categorical:
+                        cats.add(len(column.categories))
+                group.sensitive_categories = tuple(sorted(cats))
+            self._jobs.append((config, environment, group))
+        for group in self._groups:
+            if not group.uses_evaluator:
+                continue
+            group.footprint = estimate_cache_footprint(
+                group.hierarchies,
+                group.schema.quasi_identifiers,
+                self.table.n_rows,
+                sensitive_categories=group.sensitive_categories,
+                include_subsets=group.includes_incognito,
+            )
+            group.demand = min(group.footprint, group.base_budget)
+
+    def _layout(self) -> BatchPlan:
+        """Pick the mode, pack waves, and slice budgets."""
+        budget = self.cache_bytes
+        total_demand = sum(group.demand for group in self._groups)
+        if self.requested_plan == "auto":
+            mode = "waves" if budget is not None and total_demand > budget else "shared"
+        else:
+            mode = self.requested_plan
+        if mode == "waves" and budget is None:
+            # Without a global budget every environment already gets its
+            # full base budget, so "waves" would be shared execution with a
+            # misleading label — resolve to the truth rather than report a
+            # wave plan that never releases anything.
+            mode = "shared"
+
+        if mode == "shared":
+            wave_groups = [list(self._groups)] if self._groups else []
+        else:
+            # Next-fit packing in first-appearance order (a group that
+            # does not fit closes the current wave): deterministic, order-
+            # preserving, and same-environment jobs always land in one
+            # wave together. First-fit could sometimes pack tighter, but
+            # it would pull later environments into earlier waves.
+            wave_groups = []
+            current: list[_EnvGroup] = []
+            current_demand = 0
+            for group in self._groups:
+                demand = min(group.demand, budget)
+                if current and current_demand + demand > budget:
+                    wave_groups.append(current)
+                    current, current_demand = [], 0
+                current.append(group)
+                current_demand += demand
+            if current:
+                wave_groups.append(current)
+
+        for wave in wave_groups:
+            wave_demand = sum(min(g.demand, budget or g.demand) for g in wave)
+            for group in wave:
+                if not group.uses_evaluator:
+                    continue
+                if budget is None:
+                    group.budget = group.base_budget
+                else:
+                    # Scale the wave's leftover budget out proportionally,
+                    # never exceeding the per-job configured cap.
+                    share = (
+                        budget * min(group.demand, budget) // wave_demand
+                        if wave_demand
+                        else budget
+                    )
+                    group.budget = min(group.base_budget, max(1, share))
+
+        self._wave_groups = wave_groups
+        return BatchPlan(
+            mode=mode,
+            waves=tuple(
+                tuple(sorted(i for g in wave for i in g.job_indices))
+                for wave in wave_groups
+            ),
+            footprints={g.evaluator_key: g.footprint for g in self._groups},
+            budgets={
+                g.evaluator_key: g.budget
+                for g in self._groups
+                if g.uses_evaluator
+            },
+            cache_bytes=budget,
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self) -> list[AnonymizationResult]:
+        """Run the batch per the plan; results come back in input order."""
+        plan = self.plan()
+        results: list[AnonymizationResult | None] = [None] * len(self.configs)
+        last_wave = len(self._wave_groups) - 1
+        for wave_index, wave in enumerate(self._wave_groups):
+            for group in wave:
+                if group.uses_evaluator and group.evaluator is None:
+                    # Bytes are the planner's contract: no entry cap, so an
+                    # ample byte budget can never thrash on a huge lattice.
+                    store = EngineCacheStore(
+                        cache_limit=None,
+                        cache_bytes=max(group.budget, 1),
+                        policy="stratum",
+                    )
+                    group.evaluator = _make_evaluator(
+                        self.table, group.schema, group.hierarchies, cache=store
+                    )
+            jobs = sorted(
+                (index for g in wave for index in g.job_indices)
+            )
+            assignments, shards = self._assign_evaluators(jobs, wave)
+            if self.workers <= 1 or len(jobs) <= 1:
+                for index in jobs:
+                    config, environment, _ = self._jobs[index]
+                    results[index] = run(
+                        config,
+                        self.table,
+                        evaluator=assignments[index],
+                        environment=environment,
+                    )
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(jobs))
+                ) as pool:
+                    futures = {
+                        index: pool.submit(
+                            run,
+                            self._jobs[index][0],
+                            self.table,
+                            evaluator=assignments[index],
+                            environment=self._jobs[index][1],
+                        )
+                        for index in jobs
+                    }
+                    for index, future in futures.items():
+                        results[index] = future.result()
+            # Memo merge step: shard caches empty into the canonical store,
+            # and sharded results report the canonical engine.
+            for group, clones in shards.items():
+                assert group.evaluator is not None
+                # The wave is over: the merged union may occupy the full
+                # slice again.
+                group.evaluator.cache.cache_bytes = max(group.budget, 1)
+                for clone in clones:
+                    group.evaluator.adopt(clone)
+                for index in group.job_indices:
+                    result = results[index]
+                    if result is not None and result.engine is not None:
+                        result.engine = group.evaluator
+            if plan.mode == "waves" and wave_index != last_wave:
+                # Release the finished wave's working sets so the next
+                # wave's evaluators fill into a freed budget (counters and
+                # result.engine telemetry survive the clear).
+                for group in wave:
+                    if group.evaluator is not None:
+                        group.evaluator.cache.clear()
+        return results  # type: ignore[return-value]
+
+    def _assign_evaluators(
+        self, jobs: list[int], wave: list[_EnvGroup]
+    ) -> tuple[dict[int, LatticeEvaluator | None], dict[_EnvGroup, list[LatticeEvaluator]]]:
+        """Per-job evaluator map, with optional per-worker shard clones."""
+        assignments: dict[int, LatticeEvaluator | None] = {
+            index: self._jobs[index][2].evaluator for index in jobs
+        }
+        shards: dict[_EnvGroup, list[LatticeEvaluator]] = {}
+        if not self.shard or self.workers <= 1:
+            return assignments, shards
+        for group in wave:
+            if group.evaluator is None or len(group.job_indices) <= 1:
+                continue
+            n_shards = min(self.workers, len(group.job_indices))
+            # The group's budget covers the whole environment, shards
+            # included: each shard (the canonical store too, for the wave's
+            # duration) gets an equal slice so the mid-wave total never
+            # exceeds the ceiling the planner promised. The canonical
+            # budget is restored before the merge step.
+            slice_budget = max(1, group.evaluator.cache.cache_bytes // n_shards)
+            clones = [
+                group.evaluator.clone(
+                    cache=EngineCacheStore(
+                        cache_limit=group.evaluator.cache.cache_limit,
+                        cache_bytes=slice_budget,
+                        policy=group.evaluator.cache.policy,
+                    )
+                )
+                for _ in range(n_shards - 1)
+            ]
+            group.evaluator.cache.cache_bytes = slice_budget
+            shards[group] = clones
+            pool = [group.evaluator, *clones]
+            for slot, index in enumerate(sorted(group.job_indices)):
+                assignments[index] = pool[slot % n_shards]
+        return assignments, shards

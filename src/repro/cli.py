@@ -20,6 +20,10 @@ Batch mode writes one release per job to numbered outputs derived from the
 output path (``output.1.csv``, ``output.2.csv``, ... in job order), shares
 lattice evaluation across jobs exactly like the library API, and with
 ``--report`` prints a JSON array of per-job reports to stderr.
+``--cache-bytes`` budgets the engine cache (per-job for a single job,
+globally via the batch planner in batch mode) and ``--plan
+auto|waves|shared`` picks the batch cache plan — outputs are identical at
+any budget, plan, or worker count.
 
 Flags are parsed into the same :class:`repro.api.AnonymizationConfig` a
 ``--config`` file deserializes to, and both run through
@@ -36,7 +40,7 @@ import json
 import sys
 from pathlib import Path
 
-from .api import AnonymizationConfig, algorithm_registry, run, run_batch
+from .api import PLANS, AnonymizationConfig, algorithm_registry, run, run_batch
 from .core.io import read_csv, write_csv
 from .errors import ConfigError, ReproError
 
@@ -72,6 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker threads for batch mode (--config with a "
                              "JSON list of jobs); jobs share one lattice "
                              "engine and outputs are identical at any N")
+    parser.add_argument("--cache-bytes", type=int, default=None, metavar="BYTES",
+                        help="engine-cache budget: per-job evaluator budget "
+                             "for a single job, global batch-planner budget "
+                             "in batch mode; outputs are identical at any "
+                             "budget")
+    parser.add_argument("--plan", choices=list(PLANS),
+                        default="auto",
+                        help="batch cache plan: 'waves' schedules "
+                             "environments in budget-sized waves, 'shared' "
+                             "keeps every engine alive at once, 'auto' picks "
+                             "waves when the estimated footprint overflows "
+                             "--cache-bytes (batch mode only)")
     parser.add_argument("--qi", action="append", default=[],
                         help="categorical quasi-identifier column (repeatable)")
     parser.add_argument("--numeric-qi", action="append", default=[],
@@ -128,15 +144,20 @@ def config_from_args(args: argparse.Namespace) -> AnonymizationConfig:
         max_suppression=max_suppression,
         metrics=metrics,
         bins=args.bins,
+        cache_bytes=args.cache_bytes,
     )
 
 
 def _apply_cli_overrides(
-    config: AnonymizationConfig, args: argparse.Namespace
+    config: AnonymizationConfig, args: argparse.Namespace, batch: bool = False
 ) -> AnonymizationConfig:
     overrides: dict = {}
     if args.max_suppression is not None:
         overrides["max_suppression"] = args.max_suppression
+    if args.cache_bytes is not None and not batch:
+        # In batch mode --cache-bytes is the planner's *global* budget
+        # (passed to run_batch), not a per-job engine override.
+        overrides["cache_bytes"] = args.cache_bytes
     if args.report and not config.metrics:
         overrides["metrics"] = _REPORT_METRICS + (
             ("homogeneity",) if config.sensitive else ()
@@ -162,7 +183,10 @@ def _load_configs(args: argparse.Namespace) -> tuple[list[AnonymizationConfig], 
     if not jobs:
         raise ConfigError("config file holds an empty job list")
     return (
-        [_apply_cli_overrides(AnonymizationConfig.from_dict(job), args) for job in jobs],
+        [
+            _apply_cli_overrides(AnonymizationConfig.from_dict(job), args, is_batch)
+            for job in jobs
+        ],
         is_batch,
     )
 
@@ -211,8 +235,8 @@ def _reject_job_flags_with_config(parser: argparse.ArgumentParser,
     if conflicting:
         parser.error(
             f"{', '.join(conflicting)} cannot be combined with --config "
-            "(the job file describes the whole job; only --max-suppression "
-            "and --report apply on top)"
+            "(the job file describes the whole job; only --max-suppression, "
+            "--cache-bytes, --plan, --workers and --report apply on top)"
         )
 
 
@@ -232,6 +256,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.config is None:
         if args.workers != 1:
             parser.error("--workers requires --config with a JSON list of jobs")
+        if args.plan != parser.get_default("plan"):
+            parser.error("--plan requires --config with a JSON list of jobs")
         if not args.qi and not args.numeric_qi:
             parser.error("declare at least one --qi or --numeric-qi (or use --config)")
         if (args.l or args.t) and not args.sensitive:
@@ -249,13 +275,24 @@ def main(argv: list[str] | None = None) -> int:
                     "--workers applies to batch mode: --config must hold a "
                     "JSON list of jobs, got a single job object"
                 )
+            if not is_batch and args.plan != parser.get_default("plan"):
+                raise ConfigError(
+                    "--plan applies to batch mode: --config must hold a "
+                    "JSON list of jobs, got a single job object"
+                )
         else:
             configs, is_batch = [config_from_args(args)], False
         categorical, numeric = _column_roles(configs)
         table = read_csv(args.input, categorical=categorical, numeric=numeric)
 
         if is_batch:
-            results = run_batch(configs, table, workers=args.workers)
+            results = run_batch(
+                configs,
+                table,
+                workers=args.workers,
+                plan=args.plan,
+                cache_bytes=args.cache_bytes,
+            )
             output = Path(args.output)
             for index, result in enumerate(results, start=1):
                 write_csv(result.release.table, _numbered_output(output, index))

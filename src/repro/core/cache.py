@@ -1,0 +1,532 @@
+"""The engine cache store: pluggable memoization for lattice evaluation.
+
+:class:`EngineCacheStore` is the standalone home of everything that used to
+be buried inside :class:`~repro.core.engine.LatticeEvaluator`: the
+``(names, node) -> GroupStats`` memo table, the byte/entry budget
+accounting, the level-sum stratum index that makes roll-up candidate lookup
+cheap, the single-flight in-flight table that keeps concurrent workers from
+ever deriving one node's stats twice, and the full telemetry counter set.
+An evaluator owns exactly one store, but a store can be constructed first
+and handed in (``LatticeEvaluator(..., cache=store)``) — which is how the
+batch planner sizes and shares budgets across a sweep.
+
+Eviction policies
+-----------------
+``"lru"`` (default) evicts the least recently *used* entry, where a use is
+an insertion, a memo hit, or being read as a roll-up ancestor — strictly
+better than the FIFO order the evaluator used historically, because a
+roll-up workhorse node (typically a subset's bottom, which is read almost
+exclusively through the ancestor path) stays hot.
+
+``"stratum"`` is cache-pressure-aware in the lattice sense: it prefers
+evicting the most *general* cached node that still has a strictly more
+specific cached node over the same QI subset. Such a node is
+reconstructible by an O(n_groups) roll-up, while a bottom node costs a full
+O(n_rows) pass — so under pressure the store sheds the cheap-to-rebuild top
+of the lattice and pins the expensive roots. Only when nothing cached is
+reconstructible does it fall back to LRU order (recency is maintained under
+every policy). The batch planner uses this policy for the evaluators it
+builds.
+
+Counters
+--------
+Cumulative (never reset by eviction, and surviving :meth:`clear`):
+
+========================  ====================================================
+``hits``                  requests served from the memo table
+``misses``                requests that had to compute (``== from_rows +
+                          rollups`` — each miss resolves into exactly one
+                          computation)
+``from_rows``             O(n_rows) stats computations
+``rollups``               O(n_groups) derivations from a cached ancestor
+``coalesced``             requests that blocked on another worker's in-flight
+                          computation of the same node instead of recomputing
+``evictions``             entries dropped by the entry/byte budget
+``recomputed_after_evict`` computations of a key that had been cached before
+                          and was evicted — the budget-thrash signal the
+                          batch planner's wave scheduling drives to zero
+``merged``                entries adopted from another store
+                          (:meth:`merge_from`, the shard merge step)
+========================  ====================================================
+
+:func:`estimate_cache_footprint` is the planner's sizing oracle: an upper
+bound on the bytes a full-lattice search will pin in the store, derived
+from the hierarchy LUT label counts and the lattice size alone — no
+evaluator needs to be built to plan a batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from itertools import product
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+__all__ = ["EngineCacheStore", "check_cache_bytes", "estimate_cache_footprint"]
+
+Node = tuple[int, ...]
+Key = tuple[tuple[str, ...], Node]
+
+#: Recognized eviction policies.
+POLICIES = ("lru", "stratum")
+
+#: Default payload budget (bytes) — matches the evaluator's historic default.
+DEFAULT_CACHE_BYTES = 256 * 2**20
+
+
+def check_cache_bytes(value: Any) -> int:
+    """Validate a cache byte budget; the single validator every layer uses.
+
+    Raises :class:`ValueError` whose message starts after the field name,
+    so callers prepend their own naming style (``"cache_bytes ..."`` here,
+    ``"key 'cache_bytes' ..."`` at the config/planner layer).
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"must be a positive integer (bytes), got {value!r}")
+    if value <= 0:
+        raise ValueError(f"must be a positive integer (bytes), got {value}")
+    return value
+
+
+class EngineCacheStore:
+    """Thread-safe, single-flight, budget-bounded store of ``GroupStats``.
+
+    Parameters
+    ----------
+    cache_limit:
+        maximum number of cached entries; ``None`` disables the entry cap
+        so the byte budget alone governs (what the batch planner uses —
+        its guarantees are stated in bytes, and an entry cap firing under
+        an ample byte budget would silently reintroduce eviction thrash
+        on huge lattices).
+    cache_bytes:
+        approximate payload-byte budget. Payload grown lazily after
+        insertion (histograms, row labels, partitions) is accounted via
+        :meth:`note_bytes` and can evict older entries.
+    policy:
+        ``"lru"`` or ``"stratum"`` (see the module docstring).
+
+    The store never holds its mutex during a stats computation: the first
+    thread to request an uncached key registers an in-flight event and
+    computes outside the lock; concurrent requesters of the same key block
+    on the event and then re-read the cache (``coalesced``). If the owner
+    fails, waiters find neither entry nor marker and take over — no lock is
+    ever poisoned.
+    """
+
+    def __init__(
+        self,
+        cache_limit: int | None = 8192,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        policy: str = "lru",
+    ):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {policy!r}; one of: {', '.join(POLICIES)}"
+            )
+        try:
+            self.cache_bytes = check_cache_bytes(cache_bytes)
+        except ValueError as exc:
+            raise ValueError(f"cache_bytes {exc}") from None
+        if cache_limit is not None and int(cache_limit) < 1:
+            raise ValueError(f"cache_limit must be >= 1, got {cache_limit}")
+        self.cache_limit = None if cache_limit is None else int(cache_limit)
+        self.policy = policy
+        # Entry order doubles as the recency order: hits re-insert at the
+        # end under the "lru" policy, so iteration starts at the coldest.
+        self._entries: dict[Key, Any] = {}
+        # Exact bytes attributed to each *currently cached* entry, so lazy
+        # growth on an already-evicted GroupStats can never leak into the
+        # budget (that would eventually collapse the cache to one entry).
+        self._accounted: dict[Key, int] = {}
+        self._cached_bytes = 0
+        # Roll-up memo index: names -> level-sum -> set of cached nodes.
+        # A roll-up ancestor of ``node`` is componentwise <= ``node``, hence
+        # has a strictly smaller level sum, so candidate lookup only touches
+        # the strata below the node's instead of scanning the whole cache.
+        self._stratum_index: dict[tuple[str, ...], dict[int, set[Node]]] = {}
+        # Keys that were cached once and evicted — a later recomputation of
+        # one of these is budget thrash, not a first-time miss.
+        self._evicted: set[Key] = set()
+        self.counters = {
+            "hits": 0,
+            "misses": 0,
+            "from_rows": 0,
+            "rollups": 0,
+            "evictions": 0,
+            "coalesced": 0,
+            "recomputed_after_evict": 0,
+            "merged": 0,
+        }
+        # One mutex guards every structure above plus the in-flight table;
+        # stats computation itself runs outside it (single-flight).
+        self._mutex = threading.Lock()
+        self._inflight: dict[Key, threading.Event] = {}
+
+    # -- the single-flight memo protocol --------------------------------------
+
+    def get_or_compute(
+        self,
+        names: tuple[str, ...],
+        node: Node,
+        compute: Callable[[Any], Any],
+    ):
+        """Memoized stats of ``(names, node)``; single-flight on misses.
+
+        ``compute(ancestor)`` is invoked outside the store lock by exactly
+        one thread per uncached key; ``ancestor`` is the store's chosen
+        roll-up candidate (a cached strictly-more-specific ``GroupStats``
+        over the same names) or None. The returned stats object is inserted
+        under the budget and handed to every coalesced waiter.
+        """
+        key = (names, node)
+        event = None
+        # The marker is registered inside the try so *any* exit — including
+        # an exception raised mid-computation, or an async exception landing
+        # right after registration — clears it and wakes the waiters, who
+        # then find neither entry nor marker and take over ownership.
+        try:
+            while True:
+                with self._mutex:
+                    cached = self._entries.get(key)
+                    if cached is not None:
+                        self.counters["hits"] += 1
+                        self._touch(key)
+                        return cached
+                    waiter = self._inflight.get(key)
+                    if waiter is None:
+                        # This thread owns the computation; the roll-up
+                        # candidate is picked under the mutex (it reads the
+                        # cache), the computation itself runs outside it.
+                        ancestor = self._rollup_candidate(names, node)
+                        event = threading.Event()
+                        self._inflight[key] = event
+                        break
+                # Another worker is computing this exact node: wait for it,
+                # then loop to read the cached result (or take over if it
+                # failed / the entry was immediately evicted).
+                waiter.wait()
+                with self._mutex:
+                    self.counters["coalesced"] += 1
+            stats = compute(ancestor)
+            with self._mutex:
+                self.counters["misses"] += 1
+                self.counters["rollups" if stats._parent is not None else "from_rows"] += 1
+                if key in self._evicted:
+                    self._evicted.discard(key)
+                    self.counters["recomputed_after_evict"] += 1
+                self._insert(key, stats, self.footprint(stats))
+            return stats
+        finally:
+            if event is not None:
+                with self._mutex:
+                    del self._inflight[key]
+                event.set()
+
+    def note_bytes(self, stats: Any, n_bytes: int) -> None:
+        """Account payload grown after insertion (lazy histograms, lazily
+        resolved row labels, partitions) and evict if the budget is now
+        exceeded. Growth on stats no longer cached is ignored — their bytes
+        were already released at eviction."""
+        with self._mutex:
+            key = stats._cache_key
+            if key is None or self._entries.get(key) is not stats:
+                return
+            self._cached_bytes += int(n_bytes)
+            self._accounted[key] += int(n_bytes)
+            while len(self._entries) > 1 and self._cached_bytes > self.cache_bytes:
+                self._evict_one()
+
+    # -- bookkeeping (all called under the mutex) ------------------------------
+
+    def _touch(self, key: Key) -> None:
+        """Refresh a key's recency (entry order doubles as LRU order)."""
+        self._entries[key] = self._entries.pop(key)
+
+    def _insert(self, key: Key, stats: Any, footprint: int) -> None:
+        while self._entries and (
+            (self.cache_limit is not None and len(self._entries) >= self.cache_limit)
+            or self._cached_bytes + footprint > self.cache_bytes
+        ):
+            self._evict_one()
+        stats._cache_key = key
+        self._entries[key] = stats
+        names, node = key
+        self._stratum_index.setdefault(names, {}).setdefault(sum(node), set()).add(node)
+        self._accounted[key] = footprint
+        self._cached_bytes += footprint
+
+    def _evict_one(self) -> None:
+        key = self._pick_victim()
+        self._entries.pop(key)
+        self._cached_bytes -= self._accounted.pop(key)
+        names, node = key
+        stratum = self._stratum_index[names][sum(node)]
+        stratum.discard(node)
+        if not stratum:
+            del self._stratum_index[names][sum(node)]
+        self._remember_evicted(key)
+        self.counters["evictions"] += 1
+
+    def _remember_evicted(self, key: Key) -> None:
+        """Track an evicted key for recomputed_after_evict attribution.
+
+        The set is bookkeeping the byte budget never sees, so it is capped:
+        under sustained thrash over a huge key universe it is dropped
+        wholesale rather than growing without bound (the counter may then
+        undercount — an acceptable trade for a store whose whole job is
+        bounding memory)."""
+        if len(self._evicted) >= 16 * (self.cache_limit or 8192):
+            self._evicted.clear()
+        self._evicted.add(key)
+
+    def _pick_victim(self) -> Key:
+        """The entry to evict next under the configured policy.
+
+        Stratum selection runs under the store mutex, but the typical
+        eviction is cheap: the highest occupied stratum is probed first and
+        ``_has_ancestor`` short-circuits on a cached bottom, so the scan
+        usually ends at its first candidate. The worst case (no bottoms
+        resident, many strata) degrades toward O(entries) per eviction —
+        acceptable because eviction storms are exactly what wave planning
+        prevents; LRU order is the O(1) fallback policy.
+        """
+        if self.policy == "stratum":
+            # Most general reconstructible node first: walk the strata from
+            # the highest level sum down; the first node with a cached
+            # strict ancestor is an O(n_groups) roll-up away from coming
+            # back, while a bottom node would cost a full O(n_rows) pass.
+            strata = sorted(
+                (
+                    (total, names)
+                    for names, by_sum in self._stratum_index.items()
+                    for total in by_sum
+                ),
+                reverse=True,
+            )
+            for total, names in strata:
+                if total == 0:
+                    continue  # a bottom node never has a stricter ancestor
+                for node in sorted(self._stratum_index[names][total]):
+                    if self._has_ancestor(names, node):
+                        return (names, node)
+        return next(iter(self._entries))
+
+    def _has_ancestor(self, names: tuple[str, ...], node: Node) -> bool:
+        strata = self._stratum_index.get(names)
+        if not strata:
+            return False
+        # Fast path for the overwhelmingly common witness: the names-space
+        # bottom (the unique level-sum-0 node, componentwise <= everything)
+        # is cached — searches pre-seed it precisely so it stays resident.
+        if 0 in strata and sum(node) > 0:
+            return True
+        node_sum = sum(node)
+        for stratum_sum, nodes in strata.items():
+            if stratum_sum >= node_sum:
+                continue
+            if any(all(a <= b for a, b in zip(cached, node)) for cached in nodes):
+                return True
+        return False
+
+    def _rollup_candidate(self, names: tuple[str, ...], node: Node):
+        """Cheapest cached strictly-more-specific node over the same QIs.
+
+        Strata are probed from the most general (highest level sum below the
+        node's) downward, and the first stratum holding an ancestor wins:
+        roll-up cost is O(parent.n_groups) and group counts shrink as level
+        sums grow, so the nearest stratum is where the cheapest parents live.
+        This keeps candidate lookup proportional to the cached nodes *below*
+        the requested node for the same QI subset, not to the whole cache.
+        """
+        strata = self._stratum_index.get(names)
+        if not strata:
+            return None
+        node_sum = sum(node)
+        for stratum_sum in sorted(strata, reverse=True):
+            if stratum_sum >= node_sum:
+                # Equal sums + componentwise <= would force equality, and an
+                # exact hit was already handled; larger sums cannot qualify.
+                continue
+            best = None
+            for cached_node in strata[stratum_sum]:
+                if all(a <= b for a, b in zip(cached_node, node)):
+                    stats = self._entries[(names, cached_node)]
+                    if best is None or stats.n_groups < best.n_groups:
+                        best = stats
+            if best is not None:
+                # Serving as a roll-up ancestor is a use: without this the
+                # workhorse bottoms (only ever read through this path, never
+                # as plain hits) would be the *oldest* entries and the first
+                # eviction victims under pressure — the opposite of what an
+                # LRU order is for.
+                self._touch(best._cache_key)
+                return best
+        return None
+
+    @staticmethod
+    def footprint(stats: Any) -> int:
+        """Approximate cached payload bytes of one GroupStats entry."""
+        total = stats.sizes.nbytes + stats.group_codes.nbytes
+        if stats._row_labels is not None:
+            total += stats._row_labels.nbytes
+        if stats._partition is not None:
+            total += stats.n_rows * 8
+        total += sum(hist.nbytes for hist in stats._hists.values())
+        if stats._external is not None:
+            total += stats._external[1].nbytes
+        return total
+
+    # -- inspection & lifecycle ------------------------------------------------
+
+    def info(self) -> dict:
+        """Cumulative counters plus current occupancy and policy."""
+        with self._mutex:
+            return {
+                **self.counters,
+                "entries": len(self._entries),
+                "bytes": self._cached_bytes,
+                "policy": self.policy,
+            }
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters survive; they are cumulative).
+
+        The batch planner calls this between waves so a finished wave's
+        working set does not stay pinned while the next wave fills its own.
+        Cleared keys count as evicted for ``recomputed_after_evict``
+        purposes — recomputing them later is still budget thrash.
+        """
+        with self._mutex:
+            for key in self._entries:
+                self._remember_evicted(key)
+            self._entries.clear()
+            self._accounted.clear()
+            self._stratum_index.clear()
+            self._cached_bytes = 0
+
+    def merge_from(self, source: "EngineCacheStore", engine: Any = None) -> int:
+        """Destructively adopt ``source``'s entries; returns the count adopted.
+
+        The memo merge step of sharded batch execution: a per-worker shard
+        store empties into the environment's canonical store between waves.
+        Entries the target already holds are dropped (that duplication is
+        exactly the sharing a shard gave up); adopted stats are re-homed to
+        ``engine`` (the canonical evaluator) when one is given, so their
+        lazy growth is accounted against *this* store from now on.
+        ``source`` is emptied and its counters are folded into this store's
+        — it must be discarded afterwards.
+        """
+        with source._mutex:
+            items = list(source._entries.items())
+            footprints = dict(source._accounted)
+            source_counters = dict(source.counters)
+            source._entries.clear()
+            source._accounted.clear()
+            source._stratum_index.clear()
+            source._cached_bytes = 0
+        adopted = 0
+        for key, stats in items:
+            with self._mutex:
+                if key in self._entries:
+                    continue
+                if engine is not None:
+                    stats._engine = engine
+                self._insert(key, stats, footprints[key])
+                adopted += 1
+        with self._mutex:
+            for name, value in source_counters.items():
+                self.counters[name] += value
+            self.counters["merged"] += adopted
+        return adopted
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineCacheStore({len(self._entries)} entries, "
+            f"{self._cached_bytes} bytes, policy={self.policy!r})"
+        )
+
+
+def estimate_cache_footprint(
+    hierarchies: Mapping[str, Any],
+    qi_names: Sequence[str],
+    n_rows: int,
+    sensitive_categories: Sequence[int] = (),
+    include_subsets: bool = False,
+    node_limit: int = 200_000,
+) -> int:
+    """Upper bound on the memo bytes a full-lattice search pins in the store.
+
+    Derived from the hierarchy LUT label counts and the lattice size alone —
+    no evaluator (and no O(n_rows) encoding pass) is needed, which is what
+    lets the batch planner size waves before building anything. Terms:
+
+    * every lattice node's group payload: ``min(n_rows, prod(labels))``
+      groups, each costing sizes + representative codes + one histogram row
+      per sensitive category requested;
+    * row labels: the bottom node of every names-space is computed from rows
+      and pins an ``n_rows``-long label array (searches pre-seed the bottom,
+      so other nodes roll up); a slack of a few more covers labels lazily
+      resolved for winner/suppression nodes;
+    * ``include_subsets`` adds Incognito's projected sub-lattices (one per
+      non-empty QI subset) to both terms.
+
+    Lattices larger than ``node_limit`` nodes are priced as if every node
+    held ``n_rows`` groups — a deliberate overestimate; the planner then
+    simply gives that environment the whole budget.
+    """
+    names = list(qi_names)
+    level_counts: list[list[int]] = []
+    for name in names:
+        hierarchy = hierarchies[name]
+        height = hierarchy.height
+        if hasattr(hierarchy, "labels"):
+            counts = [len(hierarchy.labels(lv)) for lv in range(height + 1)]
+        else:
+            # Numeric QI: level 0 is the distinct-value domain (unknown
+            # without the data, bounded by n_rows), higher levels intervals.
+            counts = [int(n_rows)] + [
+                len(hierarchy.intervals(lv)) for lv in range(1, height + 1)
+            ]
+        level_counts.append(counts)
+
+    per_group = 8 * (1 + len(names) + sum(int(c) for c in sensitive_categories))
+
+    def lattice_groups(counts: list[list[int]]) -> int:
+        size = 1
+        for levels in counts:
+            size *= len(levels)
+        if size > node_limit:
+            return size * int(n_rows)
+        total = 0
+        for combo in product(*counts):
+            groups = 1
+            for c in combo:
+                groups *= c
+                if groups >= n_rows:
+                    groups = n_rows
+                    break
+            total += min(groups, n_rows)
+        return total
+
+    groups_total = lattice_groups(level_counts)
+    label_arrays = 1
+    if include_subsets:
+        # Every non-empty QI subset gets its own projected lattice and its
+        # own from-rows bottom node (Incognito's subset phases).
+        from itertools import combinations
+
+        label_arrays = 2 ** len(names) - 1
+        for size in range(1, len(names)):
+            for subset in combinations(range(len(names)), size):
+                groups_total += lattice_groups([level_counts[i] for i in subset])
+    labels_bytes = int(n_rows) * 8 * (label_arrays + 4)
+    return int(1.5 * (groups_total * per_group + labels_bytes))

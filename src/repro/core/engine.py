@@ -43,8 +43,17 @@ them.
 Group ordering is byte-compatible with the legacy path: groups ascend by
 packed signature, rows within a group ascend by index.
 
+**Cache store.** Memoization lives in a standalone, pluggable
+:class:`~repro.core.cache.EngineCacheStore` (PR 5): budget accounting,
+eviction policy ("lru" default, or the stratum-aware policy that prefers
+evicting nodes reconstructible by roll-up), the single-flight in-flight
+table, and the counter set — hits, misses, from_rows, rollups, evictions,
+coalesced, recomputed_after_evict, merged. The evaluator owns one store but
+accepts a pre-built one (``cache=``), which is how
+:class:`repro.api.BatchPlanner` sizes budgets across a sweep.
+
 **Concurrency.** One evaluator may serve several worker threads at once
-(:func:`repro.api.run_batch` with ``workers > 1``). The memo cache is
+(:func:`repro.api.run_batch` with ``workers > 1``). The store's cache is
 guarded by a single mutex, and computations are *single-flight*: the first
 thread to request an uncached node registers an in-flight marker and
 computes outside the lock; any other thread asking for the same ``(names,
@@ -64,6 +73,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from ..errors import HierarchyError, SchemaError
+from .cache import EngineCacheStore
 from .generalize import HierarchyLike, apply_node
 from .hierarchy import Hierarchy
 from .partition import EquivalenceClasses, classes_from_labels
@@ -232,15 +242,18 @@ class LatticeEvaluator:
     lattice — or of any projected sub-lattice (``names=`` subset, as
     Incognito's subset phases need) — without rebuilding tables.
 
-    The memo cache holds :class:`GroupStats` keyed by ``(names, node)``;
-    it is bounded both by entry count (``cache_limit``) and by approximate
-    payload bytes (``cache_bytes``, FIFO eviction) so large-lattice searches
-    over many-row tables cannot pin O(nodes × rows) of label arrays.
-    Payload grown after insertion (lazy histograms, lazily-resolved row
-    labels) is accounted too and can trigger eviction of older entries.
-    Evicted entries may stay alive while a rolled-up descendant still
-    references them, but each roll-up chain shares a single per-row label
-    array at its root, so that overhang is bounded.
+    The memo cache is an :class:`~repro.core.cache.EngineCacheStore`
+    holding :class:`GroupStats` keyed by ``(names, node)``; it is bounded
+    both by entry count (``cache_limit``) and by approximate payload bytes
+    (``cache_bytes``) so large-lattice searches over many-row tables cannot
+    pin O(nodes × rows) of label arrays. Eviction follows the store's
+    policy — ``"lru"`` by default, or the stratum-aware policy that prefers
+    shedding nodes reconstructible by roll-up. Payload grown after
+    insertion (lazy histograms, lazily-resolved row labels) is accounted
+    too and can trigger eviction of older entries. Evicted entries may stay
+    alive while a rolled-up descendant still references them, but each
+    roll-up chain shares a single per-row label array at its root, so that
+    overhang is bounded.
 
     The evaluator is thread-safe: cache bookkeeping runs under one mutex and
     node computations are single-flight (see the module docstring), so
@@ -277,38 +290,25 @@ class LatticeEvaluator:
         hierarchies: Mapping[str, HierarchyLike],
         cache_limit: int = 8192,
         cache_bytes: int = 256 * 2**20,
+        cache: EngineCacheStore | None = None,
+        cache_policy: str = "lru",
     ):
         self.table = table
         self.qi_names = tuple(qi_names)
         self.hierarchies = hierarchies
-        self.cache_limit = int(cache_limit)
-        self.cache_bytes = int(cache_bytes)
-        self._cached_bytes = 0
-        # Exact bytes attributed to each *currently cached* entry, so lazy
-        # growth on an already-evicted GroupStats can never leak into the
-        # budget (that would eventually collapse the cache to one entry).
-        self._accounted: dict[tuple[tuple[str, ...], Node], int] = {}
+        # The store carries the memo table, budget accounting, stratum
+        # index, single-flight table, and counters; a pre-built store may
+        # be handed in (the batch planner sizes budgets per environment).
+        self.cache = (
+            cache
+            if cache is not None
+            else EngineCacheStore(
+                cache_limit=int(cache_limit),
+                cache_bytes=int(cache_bytes),
+                policy=cache_policy,
+            )
+        )
         self._encodings = {name: self._encode_qi(name) for name in self.qi_names}
-        self._stats_cache: dict[tuple[tuple[str, ...], Node], GroupStats] = {}
-        # Roll-up memo index: names -> level-sum -> set of cached nodes.
-        # A roll-up ancestor of ``node`` is componentwise <= ``node``, hence
-        # has a strictly smaller level sum, so candidate lookup only touches
-        # the strata below the node's instead of scanning the whole cache.
-        self._stratum_index: dict[tuple[str, ...], dict[int, set[Node]]] = {}
-        # Cumulative cache telemetry (never reset by eviction); run_batch
-        # and the E35/E36 benches read these to prove cross-job node sharing
-        # and single-flight coalescing under parallel workers.
-        self.counters = {
-            "hits": 0,
-            "from_rows": 0,
-            "rollups": 0,
-            "evictions": 0,
-            "coalesced": 0,
-        }
-        # One mutex guards every cache structure above plus the in-flight
-        # table; node computation itself runs outside it (single-flight).
-        self._mutex = threading.Lock()
-        self._inflight: dict[tuple[tuple[str, ...], Node], threading.Event] = {}
         self._level_maps: dict[tuple[str, int, int], np.ndarray] = {}
         self._columns: dict[str, tuple[np.ndarray, int]] = {}
         # External-table ground codes, one slot per QI name: the domain
@@ -399,158 +399,113 @@ class LatticeEvaluator:
     def stats(self, node: Sequence[int], names: Sequence[str] | None = None) -> GroupStats:
         """Memoized :class:`GroupStats` of a node (roll-up when possible).
 
-        Thread-safe and single-flight: when several workers request the same
-        uncached ``(names, node)`` at once, exactly one computes it (from
-        rows or by roll-up) while the others block on the computation's
-        in-flight marker and then read the freshly cached entry — counted
-        under ``coalesced`` in :meth:`cache_info`.
+        Thread-safe and single-flight via the cache store: when several
+        workers request the same uncached ``(names, node)`` at once, exactly
+        one computes it (from rows or by roll-up) while the others block on
+        the computation's in-flight marker and then read the freshly cached
+        entry — counted under ``coalesced`` in :meth:`cache_info`.
         """
         names = self.qi_names if names is None else tuple(names)
         node = tuple(int(lv) for lv in node)
-        key = (names, node)
-        event = None
-        # The marker is registered inside the try so *any* exit — including
-        # an exception raised mid-computation, or an async exception landing
-        # right after registration — clears it and wakes the waiters, who
-        # then find neither entry nor marker and take over ownership.
-        try:
-            while True:
-                with self._mutex:
-                    cached = self._stats_cache.get(key)
-                    if cached is not None:
-                        self.counters["hits"] += 1
-                        return cached
-                    waiter = self._inflight.get(key)
-                    if waiter is None:
-                        # This thread owns the computation; the roll-up
-                        # candidate is picked under the mutex (it reads the
-                        # cache), the computation itself runs outside it.
-                        ancestor = self._rollup_candidate(names, node)
-                        event = threading.Event()
-                        self._inflight[key] = event
-                        break
-                # Another worker is computing this exact node: wait for it,
-                # then loop to read the cached result (or take over if it
-                # failed / the entry was immediately evicted).
-                waiter.wait()
-                with self._mutex:
-                    self.counters["coalesced"] += 1
+
+        def compute(ancestor: GroupStats | None) -> GroupStats:
             if ancestor is not None:
-                stats = self._rollup(ancestor, node)
-                counter = "rollups"
-            else:
-                stats = self._stats_from_rows(names, node)
-                counter = "from_rows"
-            with self._mutex:
-                self.counters[counter] += 1
-                footprint = self._footprint(stats)
-                while self._stats_cache and (
-                    len(self._stats_cache) >= self.cache_limit
-                    or self._cached_bytes + footprint > self.cache_bytes
-                ):
-                    self._evict_oldest()
-                stats._cache_key = key
-                self._stats_cache[key] = stats
-                self._stratum_index.setdefault(names, {}).setdefault(
-                    sum(node), set()
-                ).add(node)
-                self._accounted[key] = footprint
-                self._cached_bytes += footprint
-            return stats
-        finally:
-            if event is not None:
-                with self._mutex:
-                    del self._inflight[key]
-                event.set()
+                return self._rollup(ancestor, node)
+            return self._stats_from_rows(names, node)
+
+        return self.cache.get_or_compute(names, node, compute)
 
     def cache_info(self) -> dict:
         """Cumulative cache telemetry plus current occupancy.
 
         ``from_rows`` counts O(n_rows) stats computations, ``rollups``
-        O(n_groups) derivations, ``hits`` memo returns. A shared evaluator
-        re-used across batch jobs shows ``hits`` growing while ``from_rows``
-        stays put — the evidence that lattice nodes are evaluated once.
-        ``coalesced`` counts requests that blocked on another worker's
-        in-flight computation of the same node instead of recomputing it
-        (each such request is then also a ``hit`` when it reads the freshly
-        cached entry); with zero evictions, ``from_rows + rollups ==
-        entries`` proves no node was ever evaluated twice, sequentially or
-        under parallel workers.
+        O(n_groups) derivations, ``hits`` memo returns, ``misses`` requests
+        that had to compute (``misses == from_rows + rollups``). A shared
+        evaluator re-used across batch jobs shows ``hits`` growing while
+        ``from_rows`` stays put — the evidence that lattice nodes are
+        evaluated once. ``coalesced`` counts requests that blocked on
+        another worker's in-flight computation of the same node instead of
+        recomputing it (each such request is then also a ``hit`` when it
+        reads the freshly cached entry); with zero evictions, ``from_rows +
+        rollups == entries`` proves no node was ever evaluated twice,
+        sequentially or under parallel workers. ``recomputed_after_evict``
+        counts computations of keys that had been cached and were evicted —
+        the budget-thrash signal wave planning drives to zero — and
+        ``merged`` entries adopted from shard evaluators.
         """
-        with self._mutex:
-            return {
-                **self.counters,
-                "entries": len(self._stats_cache),
-                "bytes": self._cached_bytes,
-            }
+        info = self.cache.info()
+        del info["policy"]  # keep the historic cache_info shape numeric-only
+        return info
 
-    def _evict_oldest(self) -> None:
-        oldest = next(iter(self._stats_cache))
-        self._stats_cache.pop(oldest)
-        self._cached_bytes -= self._accounted.pop(oldest)
-        names, node = oldest
-        stratum = self._stratum_index[names][sum(node)]
-        stratum.discard(node)
-        if not stratum:
-            del self._stratum_index[names][sum(node)]
-        self.counters["evictions"] += 1
+    def clone(self, cache: EngineCacheStore | None = None) -> "LatticeEvaluator":
+        """A shard evaluator over the same table/hierarchies.
 
-    @staticmethod
-    def _footprint(stats: GroupStats) -> int:
-        """Approximate cached payload bytes of one GroupStats entry."""
-        total = stats.sizes.nbytes + stats.group_codes.nbytes
-        if stats._row_labels is not None:
-            total += stats._row_labels.nbytes
-        if stats._partition is not None:
-            total += stats.n_rows * 8
-        total += sum(hist.nbytes for hist in stats._hists.values())
-        if stats._external is not None:
-            total += stats._external[1].nbytes
-        return total
+        Read-only precomputation — QI encodings, composed level maps,
+        column codes, external grounds — is shared by reference (their
+        memo writes are idempotent, see :meth:`_level_map_between`), so a
+        clone costs O(1) instead of re-encoding the table. The clone gets
+        its own (empty) cache store unless one is handed in; merge it back
+        with :meth:`adopt` when the shard is done.
+        """
+        shard = object.__new__(LatticeEvaluator)
+        shard.table = self.table
+        shard.qi_names = self.qi_names
+        shard.hierarchies = self.hierarchies
+        shard.cache = cache if cache is not None else EngineCacheStore(
+            cache_limit=self.cache.cache_limit,
+            cache_bytes=self.cache.cache_bytes,
+            policy=self.cache.policy,
+        )
+        shard._encodings = self._encodings
+        shard._level_maps = self._level_maps
+        shard._columns = self._columns
+        shard._external_grounds = self._external_grounds
+        shard._last_materialized = None
+        return shard
+
+    def adopt(self, shard: "LatticeEvaluator") -> int:
+        """Merge a shard's memo cache into this evaluator's store.
+
+        The memo merge step between batch waves: entries this store lacks
+        are re-homed here (their lazy growth is accounted against this
+        store from now on), duplicates are dropped, and the shard's
+        counters fold into this store's. The shard must be discarded
+        afterwards. Returns the number of entries adopted.
+        """
+        return self.cache.merge_from(shard.cache, engine=self)
+
+    # -- backwards-compatible views into the cache store ----------------------
+
+    @property
+    def cache_limit(self) -> int:
+        return self.cache.cache_limit
+
+    @property
+    def cache_bytes(self) -> int:
+        return self.cache.cache_bytes
+
+    @property
+    def counters(self) -> dict:
+        return self.cache.counters
+
+    @property
+    def _stats_cache(self) -> dict:
+        return self.cache._entries
+
+    @property
+    def _stratum_index(self) -> dict:
+        return self.cache._stratum_index
+
+    @property
+    def _cached_bytes(self) -> int:
+        return self.cache._cached_bytes
+
+    @property
+    def _accounted(self) -> dict:
+        return self.cache._accounted
 
     def _note_bytes(self, stats: GroupStats, n_bytes: int) -> None:
-        """Account for payload grown after insertion (lazy histograms, lazy
-        row labels, partitions) and evict oldest entries if the budget is
-        now exceeded. Growth on stats no longer in the cache is ignored —
-        their bytes were already released at eviction."""
-        with self._mutex:
-            key = stats._cache_key
-            if key is None or self._stats_cache.get(key) is not stats:
-                return
-            self._cached_bytes += int(n_bytes)
-            self._accounted[key] += int(n_bytes)
-            while len(self._stats_cache) > 1 and self._cached_bytes > self.cache_bytes:
-                self._evict_oldest()
-
-    def _rollup_candidate(self, names: tuple[str, ...], node: Node) -> GroupStats | None:
-        """Cheapest cached strictly-more-specific node over the same QIs.
-
-        Strata are probed from the most general (highest level sum below the
-        node's) downward, and the first stratum holding an ancestor wins:
-        roll-up cost is O(parent.n_groups) and group counts shrink as level
-        sums grow, so the nearest stratum is where the cheapest parents live.
-        This keeps candidate lookup proportional to the cached nodes *below*
-        the requested node for the same QI subset, not to the whole cache —
-        large-lattice batch sweeps previously degraded on the linear scan.
-        """
-        strata = self._stratum_index.get(names)
-        if not strata:
-            return None
-        node_sum = sum(node)
-        for stratum_sum in sorted(strata, reverse=True):
-            if stratum_sum >= node_sum:
-                # Equal sums + componentwise <= would force equality, and an
-                # exact hit was already handled; larger sums cannot qualify.
-                continue
-            best: GroupStats | None = None
-            for cached_node in strata[stratum_sum]:
-                if all(a <= b for a, b in zip(cached_node, node)):
-                    stats = self._stats_cache[(names, cached_node)]
-                    if best is None or stats.n_groups < best.n_groups:
-                        best = stats
-            if best is not None:
-                return best
-        return None
+        self.cache.note_bytes(stats, n_bytes)
 
     def _group(
         self, code_columns: list[np.ndarray], radices: list[int]

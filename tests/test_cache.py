@@ -1,0 +1,543 @@
+"""Engine cache store + cache-aware batch planning.
+
+Pins the contracts of the pluggable cache layer and the planner on top:
+
+* :class:`~repro.core.cache.EngineCacheStore` — budget validation, the LRU
+  and stratum-aware eviction policies, the full counter set
+  (hits / misses / evictions / coalesced / recomputed_after_evict / merged),
+  ``clear`` and the destructive shard ``merge_from``;
+* eviction-under-pressure correctness: a deliberately tiny byte budget
+  yields byte-identical releases to an unconstrained run for all four
+  full-domain algorithms, sequential and at ``workers=4``;
+* ``AnonymizationConfig`` rejects bad ``cache_bytes`` values at validation
+  time with the key-naming error style;
+* deterministic parallel cache fill: Incognito's pre-seeded subset bottoms
+  make the engine's from_rows/rollups profile identical at any worker count;
+* the :class:`~repro.api.BatchPlanner`: wave scheduling on over-budget
+  sweeps (zero ``recomputed_after_evict``), plan resolution, sharding with
+  the memo merge step, and the CLI knobs (``--cache-bytes``, ``--plan``).
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.api import AnonymizationConfig, BatchPlanner, run, run_batch
+from repro.cli import main as cli_main
+from repro.core.cache import EngineCacheStore, estimate_cache_footprint
+from repro.core.engine import LatticeEvaluator
+from repro.core.io import read_csv
+from repro.core.lattice import GeneralizationLattice
+from repro.data import adult_hierarchies, load_adult
+from repro.data.synthetic import random_scenario
+from repro.errors import ConfigError
+
+CSV_TEXT = (
+    "zipcode,job,age,disease\n"
+    "13053,engineer,29,flu\n"
+    "13068,teacher,31,hiv\n"
+    "13053,engineer,35,ulcer\n"
+    "13068,nurse,40,flu\n"
+    "14850,teacher,22,flu\n"
+    "14850,nurse,24,cancer\n"
+    "14853,engineer,28,hiv\n"
+    "14853,teacher,33,ulcer\n"
+)
+
+JOB = {
+    "quasi_identifiers": ["zipcode", "job"],
+    "numeric_quasi_identifiers": ["age"],
+    "sensitive": ["disease"],
+    "models": [{"model": "k-anonymity", "k": 2}],
+    "algorithm": {"algorithm": "flash"},
+}
+
+
+def _fingerprint(table):
+    return table.fingerprint()
+
+
+def _scenario(seed, n_rows=160):
+    table, schema, hierarchies = random_scenario(
+        n_rows=n_rows, n_categorical_qis=2, n_values=8, seed=seed
+    )
+    return table, schema.quasi_identifiers, hierarchies
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(CSV_TEXT)
+    return path
+
+
+@pytest.fixture
+def table(csv_path):
+    return read_csv(
+        csv_path, categorical=["zipcode", "job", "disease"], numeric=["age"]
+    )
+
+
+class TestEngineCacheStore:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError, match="policy"):
+            EngineCacheStore(policy="mru")
+        for bad in (0, -1, 2.5, True):
+            with pytest.raises(ValueError, match="cache_bytes"):
+                EngineCacheStore(cache_bytes=bad)
+        with pytest.raises(ValueError, match="cache_limit"):
+            EngineCacheStore(cache_limit=0)
+
+    def test_misses_equal_computations_and_sum_to_entries(self):
+        table, qi, hierarchies = _scenario(0)
+        evaluator = LatticeEvaluator(table, qi, hierarchies)
+        lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi)
+        for node in lattice.nodes():
+            evaluator.stats(node)
+        evaluator.stats(lattice.bottom)  # one guaranteed hit
+        info = evaluator.cache_info()
+        assert info["misses"] == info["from_rows"] + info["rollups"]
+        assert info["misses"] == info["entries"] == lattice.size
+        assert info["hits"] >= 1
+        assert info["recomputed_after_evict"] == 0
+
+    def test_lru_keeps_recently_hit_entries(self):
+        table, qi, hierarchies = _scenario(1)
+        evaluator = LatticeEvaluator(
+            table, qi, hierarchies, cache_limit=3, cache_policy="lru"
+        )
+        lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi)
+        nodes = list(lattice.nodes())
+        a, b, c, d = nodes[0], nodes[1], nodes[2], nodes[3]
+        for node in (a, b, c):
+            evaluator.stats(node)
+        evaluator.stats(a)  # refresh a: b is now the coldest
+        evaluator.stats(d)  # evicts exactly one entry
+        cached = {key[1] for key in evaluator.cache.keys()}
+        assert a in cached and b not in cached
+
+    def test_lru_counts_rollup_ancestor_reads_as_uses(self):
+        """The workhorse bottom is read almost only through the ancestor
+        path; that must refresh its recency or it is the first victim."""
+        table, qi, hierarchies = _scenario(8)
+        evaluator = LatticeEvaluator(
+            table, qi, hierarchies, cache_limit=3, cache_policy="lru"
+        )
+        bottom = (0,) * len(qi)
+        evaluator.stats(bottom)
+        # Pairwise-incomparable nodes: each rolls up from the bottom (its
+        # only cached ancestor), touching it before every insertion.
+        singles = [
+            tuple(1 if i == j else 0 for j in range(len(qi)))
+            for i in range(len(qi))
+        ]
+        for node in singles:
+            evaluator.stats(node)
+        cached = {key[1] for key in evaluator.cache.keys()}
+        assert bottom in cached
+        assert singles[0] not in cached  # the true LRU victim
+
+    def test_stratum_policy_evicts_rollup_reconstructible_nodes_first(self):
+        table, qi, hierarchies = _scenario(2)
+        evaluator = LatticeEvaluator(
+            table, qi, hierarchies, cache_limit=4, cache_policy="stratum"
+        )
+        lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi)
+        bottom = lattice.bottom
+        evaluator.stats(bottom)
+        # Fill past the limit with generalized nodes: every eviction should
+        # shed a node reconstructible by roll-up, never the bottom root.
+        for node in itertools.islice(lattice.nodes(), 1, 10):
+            evaluator.stats(node)
+        cached = {key[1] for key in evaluator.cache.keys()}
+        assert bottom in cached
+        assert evaluator.counters["evictions"] > 0
+
+    def test_recomputed_after_evict_counts_budget_thrash(self):
+        table, qi, hierarchies = _scenario(3)
+        evaluator = LatticeEvaluator(table, qi, hierarchies, cache_limit=2)
+        lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi)
+        nodes = list(lattice.nodes())[:4]
+        for node in nodes:
+            evaluator.stats(node)
+        assert evaluator.counters["recomputed_after_evict"] == 0
+        for node in nodes:  # the early nodes were evicted by the later ones
+            evaluator.stats(node)
+        assert evaluator.counters["recomputed_after_evict"] > 0
+
+    def test_clear_drops_entries_keeps_counters(self):
+        table, qi, hierarchies = _scenario(4)
+        evaluator = LatticeEvaluator(table, qi, hierarchies)
+        evaluator.stats((0, 0, 0))
+        before = dict(evaluator.counters)
+        evaluator.cache.clear()
+        info = evaluator.cache_info()
+        assert info["entries"] == 0 and info["bytes"] == 0
+        assert info["misses"] == before["misses"]
+        # Recomputing a cleared key is budget thrash, and counted as such.
+        evaluator.stats((0, 0, 0))
+        assert evaluator.counters["recomputed_after_evict"] == 1
+
+    def test_adopt_merges_shard_memo_and_rehomes_entries(self):
+        table, qi, hierarchies = _scenario(5)
+        primary = LatticeEvaluator(table, qi, hierarchies)
+        lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi)
+        nodes = list(lattice.nodes())
+        primary.stats(nodes[0])
+        shard = primary.clone()
+        assert shard.cache is not primary.cache
+        shard.stats(nodes[0])  # duplicate: dropped at merge
+        stats = shard.stats(nodes[1])
+        adopted = primary.adopt(shard)
+        assert adopted == 1
+        assert primary.counters["merged"] == 1
+        assert len(shard.cache) == 0
+        assert primary.cache._entries[(tuple(qi), nodes[1])] is stats
+        assert stats._engine is primary
+        # The shard's activity is folded into the primary's counters.
+        assert primary.counters["misses"] >= 3
+
+    def test_footprint_estimate_bounds_actual_usage(self):
+        table, qi, hierarchies = _scenario(6, n_rows=300)
+        evaluator = LatticeEvaluator(table, qi, hierarchies)
+        lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi)
+        for node in lattice.nodes():
+            evaluator.stats(node).histogram("sensitive")
+        estimate = estimate_cache_footprint(
+            hierarchies,
+            qi,
+            table.n_rows,
+            sensitive_categories=(len(table.column("sensitive").categories),),
+        )
+        assert estimate >= evaluator.cache_info()["bytes"]
+
+
+class TestConfigCacheBytes:
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True, "256M"])
+    def test_invalid_values_rejected_at_config_time(self, bad):
+        with pytest.raises(ConfigError, match="cache_bytes"):
+            AnonymizationConfig.from_dict({**JOB, "cache_bytes": bad})
+
+    def test_rejected_for_algorithms_without_an_engine(self):
+        """A memory bound the algorithm can never consume must not
+        validate silently — same guard style as max_suppression."""
+        for name in ("mondrian", "tds"):
+            with pytest.raises(ConfigError, match="cache_bytes"):
+                AnonymizationConfig.from_dict(
+                    {
+                        **JOB,
+                        "algorithm": {"algorithm": name},
+                        "cache_bytes": 1 << 20,
+                    }
+                )
+
+    def test_valid_budget_round_trips(self):
+        config = AnonymizationConfig.from_dict({**JOB, "cache_bytes": 1 << 20})
+        assert config.cache_bytes == 1 << 20
+        assert AnonymizationConfig.from_json(config.to_json()) == config
+
+    def test_run_builds_budgeted_evaluator(self, table):
+        config = AnonymizationConfig.from_dict({**JOB, "cache_bytes": 1 << 20})
+        result = run(config, table)
+        assert result.engine is not None
+        assert result.engine.cache.cache_bytes == 1 << 20
+        assert result.engine.cache.policy == "stratum"
+
+    def test_jobs_with_different_budgets_get_different_engines(self, table):
+        config_a = AnonymizationConfig.from_dict({**JOB, "cache_bytes": 1 << 20})
+        config_b = AnonymizationConfig.from_dict({**JOB, "cache_bytes": 2 << 20})
+        results = run_batch([config_a, config_b], table)
+        assert results[0].engine is not results[1].engine
+        assert results[0].engine.cache.cache_bytes == 1 << 20
+        assert results[1].engine.cache.cache_bytes == 2 << 20
+
+
+class TestEvictionUnderPressureCorrectness:
+    """Byte-identical releases under a deliberately tiny byte budget."""
+
+    ALGORITHMS = ("incognito", "ola", "flash", "datafly")
+    TINY = 96 * 1024  # forces constant eviction at 800 rows
+
+    def _configs(self, cache_bytes=None):
+        qis = ["workclass", "education", "marital_status"]
+        base = {
+            "quasi_identifiers": qis,
+            "sensitive": ["salary"],
+            "models": [{"model": "k-anonymity", "k": 4}],
+        }
+        if cache_bytes is not None:
+            base["cache_bytes"] = cache_bytes
+        return [
+            AnonymizationConfig.from_dict(
+                {**base, "algorithm": {"algorithm": name}}
+            )
+            for name in self.ALGORITHMS
+        ]
+
+    @pytest.fixture(scope="class")
+    def adult(self):
+        return load_adult(n_rows=800, seed=3)
+
+    @pytest.fixture(scope="class")
+    def hierarchies(self):
+        keep = ("workclass", "education", "marital_status")
+        return {
+            name: hierarchy
+            for name, hierarchy in adult_hierarchies().items()
+            if name in keep
+        }
+
+    def test_tiny_budget_releases_byte_identical(self, adult, hierarchies):
+        reference = run_batch(self._configs(), adult, hierarchies=hierarchies)
+        squeezed = run_batch(
+            self._configs(self.TINY), adult, hierarchies=hierarchies
+        )
+        evicted = 0
+        for ref, sq in zip(reference, squeezed):
+            assert ref.release.node == sq.release.node
+            assert _fingerprint(ref.release.table) == _fingerprint(sq.release.table)
+            evicted += sq.engine.cache_info()["evictions"]
+        assert evicted > 0, "budget was not actually under pressure"
+
+    def test_tiny_budget_parallel_matches_sequential(self, adult, hierarchies):
+        sequential = run_batch(
+            self._configs(self.TINY), adult, hierarchies=hierarchies
+        )
+        parallel = run_batch(
+            self._configs(self.TINY), adult, hierarchies=hierarchies, workers=4
+        )
+        for seq, par in zip(sequential, parallel):
+            assert seq.release.node == par.release.node
+            assert _fingerprint(seq.release.table) == _fingerprint(par.release.table)
+
+
+class TestIncognitoDeterministicCacheFill:
+    def _configs(self):
+        base = {
+            "quasi_identifiers": ["workclass", "education", "marital_status"],
+            "sensitive": ["salary"],
+            "algorithm": {"algorithm": "incognito"},
+        }
+        return [
+            AnonymizationConfig.from_dict(
+                {**base, "models": [{"model": "k-anonymity", "k": k}]}
+            )
+            for k in (3, 7, 15)
+        ]
+
+    @pytest.fixture(scope="class")
+    def adult(self):
+        return load_adult(n_rows=500, seed=11)
+
+    @pytest.fixture(scope="class")
+    def curated(self):
+        return adult_hierarchies()
+
+    def test_parallel_profile_equals_sequential_profile(self, adult, curated):
+        sequential = run_batch(self._configs(), adult, hierarchies=curated)
+        seq_info = sequential[0].engine.cache_info()
+        for workers in (2, 4):
+            parallel = run_batch(
+                self._configs(), adult, hierarchies=curated, workers=workers
+            )
+            par_info = parallel[0].engine.cache_info()
+            assert par_info["from_rows"] == seq_info["from_rows"]
+            assert par_info["rollups"] == seq_info["rollups"]
+            for seq, par in zip(sequential, parallel):
+                assert _fingerprint(seq.release.table) == _fingerprint(
+                    par.release.table
+                )
+
+    def test_preseed_pins_from_rows_to_subset_bottoms(self, adult, curated):
+        results = run_batch(self._configs(), adult, hierarchies=curated)
+        info = results[0].engine.cache_info()
+        # 3 QIs -> 7 subset bottoms (the full-names bottom coincides with
+        # the size-3 subset when the QI order is already sorted; one more
+        # from-rows at most otherwise). Everything else rolls up.
+        assert info["from_rows"] <= 2**3
+        assert info["recomputed_after_evict"] == 0
+        assert info["misses"] == info["from_rows"] + info["rollups"]
+
+
+class TestBatchPlanner:
+    def _two_env_configs(self, cache_bytes=None):
+        env_a = dict(JOB)
+        env_b = {**JOB, "quasi_identifiers": ["zipcode"]}
+        if cache_bytes is not None:
+            env_a["cache_bytes"] = cache_bytes
+            env_b["cache_bytes"] = cache_bytes
+        return [
+            AnonymizationConfig.from_dict(env_a),
+            AnonymizationConfig.from_dict(env_b),
+            AnonymizationConfig.from_dict(
+                {**env_a, "models": [{"model": "k-anonymity", "k": 3}]}
+            ),
+        ]
+
+    def test_rejects_unknown_plan_and_bad_budget(self, table):
+        with pytest.raises(ConfigError, match="plan"):
+            BatchPlanner(self._two_env_configs(), table, plan="eager")
+        for bad in (0, -5, 1.5, True):
+            with pytest.raises(ConfigError, match="cache_bytes"):
+                BatchPlanner(self._two_env_configs(), table, cache_bytes=bad)
+
+    def test_waves_without_budget_resolves_to_shared(self, table):
+        """No budget means nothing to size waves against; the plan must
+        report the shared behavior it actually executes."""
+        planner = BatchPlanner(self._two_env_configs(), table, plan="waves")
+        plan = planner.plan()
+        assert plan.mode == "shared"
+        assert len(plan.waves) == 1
+
+    def test_auto_resolves_waves_only_when_over_budget(self, table):
+        roomy = BatchPlanner(self._two_env_configs(), table, cache_bytes=1 << 30)
+        assert roomy.plan().mode == "shared"
+        tight = BatchPlanner(self._two_env_configs(), table, cache_bytes=50_000)
+        plan = tight.plan()
+        assert plan.mode == "waves"
+        assert len(plan.waves) == 2
+        # Same-environment jobs (indices 0 and 2) always share a wave.
+        assert sorted(plan.waves[0]) == [0, 2]
+        assert json.dumps(plan.to_dict())  # JSON-safe summary
+
+    def test_waves_match_shared_fingerprints_on_adult_sample(self):
+        """Tier-1 smoke: plan choice never changes the released bytes."""
+        adult = load_adult(n_rows=400, seed=7)
+        configs = [
+            AnonymizationConfig.from_dict(
+                {
+                    "quasi_identifiers": list(qis),
+                    "sensitive": ["salary"],
+                    "models": [{"model": "k-anonymity", "k": k}],
+                    "algorithm": {"algorithm": algorithm},
+                }
+            )
+            for qis in (
+                ("workclass", "education"),
+                ("marital_status", "race", "sex"),
+            )
+            for algorithm, k in (("flash", 3), ("ola", 5))
+        ]
+        curated = adult_hierarchies()
+        shared = run_batch(configs, adult, hierarchies=curated, plan="shared")
+        waved = run_batch(
+            configs, adult, hierarchies=curated, plan="waves", cache_bytes=300_000
+        )
+        for a, b in zip(shared, waved):
+            assert a.release.node == b.release.node
+            assert _fingerprint(a.release.table) == _fingerprint(b.release.table)
+        for result in waved:
+            assert result.engine.cache_info()["recomputed_after_evict"] == 0
+
+    def test_wave_budgets_cover_each_environment(self, table):
+        planner = BatchPlanner(self._two_env_configs(), table, cache_bytes=50_000)
+        plan = planner.plan()
+        assert plan.mode == "waves"
+        for key, budget in plan.budgets.items():
+            assert 0 < budget <= 50_000
+        planner.execute()  # runs through the wave path without error
+
+    def test_sharded_execution_matches_and_merges(self, table):
+        configs = [
+            AnonymizationConfig.from_dict(
+                {**JOB, "models": [{"model": "k-anonymity", "k": k}]}
+            )
+            for k in (2, 3, 4)
+        ]
+        baseline = run_batch(configs, table)
+        sharded = BatchPlanner(configs, table, workers=3, shard=True).execute()
+        for base, result in zip(baseline, sharded):
+            assert base.release.node == result.release.node
+            assert _fingerprint(base.release.table) == _fingerprint(
+                result.release.table
+            )
+        # All sharded results report the canonical (merged) engine, and the
+        # canonical budget is restored after the wave's equal slicing.
+        engines = {id(result.engine) for result in sharded}
+        assert len(engines) == 1
+        assert sharded[0].engine.counters["merged"] > 0
+        assert sharded[0].engine.cache.cache_bytes >= 1
+
+    def test_sharding_slices_the_environment_budget(self, table):
+        configs = [
+            AnonymizationConfig.from_dict(
+                {**JOB, "models": [{"model": "k-anonymity", "k": k}]}
+            )
+            for k in (2, 3, 4)
+        ]
+        budget = 300_000
+        planner = BatchPlanner(
+            configs, table, workers=3, shard=True, cache_bytes=budget
+        )
+        results = planner.execute()
+        group = planner._jobs[0][2]
+        # Restored to the group's resolved slice, never the workers-fold.
+        assert results[0].engine.cache.cache_bytes == max(group.budget, 1)
+        assert group.budget <= budget
+
+
+class TestCLICacheKnobs:
+    def test_cache_bytes_flag_mode(self, csv_path, tmp_path, capsys):
+        out = tmp_path / "anon.csv"
+        rc = cli_main(
+            [
+                str(csv_path), str(out),
+                "--qi", "zipcode", "--qi", "job", "--numeric-qi", "age",
+                "--sensitive", "disease", "--k", "2", "--algorithm", "flash",
+                "--cache-bytes", "1048576", "--report",
+            ]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().err)
+        assert report["config"]["cache_bytes"] == 1048576
+        assert report["engine_cache"]["recomputed_after_evict"] == 0
+        assert "misses" in report["engine_cache"]
+
+    def test_invalid_cache_bytes_fails_loudly(self, csv_path, tmp_path, capsys):
+        rc = cli_main(
+            [
+                str(csv_path), str(tmp_path / "anon.csv"),
+                "--qi", "zipcode", "--cache-bytes", "0",
+            ]
+        )
+        assert rc == 2
+        assert "cache_bytes" in capsys.readouterr().err
+
+    def test_batch_plan_flag(self, csv_path, tmp_path):
+        jobs = [JOB, {**JOB, "models": [{"model": "k-anonymity", "k": 3}]}]
+        job_path = tmp_path / "jobs.json"
+        job_path.write_text(json.dumps(jobs))
+        out_shared = tmp_path / "shared" / "anon.csv"
+        out_waves = tmp_path / "waves" / "anon.csv"
+        out_shared.parent.mkdir()
+        out_waves.parent.mkdir()
+        assert cli_main(
+            [str(csv_path), str(out_shared), "--config", str(job_path),
+             "--plan", "shared"]
+        ) == 0
+        assert cli_main(
+            [str(csv_path), str(out_waves), "--config", str(job_path),
+             "--plan", "waves", "--cache-bytes", "65536"]
+        ) == 0
+        for index in (1, 2):
+            shared = out_shared.with_name(f"anon.{index}.csv")
+            waves = out_waves.with_name(f"anon.{index}.csv")
+            assert shared.read_bytes() == waves.read_bytes()
+
+    def test_plan_without_batch_config_rejected(self, csv_path, tmp_path, capsys):
+        job_path = tmp_path / "job.json"
+        job_path.write_text(json.dumps(JOB))
+        rc = cli_main(
+            [str(csv_path), str(tmp_path / "anon.csv"), "--config",
+             str(job_path), "--plan", "waves"]
+        )
+        assert rc == 2
+        assert "JSON list of jobs" in capsys.readouterr().err
+
+    def test_plan_without_config_rejected(self, csv_path, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [str(csv_path), str(tmp_path / "out.csv"),
+                 "--qi", "zipcode", "--plan", "waves"]
+            )
