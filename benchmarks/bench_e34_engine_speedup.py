@@ -16,7 +16,7 @@ exits non-zero below the gate — this is what CI runs) or via pytest.
 import sys
 import time
 
-from conftest import print_series
+from conftest import print_series, write_results
 
 from repro.core import GeneralizationLattice, LatticeEvaluator, apply_node, partition_by_qi
 from repro.data import adult_hierarchies, adult_schema, load_adult
@@ -65,6 +65,17 @@ def run(n_rows=10_000, seed=42, n_nodes=40):
             ("legacy apply_node", legacy_seconds, len(nodes) / legacy_seconds, 1.0),
             ("engine GroupStats", engine_seconds, len(nodes) / engine_seconds, speedup),
         ],
+    )
+    write_results(
+        "E34",
+        {
+            "n_rows": n_rows,
+            "n_nodes": len(nodes),
+            "legacy_seconds": legacy_seconds,
+            "engine_seconds": engine_seconds,
+            "speedup": speedup,
+            "gate": GATE,
+        },
     )
     return speedup
 

@@ -21,7 +21,7 @@ non-zero when sharing fails — this is what CI runs) or via pytest.
 import sys
 import time
 
-from conftest import print_series
+from conftest import print_series, write_results
 
 from repro.api import AnonymizationConfig, run, run_batch
 from repro.core.engine import LatticeEvaluator
@@ -91,6 +91,19 @@ def run_bench(n_rows=5000, seed=42):
         ],
     )
     print(f"wall-clock speedup: {speedup:.2f}x")
+    write_results(
+        "E35",
+        {
+            "n_rows": n_rows,
+            "n_jobs": len(configs),
+            "solo_seconds": solo_seconds,
+            "batch_seconds": batch_seconds,
+            "solo_computed": solo_computed,
+            "batch_computed": batch_computed,
+            "cross_job_hits": info["hits"],
+            "speedup": speedup,
+        },
+    )
     # Shared nodes are computed once for the whole sweep: the batch must do
     # several times less stats work than the independent runs combined.
     return batch_computed * 2 <= solo_computed and info["hits"] > 0

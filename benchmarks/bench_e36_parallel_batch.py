@@ -32,7 +32,7 @@ import os
 import sys
 import time
 
-from conftest import print_series
+from conftest import print_series, write_results
 
 from repro.api import AnonymizationConfig, run_batch
 from repro.data import adult_hierarchies, load_adult
@@ -174,6 +174,23 @@ def run_bench(n_rows=25000, seed=42, workers=4):
         ok = ok and speedup > 1.5
     else:
         print(f"({_cpus()} CPU(s): wall-clock gate skipped, cannot scale past cores)")
+    write_results(
+        "E36",
+        {
+            "n_rows": n_rows,
+            "n_jobs": len(configs),
+            "workers": workers,
+            "sequential_seconds": best["sequential_seconds"],
+            "parallel_seconds": best["parallel_seconds"],
+            "sequential_computed": best["sequential_computed"],
+            "parallel_computed": best["parallel_computed"],
+            "coalesced": best["coalesced"],
+            "speedup": speedup,
+            "identical": identical,
+            "single_flight": single_flight,
+            "ok": ok,
+        },
+    )
     return ok
 
 

@@ -39,7 +39,7 @@ import os
 import sys
 import time
 
-from conftest import print_series
+from conftest import print_series, write_results
 
 from repro.api import AnonymizationConfig, run_batch
 from repro.data import adult_hierarchies, load_adult
@@ -252,6 +252,24 @@ def run_bench(n_rows=20000, seed=42, workers=4):
         ok = ok and best["speedup"] > 1.5
     else:
         print(f"({_cpus()} CPU(s): wall-clock gate skipped, cannot scale past cores)")
+    write_results(
+        "E37",
+        {
+            "n_rows": n_rows,
+            "n_jobs": len(configs),
+            "workers": workers,
+            "budget_bytes": budget,
+            "working_set_bytes": sum(working_sets),
+            "sequential_seconds": best["sequential_seconds"],
+            "parallel_seconds": best["parallel_seconds"],
+            "speedup": best["speedup"],
+            "waves_recomputed": waves_recomputed,
+            "shared_recomputed": shared_recomputed,
+            "identical": identical,
+            "incognito_profile_equal": profile_equal,
+            "ok": ok,
+        },
+    )
     return ok
 
 

@@ -1,0 +1,354 @@
+"""E38 — Process tier at scale: shared-memory batch execution on 1M+ rows.
+
+The scaling step after E36 (thread tier) and E37 (cache-pressure planning):
+a million-row, multi-environment sweep dispatched to **worker processes**.
+The parent publishes the table's dictionary-encoded columns and every
+environment's hierarchy LUTs once into shared memory
+(:mod:`repro.core.shm`); each worker attaches zero-copy views, runs its
+environment group's jobs sequentially against a per-process evaluator, and
+ships the memo cache back for the parent to merge — so cache telemetry and
+releases stay byte-identical to sequential execution while the heavy
+per-node numpy work escapes the GIL entirely. Chunked packing
+(``chunk_rows``) streams the mixed-radix group signature through fixed-size
+row windows, so no full-size per-QI int64 intermediate is ever
+materialized.
+
+Gates (exit code — what CI enforces):
+
+1. releases are byte-identical between sequential, ``backend="thread"``,
+   and ``backend="process"`` at ``workers=4``;
+2. the deterministic cache-counter profile (hits, misses, from_rows,
+   rollups, entries, evictions, coalesced, recomputed_after_evict) of the
+   process tier equals sequential, with cross-process merges recorded
+   (``merged`` > 0);
+3. chunked packing allocates a small fraction of the unchunked peak for
+   the same group signature (tracemalloc, categorical-only probe) — the
+   full-size per-QI label intermediates are really gone;
+4. parent peak RSS stays under the stated budget
+   (``RSS_BASE_MB + n_rows * RSS_PER_ROW`` bytes);
+5. on hosts with >= 4 CPUs, the process tier beats the thread tier's wall
+   clock at ``workers=4`` (best of two rounds, as in E36/E37). On smaller
+   hosts the ratio is printed but not gated — on one core the process
+   tier only adds serialization overhead.
+
+Results are recorded to ``BENCH_E38.json`` via the shared writer.
+Runnable standalone (``python benchmarks/bench_e38_process_tier.py
+[--rows N]``, non-zero exit on failure — CI runs a ~200k-row instance) or
+via pytest (a 60k-row instance; gates 1-4 are size- and
+scheduling-independent).
+"""
+
+import argparse
+import hashlib
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from conftest import cpu_count, peak_rss_bytes, print_series, write_results
+
+from repro.api import AnonymizationConfig, run_batch
+from repro.core.table import Column, Table
+from repro.data.synthetic import _binary_tree_hierarchy
+
+#: Four distinct QI environments over one shared column pool — four
+#: engine groups, which is what the process tier parallelizes across.
+ENVIRONMENTS = (
+    ["zip", "job"],
+    ["zip", "edu"],
+    ["job", "edu", "city"],
+    ["zip", "city"],
+)
+K_SWEEP = (5, 25, 100)
+
+#: Streaming window for the chunked packer (rows per window).
+CHUNK_ROWS = 131_072
+
+#: Parent peak-RSS budget: base interpreter + numpy footprint plus a
+#: per-row allowance covering the table, its shared-memory copy, one
+#: tier's live releases, and the merged caches (calibrated on the
+#: 1.2M-row run: ~355 B/row measured, ~1.8x headroom).
+RSS_BASE_MB = 400
+RSS_PER_ROW = 640  # bytes
+
+#: Chunked packing must stay well under the unchunked allocation peak.
+CHUNK_PEAK_RATIO = 0.5
+
+DOMAINS = {"zip": 64, "job": 32, "edu": 16, "city": 32}
+SENSITIVE_VALUES = [f"d{i}" for i in range(8)]
+
+
+def _make_table(n_rows, seed):
+    """Synthetic table straight from integer codes — fast at 1M+ rows."""
+    rng = np.random.default_rng(seed)
+    columns = []
+    for name, domain in DOMAINS.items():
+        codes = rng.integers(0, domain, size=n_rows)
+        columns.append(
+            Column.from_codes(name, codes, [f"{name}_{i}" for i in range(domain)])
+        )
+    columns.append(Column.numeric("age", rng.integers(18, 90, size=n_rows).astype(float)))
+    columns.append(
+        Column.from_codes(
+            "disease", rng.integers(0, len(SENSITIVE_VALUES), size=n_rows), SENSITIVE_VALUES
+        )
+    )
+    return Table(columns)
+
+
+def _hierarchies():
+    return {
+        name: _binary_tree_hierarchy([f"{name}_{i}" for i in range(domain)])
+        for name, domain in DOMAINS.items()
+    }
+
+
+def _chunk_rows(n_rows):
+    """The streaming window, scaled down so shrunken runs still chunk."""
+    return max(1, min(CHUNK_ROWS, n_rows // 8))
+
+
+def _sweep(chunk_rows):
+    return [
+        AnonymizationConfig.from_dict(
+            {
+                "quasi_identifiers": qis,
+                "sensitive": ["disease"],
+                "models": [{"model": "k-anonymity", "k": k}],
+                "algorithm": {"algorithm": "flash", "max_suppression": 0.05},
+                "chunk_rows": chunk_rows,
+            }
+        )
+        for qis in ENVIRONMENTS
+        for k in K_SWEEP
+    ]
+
+
+#: Counters that are deterministic across execution tiers. ``merged`` and
+#: ``bytes`` legitimately differ in process mode (adopted snapshot entries;
+#: re-measured footprints) and are reported, not gated.
+PROFILE_KEYS = (
+    "hits",
+    "misses",
+    "from_rows",
+    "rollups",
+    "entries",
+    "evictions",
+    "coalesced",
+    "recomputed_after_evict",
+)
+
+
+def _profiles(results):
+    """Ordered per-engine deterministic counter profiles."""
+    engines, profiles = [], []
+    for result in results:
+        if result.engine is not None and result.engine not in engines:
+            engines.append(result.engine)
+            info = result.engine.cache_info()
+            profiles.append(tuple(info[key] for key in PROFILE_KEYS))
+    return profiles
+
+
+def _merged(results):
+    engines = []
+    for result in results:
+        if result.engine is not None and result.engine not in engines:
+            engines.append(result.engine)
+    return sum(engine.cache_info()["merged"] for engine in engines)
+
+
+def _table_digest(table):
+    """sha256 over every column's raw codes/values — byte identity, 64 chars.
+
+    ``Table.fingerprint()`` decodes into per-row Python tuples; at 1.2M
+    rows that alone would dominate the RSS gate this bench enforces.
+    """
+    digest = hashlib.sha256()
+    for col in table:
+        digest.update(col.name.encode())
+        if col.is_categorical:
+            digest.update(repr(col.categories).encode())
+            digest.update(np.ascontiguousarray(col.codes).data)
+        else:
+            digest.update(np.ascontiguousarray(col.values).data)
+    return digest.hexdigest()
+
+
+def _release_prints(results):
+    """Per-job (node, release digest) — all a tier needs to retain.
+
+    Holding three tiers' full result sets (releases, engines, caches)
+    alive at once would triple the bench's own high-water mark and drown
+    the RSS gate in harness noise; tiers are compared through these
+    digests and dropped.
+    """
+    return [(r.release.node, _table_digest(r.release.table)) for r in results]
+
+
+def _timed(configs, table, hierarchies, **kwargs):
+    start = time.perf_counter()
+    results = run_batch(configs, table, hierarchies=hierarchies, **kwargs)
+    return results, time.perf_counter() - start
+
+
+def _chunk_peaks(table, chunk_rows):
+    """tracemalloc peaks of one group signature, unchunked vs chunked.
+
+    Categorical-only probe: numeric specs run an ``np.unique`` whose sort
+    copy would dominate both paths and mask the intermediate-label savings
+    this gate is about.
+    """
+    names = [name for name in DOMAINS]
+    tracemalloc.start()
+    table.group_signature(names)
+    _, unchunked_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracemalloc.start()
+    table.group_signature(names, chunk_rows=chunk_rows)
+    _, chunked_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return unchunked_peak, chunked_peak
+
+
+def run_bench(n_rows=1_200_000, seed=42, workers=4, budget_seconds=None):
+    bench_start = time.perf_counter()
+    table = _make_table(n_rows, seed)
+    hierarchies = _hierarchies()
+    chunk_rows = _chunk_rows(n_rows)
+    configs = _sweep(chunk_rows)
+
+    unchunked_peak, chunked_peak = _chunk_peaks(table, chunk_rows)
+    chunk_ok = chunked_peak <= CHUNK_PEAK_RATIO * unchunked_peak
+
+    sequential, sequential_seconds = _timed(configs, table, hierarchies)
+    reference_prints = _release_prints(sequential)
+    reference_profiles = _profiles(sequential)
+    del sequential
+
+    def _round():
+        thread, thread_seconds = _timed(
+            configs, table, hierarchies, workers=workers, backend="thread"
+        )
+        thread_identical = _release_prints(thread) == reference_prints
+        del thread
+        process, process_seconds = _timed(
+            configs, table, hierarchies, workers=workers, backend="process"
+        )
+        verdicts = {
+            "thread_identical": thread_identical,
+            "process_identical": _release_prints(process) == reference_prints,
+            "profile_equal": _profiles(process) == reference_profiles,
+            "merged": _merged(process),
+            "thread_seconds": thread_seconds,
+            "process_seconds": process_seconds,
+            "ratio": thread_seconds / process_seconds if process_seconds else float("inf"),
+        }
+        del process
+        return verdicts
+
+    rounds = [_round()]
+    if cpu_count() >= 4 and rounds[0]["ratio"] <= 1.0:
+        print("(first round missed the thread-vs-process bar; retrying once)")
+        rounds.append(_round())
+    best = max(rounds, key=lambda r: r["ratio"])
+
+    identical = all(r["thread_identical"] and r["process_identical"] for r in rounds)
+    profile_equal = all(r["profile_equal"] for r in rounds)
+    merged = best["merged"]
+
+    rss = peak_rss_bytes()
+    rss_budget = RSS_BASE_MB * 2**20 + n_rows * RSS_PER_ROW
+    rss_ok = rss <= rss_budget
+
+    print_series(
+        f"E38: process tier (n={n_rows}, {len(configs)}-job "
+        f"{len(ENVIRONMENTS)}-environment sweep, workers={workers}, "
+        f"{cpu_count()} CPUs)",
+        ["path", "seconds", "byte-identical", "profile == sequential"],
+        [
+            ("sequential", sequential_seconds, 1, 1),
+            (
+                f"thread workers={workers}",
+                best["thread_seconds"],
+                int(best["thread_identical"]),
+                1,
+            ),
+            (
+                f"process workers={workers}",
+                best["process_seconds"],
+                int(best["process_identical"]),
+                int(profile_equal),
+            ),
+        ],
+    )
+    print(f"thread/process wall-clock ratio: {best['ratio']:.2f}x (merged entries: {merged})")
+    print(
+        f"group-signature peak: unchunked {unchunked_peak / 2**20:.1f} MiB, "
+        f"chunked {chunked_peak / 2**20:.1f} MiB "
+        f"(gate: <= {CHUNK_PEAK_RATIO:.0%} of unchunked)"
+    )
+    print(
+        f"parent peak RSS: {rss / 2**20:.0f} MiB "
+        f"(budget: {rss_budget / 2**20:.0f} MiB)"
+    )
+
+    ok = identical and profile_equal and merged > 0 and chunk_ok and rss_ok
+    if cpu_count() >= 4:
+        ok = ok and best["ratio"] > 1.0
+    else:
+        print(
+            f"({cpu_count()} CPU(s): thread-vs-process wall-clock gate skipped, "
+            "process tier cannot win on one core)"
+        )
+    elapsed = time.perf_counter() - bench_start
+    if budget_seconds is not None:
+        print(f"total wall clock: {elapsed:.1f}s (budget: {budget_seconds:.0f}s)")
+        ok = ok and elapsed <= budget_seconds
+    write_results(
+        "E38",
+        {
+            "n_rows": n_rows,
+            "n_jobs": len(configs),
+            "workers": workers,
+            "chunk_rows": chunk_rows,
+            "sequential_seconds": sequential_seconds,
+            "thread_seconds": best["thread_seconds"],
+            "process_seconds": best["process_seconds"],
+            "thread_process_ratio": best["ratio"],
+            "merged_entries": merged,
+            "unchunked_peak_bytes": unchunked_peak,
+            "chunked_peak_bytes": chunked_peak,
+            "rss_budget_bytes": rss_budget,
+            "total_seconds": elapsed,
+            "budget_seconds": budget_seconds,
+            "identical": identical,
+            "profile_equal": profile_equal,
+            "chunk_ok": chunk_ok,
+            "rss_ok": rss_ok,
+            "ok": ok,
+        },
+    )
+    return ok
+
+
+def test_e38_process_tier():
+    # Smaller instance for the pytest tier: identity, counter-profile,
+    # chunked-packing, and RSS gates are size- and scheduling-independent.
+    assert run_bench(n_rows=60_000), "process tier must match sequential"
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=1_200_000,
+                        help="synthetic table size (CI uses ~200k)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--budget-seconds", type=float, default=None,
+                        help="fail if the whole bench exceeds this wall "
+                             "clock (CI's coarse budget; off by default)")
+    args = parser.parse_args()
+    ok = run_bench(
+        n_rows=args.rows, workers=args.workers, budget_seconds=args.budget_seconds
+    )
+    sys.exit(0 if ok else 1)

@@ -1,4 +1,17 @@
-"""Shared benchmark fixtures: datasets sized for quick, stable runs."""
+"""Shared benchmark fixtures: datasets sized for quick, stable runs.
+
+Also home to the machine-readable results writer: every executor-tier
+experiment (E34-E38) calls :func:`write_results` with its wall clocks and
+counters, producing ``BENCH_<EXP>.json`` next to the scripts (or under
+``$BENCH_RESULTS_DIR``). Shrunken pytest-tier runs skip the write so test
+invocations never churn committed baselines; set ``BENCH_RESULTS_DIR`` to
+force writing anywhere, including under pytest.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -44,3 +57,51 @@ def _fmt(value):
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+def cpu_count():
+    """CPUs actually available to this process (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def peak_rss_bytes():
+    """Peak resident set size of this process, in bytes."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def write_results(experiment, payload):
+    """Write ``BENCH_<EXP>.json``: the experiment's machine-readable record.
+
+    ``payload`` holds the experiment-specific series (wall clocks, cache
+    counters, gate verdicts); host facts (CPU count, python, peak RSS) are
+    stamped alongside so a number can be judged against the machine that
+    produced it. Returns the path written, or ``None`` when skipped (pytest
+    tier without ``BENCH_RESULTS_DIR`` — shrunken runs must not overwrite
+    full-size baselines).
+    """
+    out_dir = os.environ.get("BENCH_RESULTS_DIR")
+    if out_dir is None:
+        if os.environ.get("PYTEST_CURRENT_TEST"):
+            return None
+        out_dir = Path(__file__).resolve().parent
+    path = Path(out_dir) / f"BENCH_{experiment}.json"
+    record = {
+        "experiment": experiment,
+        "host": {
+            "cpus": cpu_count(),
+            "python": sys.version.split()[0],
+            "platform": sys.platform,
+        },
+        "peak_rss_bytes": peak_rss_bytes(),
+        **payload,
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"[results] wrote {path}")
+    return path

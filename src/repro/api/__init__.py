@@ -29,6 +29,7 @@ serving anonymization as a multi-tenant service.
 
 from .config import AnonymizationConfig, build_hierarchies, build_schema
 from .executor import (
+    BACKENDS,
     PLANS,
     AnonymizationResult,
     BatchPlan,
@@ -50,6 +51,7 @@ from .registry import (
 __all__ = [
     "AnonymizationConfig",
     "AnonymizationResult",
+    "BACKENDS",
     "BatchPlan",
     "BatchPlanner",
     "MetricContext",

@@ -33,7 +33,7 @@ from typing import Any, Mapping
 from ..core.cache import check_cache_bytes
 from ..core.hierarchy import Hierarchy, IntervalHierarchy
 from ..core.schema import Schema
-from ..core.table import Table
+from ..core.table import Table, check_chunk_rows
 from ..errors import ConfigError
 from .registry import algorithm_registry, metric_registry, model_registry
 
@@ -95,6 +95,15 @@ class AnonymizationConfig:
     #: global ``run_batch(cache_bytes=...)`` budget further, but never
     #: above this cap.
     cache_bytes: int | None = None
+    #: Batch execution backend this job asks for: "thread" (shared-engine
+    #: thread pool), "process" (shared-memory worker processes), or None to
+    #: accept the batch default. A ``run_batch(backend=...)`` argument
+    #: overrides; jobs in one batch must agree.
+    backend: str | None = None
+    #: Row-slice size for streaming node evaluation (and chunked packing);
+    #: None evaluates in one shot. Bounds the engine's per-QI intermediate
+    #: arrays to ``chunk_rows`` elements without changing any result.
+    chunk_rows: int | None = None
 
     def __post_init__(self):
         # Normalize sequence fields to tuples so configs hash/compare sanely
@@ -169,6 +178,33 @@ class AnonymizationConfig:
                 # bound the algorithm can never consume must not validate.
                 raise ConfigError(
                     f"key 'cache_bytes' does not apply to algorithm "
+                    f"{algorithm_registry.name_of(algorithm)!r} (no lattice "
+                    "engine); remove the key or pick a full-domain algorithm"
+                )
+        if self.backend is not None:
+            if self.backend not in ("thread", "process"):
+                raise ConfigError(
+                    f"key 'backend' must be one of thread, process; "
+                    f"got {self.backend!r}"
+                )
+            if self.backend == "process" and not getattr(
+                type(algorithm), "uses_evaluator", False
+            ):
+                # The process tier exists to parallelize lattice-engine
+                # work; an engine-less job asking for it is a silent knob.
+                raise ConfigError(
+                    f"key 'backend' = 'process' does not apply to algorithm "
+                    f"{algorithm_registry.name_of(algorithm)!r} (no lattice "
+                    "engine); remove the key or pick a full-domain algorithm"
+                )
+        if self.chunk_rows is not None:
+            try:
+                check_chunk_rows(self.chunk_rows)
+            except ValueError as exc:
+                raise ConfigError(f"key 'chunk_rows' {exc}") from None
+            if not getattr(type(algorithm), "uses_evaluator", False):
+                raise ConfigError(
+                    f"key 'chunk_rows' does not apply to algorithm "
                     f"{algorithm_registry.name_of(algorithm)!r} (no lattice "
                     "engine); remove the key or pick a full-domain algorithm"
                 )

@@ -62,6 +62,7 @@ from .registry import (
 
 __all__ = [
     "AnonymizationResult",
+    "BACKENDS",
     "BatchPlan",
     "BatchPlanner",
     "PLANS",
@@ -73,6 +74,9 @@ __all__ = [
 
 #: Recognized ``plan=`` values for :func:`run_batch`.
 PLANS = ("auto", "waves", "shared")
+
+#: Recognized ``backend=`` values for :func:`run_batch`.
+BACKENDS = ("thread", "process")
 
 
 def jsonable(value: Any) -> Any:
@@ -271,20 +275,22 @@ def run(
     )
     if (
         evaluator is None
-        and config.cache_bytes is not None
+        and (config.cache_bytes is not None or config.chunk_rows is not None)
         and getattr(type(algorithm), "uses_evaluator", False)
     ):
-        # A config-level engine budget only binds if the evaluator is built
-        # out here — the algorithm's own fallback evaluator would use the
-        # library default. Budgeted evaluators get the stratum-aware
-        # eviction policy: pressure is expected, so shed nodes that roll
-        # back up in O(n_groups) instead of O(n_rows) recomputations.
+        # A config-level engine budget (or chunking request) only binds if
+        # the evaluator is built out here — the algorithm's own fallback
+        # evaluator would use the library defaults. Budgeted evaluators get
+        # the stratum-aware eviction policy: pressure is expected, so shed
+        # nodes that roll back up in O(n_groups) instead of O(n_rows)
+        # recomputations.
         evaluator = _make_evaluator(
             table,
             schema,
             built,
             cache_bytes=config.cache_bytes,
-            cache_policy="stratum",
+            cache_policy="stratum" if config.cache_bytes is not None else "lru",
+            chunk_rows=config.chunk_rows,
         )
     timings["prepare"] = time.perf_counter() - start
     result = execute(
@@ -323,6 +329,9 @@ def _environment_key(config: AnonymizationConfig) -> tuple[str, str]:
             "hier": config.hierarchies,
             "bins": config.bins,
             "cache_bytes": config.cache_bytes,
+            # chunk_rows changes no result, but an evaluator streams or
+            # doesn't — jobs demanding different chunking can't share one.
+            "chunk_rows": config.chunk_rows,
         },
         sort_keys=True,
         default=list,
@@ -340,6 +349,7 @@ def run_batch(
     workers: int = 1,
     plan: str = "auto",
     cache_bytes: int | None = None,
+    backend: str | None = None,
 ) -> list[AnonymizationResult]:
     """Execute many jobs on one table, sharing lattice evaluation.
 
@@ -351,14 +361,29 @@ def run_batch(
     ``hierarchies`` overrides spec-built hierarchies with live objects for
     the whole batch, exactly as in :func:`run`.
 
-    ``workers > 1`` dispatches the jobs across a thread pool. Jobs still
-    share evaluators exactly as in sequential mode — the engine's cache is
-    thread-safe with single-flight computation, so concurrent searches
-    never evaluate one lattice node twice (the ``coalesced`` counter of
+    ``workers > 1`` dispatches the jobs across a worker pool. With the
+    default ``backend="thread"`` jobs still share evaluators exactly as in
+    sequential mode — the engine's cache is thread-safe with single-flight
+    computation, so concurrent searches never evaluate one lattice node
+    twice (the ``coalesced`` counter of
     :meth:`LatticeEvaluator.cache_info` shows how often a worker waited on
     another's in-flight node instead). Every job's computation is
     deterministic and isolated apart from that cache, so the returned
     releases are byte-identical to ``workers=1`` regardless of scheduling.
+
+    ``backend="process"`` sidesteps the GIL entirely: the table's code
+    columns and every environment's hierarchy LUTs are published once into
+    shared memory (:mod:`repro.core.shm`), each environment group's jobs
+    run sequentially inside one worker process against zero-copy views,
+    and the per-process memo stores merge back into the parent's canonical
+    evaluators between waves. Releases and per-environment ``cache_info``
+    profiles stay byte-identical to sequential at any worker count (only
+    ``merged`` — the adopted-entry tally — and the approximate ``bytes``
+    occupancy reflect the merge itself). Parallelism is across environment
+    groups, so the process backend pays off on multi-environment sweeps;
+    it requires every job's algorithm to use the lattice engine, and jobs
+    may also request it declaratively via ``AnonymizationConfig.backend``
+    (an explicit ``backend=`` argument overrides; jobs must agree).
 
     ``cache_bytes`` sets a *global* engine-cache budget for the whole
     batch, and ``plan`` chooses how the :class:`BatchPlanner` spends it:
@@ -401,6 +426,7 @@ def run_batch(
         workers=workers,
         plan=plan,
         cache_bytes=cache_bytes,
+        backend=backend,
     )
     return planner.execute()
 
@@ -418,11 +444,18 @@ def _make_evaluator(
     cache: EngineCacheStore | None = None,
     cache_bytes: int | None = None,
     cache_policy: str = "lru",
+    chunk_rows: int | None = None,
 ) -> LatticeEvaluator:
     """Evaluator over the identifier-stripped table, with an optional store."""
     prepared = table.drop(*schema.identifying) if schema.identifying else table
     if cache is not None:
-        return LatticeEvaluator(prepared, schema.quasi_identifiers, hierarchies, cache=cache)
+        return LatticeEvaluator(
+            prepared,
+            schema.quasi_identifiers,
+            hierarchies,
+            cache=cache,
+            chunk_rows=chunk_rows,
+        )
     if cache_bytes is not None:
         # An explicit byte budget is the whole contract — no entry cap.
         return LatticeEvaluator(
@@ -432,9 +465,14 @@ def _make_evaluator(
             cache=EngineCacheStore(
                 cache_limit=None, cache_bytes=int(cache_bytes), policy=cache_policy
             ),
+            chunk_rows=chunk_rows,
         )
     return LatticeEvaluator(
-        prepared, schema.quasi_identifiers, hierarchies, cache_policy=cache_policy
+        prepared,
+        schema.quasi_identifiers,
+        hierarchies,
+        cache_policy=cache_policy,
+        chunk_rows=chunk_rows,
     )
 
 
@@ -453,6 +491,7 @@ class _EnvGroup:
     footprint: int = 0
     demand: int = 0
     budget: int = 0
+    chunk_rows: int | None = None
     evaluator: LatticeEvaluator | None = None
 
 
@@ -537,6 +576,7 @@ class BatchPlanner:
         plan: str = "auto",
         cache_bytes: int | None = None,
         shard: bool = False,
+        backend: str | None = None,
     ):
         if plan not in PLANS:
             raise ConfigError(
@@ -547,6 +587,10 @@ class BatchPlanner:
                 check_cache_bytes(cache_bytes)
             except ValueError as exc:
                 raise ConfigError(f"key 'cache_bytes' {exc}") from None
+        if backend is not None and backend not in BACKENDS:
+            raise ConfigError(
+                f"key 'backend' must be one of {', '.join(BACKENDS)}; got {backend!r}"
+            )
         self.configs = list(configs)
         self.table = table
         self.hierarchy_overrides = hierarchies
@@ -554,10 +598,41 @@ class BatchPlanner:
         self.requested_plan = plan
         self.cache_bytes = cache_bytes
         self.shard = bool(shard)
+        self.backend = self._resolve_backend(backend)
         self._plan: BatchPlan | None = None
         self._groups: list[_EnvGroup] = []
         self._wave_groups: list[list[_EnvGroup]] = []
         self._jobs: list[tuple[AnonymizationConfig, tuple[Schema, dict], _EnvGroup]] = []
+
+    def _resolve_backend(self, backend: str | None) -> str:
+        """One backend for the whole batch, argument over declarations.
+
+        Jobs may each declare ``AnonymizationConfig.backend``; a batch runs
+        on exactly one, so conflicting declarations are an error unless the
+        ``run_batch(backend=...)`` argument settles it. The process backend
+        only parallelizes lattice-engine work — config validation already
+        rejects ``backend="process"`` on engine-less jobs, and the same
+        guard here catches the argument-level override.
+        """
+        declared = {c.backend for c in self.configs if c.backend is not None}
+        if backend is not None:
+            resolved = backend
+        elif len(declared) > 1:
+            raise ConfigError(
+                f"jobs disagree on key 'backend' ({', '.join(sorted(declared))}); "
+                "pass run_batch(backend=...) to settle it"
+            )
+        else:
+            resolved = next(iter(declared)) if declared else "thread"
+        if resolved == "process":
+            for config in self.configs:
+                if not _uses_evaluator(config):
+                    raise ConfigError(
+                        f"key 'backend' = 'process' does not apply to algorithm "
+                        f"{config.algorithm['algorithm']!r} (no lattice engine); "
+                        "remove the key or pick a full-domain algorithm"
+                    )
+        return resolved
 
     # -- planning --------------------------------------------------------------
 
@@ -593,6 +668,7 @@ class BatchPlanner:
                 )
                 if config.cache_bytes is not None:
                     group.base_budget = config.cache_bytes
+                group.chunk_rows = config.chunk_rows  # part of the env key
                 groups[evaluator_key] = group
                 self._groups.append(group)
             group.job_indices.append(index)
@@ -691,29 +767,47 @@ class BatchPlanner:
 
     # -- execution -------------------------------------------------------------
 
+    def _ensure_evaluator(self, group: _EnvGroup) -> None:
+        """Build the group's canonical evaluator on its planned budget."""
+        if group.uses_evaluator and group.evaluator is None:
+            # Bytes are the planner's contract: no entry cap, so an
+            # ample byte budget can never thrash on a huge lattice.
+            store = EngineCacheStore(
+                cache_limit=None,
+                cache_bytes=max(group.budget, 1),
+                policy="stratum",
+            )
+            group.evaluator = _make_evaluator(
+                self.table,
+                group.schema,
+                group.hierarchies,
+                cache=store,
+                chunk_rows=group.chunk_rows,
+            )
+
     def execute(self) -> list[AnonymizationResult]:
         """Run the batch per the plan; results come back in input order."""
         plan = self.plan()
+        if self.backend == "process" and self.workers > 1 and len(self._groups) > 1:
+            return self._execute_process(plan)
+        # Process requests that cannot parallelize anything (one worker, or
+        # a single environment whose jobs must run in order anyway) take
+        # the in-parent path below — byte-identical by construction, minus
+        # a pool and a shared-memory block that would buy nothing.
         results: list[AnonymizationResult | None] = [None] * len(self.configs)
         last_wave = len(self._wave_groups) - 1
         for wave_index, wave in enumerate(self._wave_groups):
             for group in wave:
-                if group.uses_evaluator and group.evaluator is None:
-                    # Bytes are the planner's contract: no entry cap, so an
-                    # ample byte budget can never thrash on a huge lattice.
-                    store = EngineCacheStore(
-                        cache_limit=None,
-                        cache_bytes=max(group.budget, 1),
-                        policy="stratum",
-                    )
-                    group.evaluator = _make_evaluator(
-                        self.table, group.schema, group.hierarchies, cache=store
-                    )
+                self._ensure_evaluator(group)
             jobs = sorted(
                 (index for g in wave for index in g.job_indices)
             )
             assignments, shards = self._assign_evaluators(jobs, wave)
-            if self.workers <= 1 or len(jobs) <= 1:
+            # A process request that fell back to in-parent execution runs
+            # sequentially: the process tier's contract includes sequential
+            # per-environment cache profiles, which thread scheduling of a
+            # shared store would scramble.
+            if self.workers <= 1 or len(jobs) <= 1 or self.backend == "process":
                 for index in jobs:
                     config, environment, _ = self._jobs[index]
                     results[index] = run(
@@ -796,3 +890,166 @@ class BatchPlanner:
             for slot, index in enumerate(sorted(group.job_indices)):
                 assignments[index] = pool[slot % n_shards]
         return assignments, shards
+
+    # -- the process tier ------------------------------------------------------
+
+    def _execute_process(self, plan: BatchPlan) -> list[AnonymizationResult]:
+        """Dispatch environment groups across worker processes.
+
+        Determinism comes from the dispatch granularity: one worker runs a
+        whole environment group's jobs **sequentially in ascending job
+        order** — exactly the per-environment subsequence the in-parent
+        path executes — so each group's store sees the identical request
+        stream and its ``cache_info()`` profile (hits, misses, from_rows,
+        rollups, evictions, entries) matches sequential execution
+        byte-for-byte. Parallelism is across groups within a wave.
+
+        Data travels once: the table's code columns and every group's
+        hierarchy LUTs are published to shared memory before the pool
+        starts, and the ``try``/``finally`` guarantees the block is
+        unlinked on every exit — a worker crash surfaces as the future's
+        exception and still runs the ``finally``. Workers ship back
+        pickled results plus an :meth:`LatticeEvaluator.export_cache`
+        snapshot; the parent rebuilds each group's canonical evaluator,
+        adopts the snapshot (``merge_from`` semantics, counters folded),
+        and re-points ``result.engine`` so batch callers see the same
+        object graph as every other execution mode.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..core.shm import SharedDataset
+
+        results: list[AnonymizationResult | None] = [None] * len(self.configs)
+        group_ids = {id(group): i for i, group in enumerate(self._groups)}
+        dataset = SharedDataset(
+            self.table,
+            {i: group.hierarchies for i, group in enumerate(self._groups)},
+        )
+        last_wave = len(self._wave_groups) - 1
+        try:
+            max_workers = min(
+                self.workers, max(len(wave) for wave in self._wave_groups)
+            )
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_process_worker_init,
+                initargs=(dataset.descriptor(),),
+            ) as pool:
+                for wave_index, wave in enumerate(self._wave_groups):
+                    futures = []
+                    for group in wave:
+                        jobs = [
+                            (index, self.configs[index])
+                            for index in sorted(group.job_indices)
+                        ]
+                        futures.append(
+                            (
+                                group,
+                                pool.submit(
+                                    _process_worker_run,
+                                    group_ids[id(group)],
+                                    jobs,
+                                    max(group.budget, 1),
+                                    group.chunk_rows,
+                                ),
+                            )
+                        )
+                    for group, future in futures:
+                        payload = future.result()
+                        self._ensure_evaluator(group)
+                        if payload["snapshot"] is not None:
+                            assert group.evaluator is not None
+                            group.evaluator.import_cache(payload["snapshot"])
+                        for index, result, used_engine, order, shipped in payload[
+                            "results"
+                        ]:
+                            if used_engine:
+                                result.engine = group.evaluator
+                            # Reassemble the release around this process's
+                            # own arrays for passthrough columns (the
+                            # worker shipped only rewritten ones).
+                            have = {col.name: col for col in shipped}
+                            result.release.table = Table(
+                                [
+                                    self.table.column(name) if passthrough else have[name]
+                                    for name, passthrough in order
+                                ]
+                            )
+                            results[index] = result
+                    if plan.mode == "waves" and wave_index != last_wave:
+                        for group in wave:
+                            if group.evaluator is not None:
+                                group.evaluator.cache.clear()
+        finally:
+            dataset.unlink()
+        return results  # type: ignore[return-value]
+
+
+# -- process-tier worker half (module level: importable under any start method)
+
+_WORKER_DATASET = None
+
+
+def _process_worker_init(descriptor: Mapping[str, Any]) -> None:
+    """Pool initializer: attach this worker to the shared dataset once."""
+    global _WORKER_DATASET
+    from ..core.shm import attach_dataset
+
+    _WORKER_DATASET = attach_dataset(descriptor)
+
+
+def _process_worker_run(
+    env_id: int,
+    jobs: Sequence[tuple[int, AnonymizationConfig]],
+    cache_budget: int,
+    chunk_rows: int | None,
+) -> dict[str, Any]:
+    """Run one environment group's jobs sequentially against shared arrays.
+
+    Builds the group's evaluator over zero-copy views (same store shape as
+    the parent's canonical one: byte-bounded, stratum policy), executes the
+    jobs in ascending index order, and returns a picklable payload: the
+    results (engines stripped — the parent re-points them at the canonical
+    evaluator) plus the memo-store snapshot for the parent-side merge.
+    """
+    dataset = _WORKER_DATASET
+    assert dataset is not None, "worker pool initializer must run first"
+    table = dataset.table
+    hierarchies = dataset.hierarchies(env_id)
+    evaluator: LatticeEvaluator | None = None
+    out = []
+    for index, config in jobs:
+        schema = build_schema(config, table)
+        if evaluator is None and _uses_evaluator(config):
+            store = EngineCacheStore(
+                cache_limit=None, cache_bytes=cache_budget, policy="stratum"
+            )
+            evaluator = _make_evaluator(
+                table, schema, hierarchies, cache=store, chunk_rows=chunk_rows
+            )
+        result = run(
+            config,
+            table,
+            evaluator=evaluator,
+            environment=(schema, hierarchies),
+        )
+        used_engine = result.engine is not None
+        result.engine = None  # engines don't pickle; the parent re-points
+        # Ship only the columns this job actually rewrote. Columns that
+        # pass through an algorithm untouched are the *same objects* as the
+        # shared table's (generalization replaces columns, suppression
+        # masks into fresh ones), so pickling them would push the arena's
+        # arrays back through the result pipe — per job. The parent holds
+        # identical arrays and splices them back in by name.
+        order = []
+        shipped = []
+        for col in result.release.table:
+            passthrough = col.name in table and col is table.column(col.name)
+            order.append((col.name, passthrough))
+            if not passthrough:
+                shipped.append(col)
+        result.release.table = None  # type: ignore[assignment] # rebuilt by parent
+        result.release._partition = None  # lazily recomputable; don't pickle
+        out.append((index, result, used_engine, order, shipped))
+    snapshot = evaluator.export_cache() if evaluator is not None else None
+    return {"results": out, "snapshot": snapshot}

@@ -21,9 +21,11 @@ output path (``output.1.csv``, ``output.2.csv``, ... in job order), shares
 lattice evaluation across jobs exactly like the library API, and with
 ``--report`` prints a JSON array of per-job reports to stderr.
 ``--cache-bytes`` budgets the engine cache (per-job for a single job,
-globally via the batch planner in batch mode) and ``--plan
-auto|waves|shared`` picks the batch cache plan — outputs are identical at
-any budget, plan, or worker count.
+globally via the batch planner in batch mode), ``--plan
+auto|waves|shared`` picks the batch cache plan, and ``--backend
+thread|process`` picks the batch execution tier — outputs are identical at
+any budget, plan, backend, or worker count. ``--chunk-rows`` streams
+lattice group packing through fixed-size row chunks in either mode.
 
 Flags are parsed into the same :class:`repro.api.AnonymizationConfig` a
 ``--config`` file deserializes to, and both run through
@@ -40,7 +42,7 @@ import json
 import sys
 from pathlib import Path
 
-from .api import PLANS, AnonymizationConfig, algorithm_registry, run, run_batch
+from .api import BACKENDS, PLANS, AnonymizationConfig, algorithm_registry, run, run_batch
 from .core.io import read_csv, write_csv
 from .errors import ConfigError, ReproError
 
@@ -88,6 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "keeps every engine alive at once, 'auto' picks "
                              "waves when the estimated footprint overflows "
                              "--cache-bytes (batch mode only)")
+    parser.add_argument("--backend", choices=list(BACKENDS), default=None,
+                        help="batch execution tier: 'thread' (default) runs "
+                             "workers in-process, 'process' runs each "
+                             "environment group in a worker process against "
+                             "shared-memory column arrays; outputs are "
+                             "identical either way (batch mode only)")
+    parser.add_argument("--chunk-rows", type=int, default=None, metavar="ROWS",
+                        help="stream lattice group packing through chunks of "
+                             "this many rows instead of materializing "
+                             "full-size intermediate label arrays (full-"
+                             "domain algorithms; outputs are identical at "
+                             "any chunk size)")
     parser.add_argument("--qi", action="append", default=[],
                         help="categorical quasi-identifier column (repeatable)")
     parser.add_argument("--numeric-qi", action="append", default=[],
@@ -145,6 +159,7 @@ def config_from_args(args: argparse.Namespace) -> AnonymizationConfig:
         metrics=metrics,
         bins=args.bins,
         cache_bytes=args.cache_bytes,
+        chunk_rows=args.chunk_rows,
     )
 
 
@@ -158,6 +173,10 @@ def _apply_cli_overrides(
         # In batch mode --cache-bytes is the planner's *global* budget
         # (passed to run_batch), not a per-job engine override.
         overrides["cache_bytes"] = args.cache_bytes
+    if args.chunk_rows is not None:
+        # Chunking is a per-environment execution knob, so unlike
+        # --cache-bytes it applies per job in batch mode too.
+        overrides["chunk_rows"] = args.chunk_rows
     if args.report and not config.metrics:
         overrides["metrics"] = _REPORT_METRICS + (
             ("homogeneity",) if config.sensitive else ()
@@ -236,7 +255,8 @@ def _reject_job_flags_with_config(parser: argparse.ArgumentParser,
         parser.error(
             f"{', '.join(conflicting)} cannot be combined with --config "
             "(the job file describes the whole job; only --max-suppression, "
-            "--cache-bytes, --plan, --workers and --report apply on top)"
+            "--cache-bytes, --chunk-rows, --plan, --backend, --workers and "
+            "--report apply on top)"
         )
 
 
@@ -258,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--workers requires --config with a JSON list of jobs")
         if args.plan != parser.get_default("plan"):
             parser.error("--plan requires --config with a JSON list of jobs")
+        if args.backend is not None:
+            parser.error("--backend requires --config with a JSON list of jobs")
         if not args.qi and not args.numeric_qi:
             parser.error("declare at least one --qi or --numeric-qi (or use --config)")
         if (args.l or args.t) and not args.sensitive:
@@ -280,6 +302,11 @@ def main(argv: list[str] | None = None) -> int:
                     "--plan applies to batch mode: --config must hold a "
                     "JSON list of jobs, got a single job object"
                 )
+            if not is_batch and args.backend is not None:
+                raise ConfigError(
+                    "--backend applies to batch mode: --config must hold a "
+                    "JSON list of jobs, got a single job object"
+                )
         else:
             configs, is_batch = [config_from_args(args)], False
         categorical, numeric = _column_roles(configs)
@@ -292,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 plan=args.plan,
                 cache_bytes=args.cache_bytes,
+                backend=args.backend,
             )
             output = Path(args.output)
             for index, result in enumerate(results, start=1):

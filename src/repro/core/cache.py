@@ -61,7 +61,12 @@ import threading
 from itertools import product
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
-__all__ = ["EngineCacheStore", "check_cache_bytes", "estimate_cache_footprint"]
+__all__ = [
+    "EngineCacheStore",
+    "FOOTPRINT_CALIBRATION",
+    "check_cache_bytes",
+    "estimate_cache_footprint",
+]
 
 Node = tuple[int, ...]
 Key = tuple[tuple[str, ...], Node]
@@ -455,6 +460,37 @@ class EngineCacheStore:
         )
 
 
+#: Safety multiplier applied to the modeled bytes of
+#: :func:`estimate_cache_footprint`. The group-count model is an *expected
+#: uniform occupancy*; real datasets are skewed and correlated, which only
+#: lowers distinct-group counts, so a modest margin suffices where the old
+#: ``min(domain, n_rows)`` cap needed ~15x of slack. Calibrated against
+#: measured ``EngineCacheStore`` bytes on the Adult schema — the regression
+#: test ``test_footprint_estimate_calibrated_on_adult`` pins the estimate
+#: within a small factor of measured usage in both directions.
+FOOTPRINT_CALIBRATION = 1.3
+
+#: Full-length label arrays priced beyond each names-space bottom: labels
+#: lazily resolved for winner / suppression nodes.
+_LABEL_SLACK = 2
+
+
+def _expected_groups(domain: float, n_rows: int) -> float:
+    """Expected distinct groups when ``n_rows`` rows land in ``domain`` cells.
+
+    The uniform-occupancy expectation ``D * (1 - (1 - 1/D)**n)``: a smooth
+    bound that approaches ``min(D, n)`` at both extremes but tightens it
+    most exactly where the old hard cap overshot worst — domains within a
+    few orders of magnitude of the row count. Skew and correlation in real
+    data only push the realized count further below it.
+    """
+    if domain <= 1.0:
+        return min(max(domain, 0.0), float(n_rows))
+    if domain > 2**53:  # 1 - 1/D rounds to 1.0; the expectation is ~n anyway
+        return float(n_rows)
+    return domain * (1.0 - (1.0 - 1.0 / domain) ** n_rows)
+
+
 def estimate_cache_footprint(
     hierarchies: Mapping[str, Any],
     qi_names: Sequence[str],
@@ -469,8 +505,9 @@ def estimate_cache_footprint(
     no evaluator (and no O(n_rows) encoding pass) is needed, which is what
     lets the batch planner size waves before building anything. Terms:
 
-    * every lattice node's group payload: ``min(n_rows, prod(labels))``
-      groups, each costing sizes + representative codes + one histogram row
+    * every lattice node's group payload: the expected-occupancy group
+      count (see :func:`_expected_groups`) of its label-domain product,
+      each group costing sizes + representative codes + one histogram row
       per sensitive category requested;
     * row labels: the bottom node of every names-space is computed from rows
       and pins an ``n_rows``-long label array (searches pre-seed the bottom,
@@ -478,6 +515,11 @@ def estimate_cache_footprint(
       resolved for winner/suppression nodes;
     * ``include_subsets`` adds Incognito's projected sub-lattices (one per
       non-empty QI subset) to both terms.
+
+    The modeled bytes are scaled by :data:`FOOTPRINT_CALIBRATION` — the
+    exposed calibration constant that keeps the estimate a true upper bound
+    while letting ``plan="auto"`` pack waves far tighter than the old
+    ``min(domain, n_rows)`` cap allowed.
 
     Lattices larger than ``node_limit`` nodes are priced as if every node
     held ``n_rows`` groups — a deliberate overestimate; the planner then
@@ -506,16 +548,13 @@ def estimate_cache_footprint(
             size *= len(levels)
         if size > node_limit:
             return size * int(n_rows)
-        total = 0
+        total = 0.0
         for combo in product(*counts):
-            groups = 1
+            domain = 1.0
             for c in combo:
-                groups *= c
-                if groups >= n_rows:
-                    groups = n_rows
-                    break
-            total += min(groups, n_rows)
-        return total
+                domain *= max(c, 1)
+            total += _expected_groups(domain, n_rows)
+        return int(total)
 
     groups_total = lattice_groups(level_counts)
     label_arrays = 1
@@ -528,5 +567,5 @@ def estimate_cache_footprint(
         for size in range(1, len(names)):
             for subset in combinations(range(len(names)), size):
                 groups_total += lattice_groups([level_counts[i] for i in subset])
-    labels_bytes = int(n_rows) * 8 * (label_arrays + 4)
-    return int(1.5 * (groups_total * per_group + labels_bytes))
+    labels_bytes = int(n_rows) * 8 * (label_arrays + _LABEL_SLACK)
+    return int(FOOTPRINT_CALIBRATION * (groups_total * per_group + labels_bytes))

@@ -77,7 +77,7 @@ from .cache import EngineCacheStore
 from .generalize import HierarchyLike, apply_node
 from .hierarchy import Hierarchy
 from .partition import EquivalenceClasses, classes_from_labels
-from .table import Table, pack_code_columns
+from .table import Table, check_chunk_rows, mixed_radix_fits, pack_code_columns
 
 __all__ = ["GroupStats", "LatticeEvaluator", "supports_stats"]
 
@@ -292,10 +292,20 @@ class LatticeEvaluator:
         cache_bytes: int = 256 * 2**20,
         cache: EngineCacheStore | None = None,
         cache_policy: str = "lru",
+        chunk_rows: int | None = None,
     ):
+        if chunk_rows is not None:
+            try:
+                check_chunk_rows(chunk_rows)
+            except ValueError as exc:
+                raise ValueError(f"chunk_rows {exc}") from None
         self.table = table
         self.qi_names = tuple(qi_names)
         self.hierarchies = hierarchies
+        # Row-slice size for streaming node evaluation (None = one-shot):
+        # bounds the per-QI int64 intermediates of _stats_from_rows to
+        # chunk_rows elements each instead of n_rows.
+        self.chunk_rows = chunk_rows
         # The store carries the memo table, budget accounting, stratum
         # index, single-flight table, and counters; a pre-built store may
         # be handed in (the batch planner sizes budgets per environment).
@@ -456,6 +466,7 @@ class LatticeEvaluator:
             cache_bytes=self.cache.cache_bytes,
             policy=self.cache.policy,
         )
+        shard.chunk_rows = self.chunk_rows
         shard._encodings = self._encodings
         shard._level_maps = self._level_maps
         shard._columns = self._columns
@@ -473,6 +484,87 @@ class LatticeEvaluator:
         afterwards. Returns the number of entries adopted.
         """
         return self.cache.merge_from(shard.cache, engine=self)
+
+    def export_cache(self) -> dict:
+        """Picklable snapshot of the memo store — the process tier's merge seam.
+
+        Each cached :class:`GroupStats` becomes a flat record of its arrays
+        plus, when the roll-up parent is itself still cached, a parent link
+        by cache key (the group map rides along, the per-row labels do
+        not). Entries whose parent was evicted have their row labels
+        materialized first, so no record ever references stats outside the
+        snapshot. Locks, engine references, partitions and external-table
+        memos are dropped: partitions rebuild on demand from row labels and
+        the rest re-derives. Entries keep store (recency) order; the
+        store's counters come along so :meth:`import_cache` can fold them
+        exactly like a live :meth:`adopt`.
+        """
+        with self.cache._mutex:
+            items = list(self.cache._entries.items())
+            counters = dict(self.cache.counters)
+        live = dict(items)
+        records = []
+        for key, stats in items:
+            parent_key = None
+            group_map = None
+            if stats._parent is not None:
+                parent, candidate_map = stats._parent
+                if live.get(parent._cache_key) is parent:
+                    parent_key, group_map = parent._cache_key, candidate_map
+                else:
+                    stats.row_labels  # resolve through the chain before the link drops
+            records.append(
+                {
+                    "key": key,
+                    "sizes": stats.sizes,
+                    "group_codes": stats.group_codes,
+                    "n_rows": stats.n_rows,
+                    "row_labels": stats._row_labels,
+                    "hists": dict(stats._hists),
+                    "parent_key": parent_key,
+                    "group_map": group_map,
+                }
+            )
+        return {"entries": records, "counters": counters}
+
+    def import_cache(self, snapshot: dict) -> int:
+        """Adopt an :meth:`export_cache` snapshot into this evaluator's store.
+
+        Rebuilds the records into :class:`GroupStats` homed on this
+        evaluator (parent links rewired by key), stages them in a shard
+        store preserving the source's insertion order and counters, and
+        merges via :meth:`EngineCacheStore.merge_from` — so budgets,
+        counter folding, and the ``merged`` tally behave exactly like a
+        live thread-shard :meth:`adopt`. Returns the entries adopted.
+        """
+        shard_store = EngineCacheStore(
+            cache_limit=None, cache_bytes=2**62, policy=self.cache.policy
+        )
+        rebuilt: dict[tuple, tuple[GroupStats, dict]] = {}
+        for record in snapshot["entries"]:
+            key = record["key"]
+            rebuilt[key] = (
+                GroupStats(
+                    names=key[0],
+                    node=key[1],
+                    sizes=record["sizes"],
+                    group_codes=record["group_codes"],
+                    n_rows=int(record["n_rows"]),
+                    _engine=self,
+                    _row_labels=record["row_labels"],
+                    _hists=dict(record["hists"]),
+                ),
+                record,
+            )
+        for key, (stats, record) in rebuilt.items():
+            if record["parent_key"] is not None:
+                parent = rebuilt.get(record["parent_key"])
+                assert parent is not None, "exported parent links stay inside the snapshot"
+                stats._parent = (parent[0], record["group_map"])
+            with shard_store._mutex:
+                shard_store._insert(key, stats, shard_store.footprint(stats))
+        shard_store.counters.update(snapshot["counters"])
+        return self.cache.merge_from(shard_store, engine=self)
 
     # -- backwards-compatible views into the cache store ----------------------
 
@@ -523,20 +615,48 @@ class LatticeEvaluator:
         return labels, first, group_codes
 
     def _stats_from_rows(self, names: tuple[str, ...], node: Node) -> GroupStats:
-        code_columns = []
-        radices = []
-        for name, level in zip(names, node):
-            enc = self._encodings[name]
-            code_columns.append(enc.luts[level][enc.base_codes].astype(np.int64))
-            radices.append(enc.n_labels[level])
-        labels, _, group_codes = self._group(code_columns, radices)
+        encodings = [self._encodings[name] for name in names]
+        radices = [enc.n_labels[level] for enc, level in zip(encodings, node)]
+        n_rows = self.table.n_rows
+        chunk = self.chunk_rows
+        if chunk is not None and chunk < n_rows and mixed_radix_fits(radices):
+            # Streaming variant of _group: per-QI gathers are bounded to
+            # chunk_rows elements and packed straight into slices of one
+            # preallocated signature array — mixed-radix packing is
+            # chunk-independent, so labels/first/group_codes come out
+            # byte-identical to the one-shot path below. The overflow
+            # fallback needs all rows at once and keeps the one-shot path.
+            signature = np.empty(n_rows, dtype=np.int64)
+            for start in range(0, n_rows, chunk):
+                stop = min(start + chunk, n_rows)
+                chunk_codes = [
+                    enc.luts[level][enc.base_codes[start:stop]]
+                    for enc, level in zip(encodings, node)
+                ]
+                pack_code_columns(chunk_codes, radices, out=signature[start:stop])
+            _, first, labels = np.unique(
+                signature, return_index=True, return_inverse=True
+            )
+            group_codes = np.stack(
+                [
+                    enc.luts[level][enc.base_codes[first]]
+                    for enc, level in zip(encodings, node)
+                ],
+                axis=1,
+            ).astype(np.int64)
+        else:
+            code_columns = [
+                enc.luts[level][enc.base_codes].astype(np.int64)
+                for enc, level in zip(encodings, node)
+            ]
+            labels, _, group_codes = self._group(code_columns, radices)
         sizes = np.bincount(labels, minlength=group_codes.shape[0]).astype(np.int64)
         return GroupStats(
             names=names,
             node=node,
             sizes=sizes,
             group_codes=group_codes,
-            n_rows=self.table.n_rows,
+            n_rows=n_rows,
             _engine=self,
             _row_labels=labels,
         )

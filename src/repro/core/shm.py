@@ -1,0 +1,314 @@
+"""Shared-memory publication of table columns and hierarchy LUTs.
+
+The process execution tier's data plane. A batch parent publishes the
+(dictionary-encoded) column arrays of one :class:`~repro.core.table.Table`
+plus the hierarchy lookup tables of every planned environment **once** into
+a single ``multiprocessing.shared_memory`` block; worker processes attach
+zero-copy ``np.ndarray`` views and rebuild live ``Table`` / ``Hierarchy``
+objects around them — no per-worker pickling of million-row arrays, no
+fork-dependent copy-on-write assumptions (the layout works under ``spawn``
+too).
+
+Ownership & unlink rules
+------------------------
+* The **creating** process owns the block. :class:`ShmArena` (and the
+  higher-level :class:`SharedDataset`) must be unlinked by its creator —
+  the batch executor does so in a ``try``/``finally`` around the worker
+  pool, which also covers worker crashes: a broken pool raises in the
+  parent and the ``finally`` still unlinks. A ``weakref.finalize``
+  backstop unlinks at garbage collection / interpreter exit if the
+  explicit path was somehow skipped, so an abandoned arena never outlives
+  the parent.
+* **Attaching** processes never unlink. :func:`ShmArena.attach` opts out
+  of ``resource_tracker`` tracking where the interpreter allows
+  (``track=False``, Python >= 3.13); on older interpreters the attached
+  registration lands in the tracker the workers share with the owner,
+  where it is idempotent — only the owner's lifetime governs either way.
+* Views are published read-only (``writeable=False``): workers treat the
+  arena as immutable input, matching the library's tables-are-immutable
+  convention, and a stray in-place op fails loudly instead of racing.
+
+Layout
+------
+One block, many named arrays: each array is copied in at a 64-byte aligned
+offset and described by ``(dtype, shape, offset)`` in the arena's
+*descriptor* — a small picklable dict that travels to workers through the
+pool initializer. :class:`SharedDataset` layers the domain schema on top:
+``col:<name>`` entries for table columns (codes for categorical, values
+for numeric; category lists ride in the descriptor) and
+``hier:<env>:<qi>:<level>`` entries for each environment's
+:class:`~repro.core.hierarchy.Hierarchy` level maps. Non-LUT hierarchies
+(``IntervalHierarchy`` — a handful of cut points) are carried by value in
+the descriptor instead.
+"""
+
+from __future__ import annotations
+
+import weakref
+from multiprocessing import shared_memory
+from typing import Any, Mapping
+
+import numpy as np
+
+from .hierarchy import Hierarchy
+from .table import Column, Table
+
+__all__ = ["ShmArena", "SharedDataset", "attach_dataset"]
+
+#: Per-array alignment inside the block (cache-line sized).
+_ALIGN = 64
+
+
+def _unlink_quietly(block: shared_memory.SharedMemory) -> None:
+    """Close + unlink, tolerating an already-unlinked block (idempotent)."""
+    try:
+        block.close()
+    except BufferError:  # pragma: no cover - exported views still alive
+        pass
+    try:
+        block.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class ShmArena:
+    """Many named numpy arrays packed into one shared-memory block.
+
+    Create with :meth:`publish` in the owning process, ship
+    :meth:`descriptor` to workers, attach with :meth:`attach`. The arena
+    is also a context manager that unlinks on exit::
+
+        with ShmArena.publish({"codes": np.arange(4)}) as arena:
+            reader = ShmArena.attach(arena.descriptor())
+            view = reader.get("codes")            # zero-copy, read-only
+    """
+
+    def __init__(
+        self,
+        block: shared_memory.SharedMemory,
+        layout: dict[str, tuple[str, tuple[int, ...], int]],
+        owner: bool,
+    ):
+        self._block = block
+        self._layout = layout
+        self._owner = owner
+        self._views: dict[str, np.ndarray] = {}
+        if owner:
+            # Backstop only: the executor unlinks explicitly in a finally.
+            self._finalizer = weakref.finalize(self, _unlink_quietly, block)
+        else:
+            self._finalizer = None
+
+    # -- owner side ----------------------------------------------------------
+
+    @staticmethod
+    def publish(arrays: Mapping[str, np.ndarray]) -> "ShmArena":
+        """Copy every array into a fresh shared block (owned by this process)."""
+        layout: dict[str, tuple[str, tuple[int, ...], int]] = {}
+        offset = 0
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up to alignment
+            layout[key] = (array.dtype.str, array.shape, offset)
+            offset += array.nbytes
+        block = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            dtype, shape, off = layout[key]
+            dst = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf, offset=off)
+            np.copyto(dst, array)
+            del dst  # views must not outlive the copy: close() would refuse
+        return ShmArena(block, layout, owner=True)
+
+    def descriptor(self) -> dict[str, Any]:
+        """Picklable attachment recipe: block name + per-array layout."""
+        return {"name": self._block.name, "layout": dict(self._layout)}
+
+    def unlink(self) -> None:
+        """Release the block (owner only; attach fails afterwards)."""
+        self._views.clear()
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        _unlink_quietly(self._block)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink() if self._owner else self.close()
+
+    # -- worker side ---------------------------------------------------------
+
+    @staticmethod
+    def attach(descriptor: Mapping[str, Any]) -> "ShmArena":
+        """Attach to a published arena without taking ownership of it.
+
+        An attached arena never unlinks the block. ``track=False`` (Python
+        >= 3.13) keeps the attach out of the ``resource_tracker`` entirely.
+        On older interpreters the constructor registers attached segments
+        too, but pool workers share the owner's tracker process (its fd is
+        passed down under both fork and spawn), so the extra registration
+        is an idempotent set-add there and the owner's single ``unlink``
+        still retires it exactly once. Explicitly ``unregister``-ing here
+        would instead *cancel* the owner's registration and break the
+        crash-cleanup backstop.
+        """
+        name = descriptor["name"]
+        try:
+            block = shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+        except TypeError:  # Python < 3.13: no track flag; see docstring
+            block = shared_memory.SharedMemory(name=name)
+        return ShmArena(block, dict(descriptor["layout"]), owner=False)
+
+    def get(self, key: str) -> np.ndarray:
+        """Zero-copy read-only view of one published array."""
+        view = self._views.get(key)
+        if view is None:
+            dtype, shape, offset = self._layout[key]
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self._block.buf, offset=offset
+            )
+            view.flags.writeable = False
+            self._views[key] = view
+        return view
+
+    def keys(self):
+        return self._layout.keys()
+
+    def close(self) -> None:
+        """Drop this process's mapping (the block itself survives)."""
+        self._views.clear()
+        try:
+            self._block.close()
+        except BufferError:  # pragma: no cover - caller still holds views
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmArena({self._block.name!r}, {len(self._layout)} arrays, "
+            f"{'owner' if self._owner else 'attached'})"
+        )
+
+
+class SharedDataset:
+    """One publication of a table + per-environment hierarchies.
+
+    The batch executor's unit of sharing: every column of the input table
+    (codes / values) and every planned environment's ``Hierarchy`` level
+    maps go into one :class:`ShmArena`; categories, interval hierarchies,
+    and level labels — small metadata — ride in the descriptor. Workers
+    call :func:`attach_dataset` and get back a live :class:`Table` whose
+    arrays are views into the arena, plus per-environment hierarchy dicts.
+    """
+
+    def __init__(
+        self, table: Table, env_hierarchies: Mapping[Any, Mapping[str, Any]] | None = None
+    ):
+        arrays: dict[str, np.ndarray] = {}
+        columns: list[tuple[str, str, tuple | None]] = []
+        for column in table:
+            key = f"col:{column.name}"
+            if column.is_categorical:
+                assert column.codes is not None
+                arrays[key] = column.codes
+                columns.append((column.name, "categorical", column.categories))
+            else:
+                assert column.values is not None
+                arrays[key] = column.values
+                columns.append((column.name, "numeric", None))
+        envs: dict[Any, dict[str, tuple]] = {}
+        for env_id, hierarchies in (env_hierarchies or {}).items():
+            per_env: dict[str, tuple] = {}
+            for qi, hierarchy in hierarchies.items():
+                if isinstance(hierarchy, Hierarchy):
+                    keys = []
+                    labels = []
+                    for level in range(hierarchy.height + 1):
+                        key = f"hier:{env_id}:{qi}:{level}"
+                        arrays[key] = hierarchy.level_map(level)
+                        keys.append(key)
+                        labels.append(hierarchy.labels(level))
+                    per_env[qi] = ("hierarchy", hierarchy.ground, labels, keys)
+                else:
+                    # IntervalHierarchy and friends: a few cut points, no
+                    # O(domain) LUTs — carried by value, not by reference.
+                    per_env[qi] = ("object", hierarchy)
+            envs[env_id] = per_env
+        self._arena = ShmArena.publish(arrays)
+        self._columns = columns
+        self._envs = envs
+
+    def descriptor(self) -> dict[str, Any]:
+        """Picklable recipe for :func:`attach_dataset` in a worker."""
+        return {
+            "arena": self._arena.descriptor(),
+            "columns": self._columns,
+            "envs": self._envs,
+        }
+
+    def unlink(self) -> None:
+        """Release the shared block. Owner-side; idempotent."""
+        self._arena.unlink()
+
+    def __enter__(self) -> "SharedDataset":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+class AttachedDataset:
+    """Worker-side view of a :class:`SharedDataset` (see :func:`attach_dataset`)."""
+
+    def __init__(self, descriptor: Mapping[str, Any]):
+        self._arena = ShmArena.attach(descriptor["arena"])
+        columns = []
+        for name, kind, categories in descriptor["columns"]:
+            view = self._arena.get(f"col:{name}")
+            if kind == "categorical":
+                columns.append(Column(name=name, codes=view, categories=tuple(categories)))
+            else:
+                columns.append(Column(name=name, values=view))
+        self.table = Table(columns)
+        self._envs = descriptor["envs"]
+        self._hierarchies: dict[Any, dict[str, Any]] = {}
+
+    def hierarchies(self, env_id: Any) -> dict[str, Any]:
+        """The environment's hierarchy dict, LUT arrays viewing the arena."""
+        cached = self._hierarchies.get(env_id)
+        if cached is None:
+            cached = {}
+            for qi, meta in self._envs[env_id].items():
+                if meta[0] == "hierarchy":
+                    _, ground, labels, keys = meta
+                    cached[qi] = _rebuild_hierarchy(
+                        ground, labels, [self._arena.get(key) for key in keys]
+                    )
+                else:
+                    cached[qi] = meta[1]
+            self._hierarchies[env_id] = cached
+        return cached
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self._hierarchies.clear()
+        self._arena.close()
+
+
+def attach_dataset(descriptor: Mapping[str, Any]) -> AttachedDataset:
+    """Attach to a :class:`SharedDataset` published by the parent process."""
+    return AttachedDataset(descriptor)
+
+
+def _rebuild_hierarchy(ground, level_labels, level_maps) -> Hierarchy:
+    """Hierarchy over shared LUT views, skipping construction validation.
+
+    The arrays are byte-identical to the ones the owner validated at build
+    time, so re-running the O(|ground| x height) refinement check in every
+    worker would be pure startup cost.
+    """
+    hierarchy = Hierarchy.__new__(Hierarchy)
+    hierarchy.ground = tuple(ground)
+    hierarchy._level_maps = list(level_maps)
+    hierarchy._level_labels = [tuple(labels) for labels in level_labels]
+    return hierarchy

@@ -25,7 +25,11 @@ import pytest
 
 from repro.api import AnonymizationConfig, BatchPlanner, run, run_batch
 from repro.cli import main as cli_main
-from repro.core.cache import EngineCacheStore, estimate_cache_footprint
+from repro.core.cache import (
+    FOOTPRINT_CALIBRATION,
+    EngineCacheStore,
+    estimate_cache_footprint,
+)
 from repro.core.engine import LatticeEvaluator
 from repro.core.io import read_csv
 from repro.core.lattice import GeneralizationLattice
@@ -212,6 +216,36 @@ class TestEngineCacheStore:
         )
         assert estimate >= evaluator.cache_info()["bytes"]
 
+    def test_footprint_estimate_calibrated_on_adult(self):
+        """The estimate must stay a *tight* upper bound, not just an upper
+        bound — the planner sizes waves from it, so a wildly conservative
+        estimate (the pre-calibration model was ~15x) forces needless
+        serialization. Calibrated against measured bytes on the Adult
+        schema: within a small constant factor."""
+        table = load_adult(n_rows=2000, seed=42)
+        qi = ["workclass", "education", "marital_status"]
+        hierarchies = {
+            name: hierarchy
+            for name, hierarchy in adult_hierarchies().items()
+            if name in qi
+        }
+        evaluator = LatticeEvaluator(table, qi, hierarchies)
+        lattice = GeneralizationLattice.from_hierarchies(hierarchies, qi)
+        for node in lattice.nodes():
+            evaluator.stats(node).histogram("occupation")
+        measured = evaluator.cache_info()["bytes"]
+        estimate = estimate_cache_footprint(
+            hierarchies,
+            qi,
+            table.n_rows,
+            sensitive_categories=(
+                len(table.column("occupation").categories),
+            ),
+        )
+        assert measured <= estimate <= 6 * measured
+        # The tightness knob is public: doubling it scales the estimate.
+        assert FOOTPRINT_CALIBRATION > 0
+
 
 class TestConfigCacheBytes:
     @pytest.mark.parametrize("bad", [0, -1, 2.5, True, "256M"])
@@ -393,7 +427,9 @@ class TestBatchPlanner:
     def test_auto_resolves_waves_only_when_over_budget(self, table):
         roomy = BatchPlanner(self._two_env_configs(), table, cache_bytes=1 << 30)
         assert roomy.plan().mode == "shared"
-        tight = BatchPlanner(self._two_env_configs(), table, cache_bytes=50_000)
+        # 20 000 bytes is below the two environments' combined *calibrated*
+        # footprint estimate (the pre-calibration model tripped at 50 000).
+        tight = BatchPlanner(self._two_env_configs(), table, cache_bytes=20_000)
         plan = tight.plan()
         assert plan.mode == "waves"
         assert len(plan.waves) == 2
@@ -431,11 +467,11 @@ class TestBatchPlanner:
             assert result.engine.cache_info()["recomputed_after_evict"] == 0
 
     def test_wave_budgets_cover_each_environment(self, table):
-        planner = BatchPlanner(self._two_env_configs(), table, cache_bytes=50_000)
+        planner = BatchPlanner(self._two_env_configs(), table, cache_bytes=20_000)
         plan = planner.plan()
         assert plan.mode == "waves"
         for key, budget in plan.budgets.items():
-            assert 0 < budget <= 50_000
+            assert 0 < budget <= 20_000
         planner.execute()  # runs through the wave path without error
 
     def test_sharded_execution_matches_and_merges(self, table):
