@@ -1,0 +1,306 @@
+"""E39 — Chaos gate: a worker killed mid-batch must not cost a single job.
+
+The robustness counterpart to E38's scale gates. A multi-environment sweep
+runs on the process backend while the deterministic fault-injection
+subsystem (:mod:`repro.core.faults`) hard-kills one worker process
+(``os._exit`` at the ``worker-kill`` point, latched through ``once_file``
+so exactly one process dies). The supervisor must detect the crash, requeue
+the group's unfinished jobs down the degradation ladder (fresh process pool
+→ thread tier → in-parent sequential), and finish the batch as if nothing
+happened.
+
+Gates (exit code — what CI enforces):
+
+1. every job of the chaos run gets a result, all with ``status == "ok"``
+   — the killed worker's jobs are transparently re-executed;
+2. every release of the chaos run is byte-identical to the fault-free
+   sequential baseline (sha256 of raw column codes);
+3. no shared-memory segment leaks: the set of ``/dev/shm/psm_*`` entries
+   after the chaos run equals the set before it, abnormal worker exit and
+   all;
+4. injected *job* faults (seeded ``evaluate-node`` errors with
+   ``on_error="collect"``) surface as structured ``JobFailure`` records —
+   taxonomy label, per-attempt timings — with the same failure sequence on
+   every run of the same seed, and jobs that stayed healthy remain
+   byte-identical to the baseline;
+5. recovery overhead is bounded: the chaos run's wall clock stays under
+   ``OVERHEAD_FACTOR`` x the fault-free process run plus
+   ``OVERHEAD_CONSTANT`` seconds (pool teardown + ladder re-execution are
+   allowed, runaway retry storms are not).
+
+Results are recorded to ``BENCH_E39.json`` via the shared writer. Runnable
+standalone (``python benchmarks/bench_e39_chaos.py [--rows N]``, non-zero
+exit on failure) or via pytest (a small instance; every gate is
+size-independent).
+"""
+
+import argparse
+import glob
+import hashlib
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import cpu_count, print_series, write_results
+
+from repro.api import AnonymizationConfig, JobFailure, run_batch
+from repro.core import faults
+from repro.core.table import Column, Table
+from repro.data.synthetic import _binary_tree_hierarchy
+
+#: Four QI environments — four process-tier groups, so killing the worker
+#: that holds the first group leaves genuinely unfinished work to requeue.
+ENVIRONMENTS = (
+    ["zip", "job"],
+    ["zip", "edu"],
+    ["job", "edu"],
+    ["zip", "city"],
+)
+K_SWEEP = (5, 25)
+
+#: Chaos wall clock <= OVERHEAD_FACTOR * fault-free process run + constant.
+#: Generous on purpose: the gate catches retry storms and ladder loops, not
+#: scheduler jitter on small CI hosts.
+OVERHEAD_FACTOR = 5.0
+OVERHEAD_CONSTANT = 10.0  # seconds: pool teardown + respawn amortization
+
+#: Seed for the injected-failure gate: deterministic evaluate-node faults.
+FAULT_SEED = 1011
+FAULT_RATE = 0.05
+
+DOMAINS = {"zip": 64, "job": 32, "edu": 16, "city": 32}
+SENSITIVE_VALUES = [f"d{i}" for i in range(8)]
+
+
+def _make_table(n_rows, seed):
+    rng = np.random.default_rng(seed)
+    columns = []
+    for name, domain in DOMAINS.items():
+        codes = rng.integers(0, domain, size=n_rows)
+        columns.append(
+            Column.from_codes(name, codes, [f"{name}_{i}" for i in range(domain)])
+        )
+    columns.append(
+        Column.from_codes(
+            "disease", rng.integers(0, len(SENSITIVE_VALUES), size=n_rows), SENSITIVE_VALUES
+        )
+    )
+    return Table(columns)
+
+
+def _hierarchies():
+    return {
+        name: _binary_tree_hierarchy([f"{name}_{i}" for i in range(domain)])
+        for name, domain in DOMAINS.items()
+    }
+
+
+def _sweep():
+    return [
+        AnonymizationConfig.from_dict(
+            {
+                "quasi_identifiers": qis,
+                "sensitive": ["disease"],
+                "models": [{"model": "k-anonymity", "k": k}],
+                "algorithm": {"algorithm": "flash", "max_suppression": 0.05},
+            }
+        )
+        for qis in ENVIRONMENTS
+        for k in K_SWEEP
+    ]
+
+
+def _table_digest(table):
+    digest = hashlib.sha256()
+    for col in table:
+        digest.update(col.name.encode())
+        if col.is_categorical:
+            digest.update(repr(col.categories).encode())
+            digest.update(np.ascontiguousarray(col.codes).data)
+        else:
+            digest.update(np.ascontiguousarray(col.values).data)
+    return digest.hexdigest()
+
+
+def _release_prints(results):
+    return [
+        (r.release.node, _table_digest(r.release.table))
+        if not isinstance(r, JobFailure)
+        else ("failed", r.error_type)
+        for r in results
+    ]
+
+
+def _shm_segments():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _timed(configs, table, hierarchies, **kwargs):
+    start = time.perf_counter()
+    results = run_batch(configs, table, hierarchies=hierarchies, **kwargs)
+    return results, time.perf_counter() - start
+
+
+def run_bench(n_rows=200_000, seed=42, workers=4):
+    bench_start = time.perf_counter()
+    table = _make_table(n_rows, seed)
+    hierarchies = _hierarchies()
+    configs = _sweep()
+
+    sequential, sequential_seconds = _timed(configs, table, hierarchies)
+    reference_prints = _release_prints(sequential)
+    del sequential
+
+    process, process_seconds = _timed(
+        configs, table, hierarchies, workers=workers, backend="process"
+    )
+    process_identical = _release_prints(process) == reference_prints
+    del process
+
+    # Gate 1-3 + 5: hard-kill one worker mid-batch through the latched
+    # worker-kill point; the ladder must complete every job byte-identical
+    # without leaking a shared-memory segment.
+    shm_before = _shm_segments()
+    with tempfile.TemporaryDirectory() as tmp:
+        kill_plan = {
+            "points": {
+                "worker-kill": {
+                    "kill": True,
+                    "at": 1,
+                    "once_file": str(Path(tmp) / "kill.latch"),
+                }
+            }
+        }
+        with faults.injection(kill_plan):
+            chaos, chaos_seconds = _timed(
+                configs,
+                table,
+                hierarchies,
+                workers=workers,
+                backend="process",
+                on_error="collect",
+            )
+    shm_after = _shm_segments()
+    all_jobs_ok = len(chaos) == len(configs) and all(
+        not isinstance(r, JobFailure) and r.status == "ok" for r in chaos
+    )
+    chaos_identical = _release_prints(chaos) == reference_prints
+    del chaos
+    shm_clean = shm_after == shm_before
+    overhead_budget = OVERHEAD_FACTOR * process_seconds + OVERHEAD_CONSTANT
+    overhead_ok = chaos_seconds <= overhead_budget
+
+    # Gate 4: seeded job faults under collect are deterministic, structured,
+    # and leave healthy jobs untouched.
+    fault_plan = {
+        "points": {"evaluate-node": {"rate": FAULT_RATE}},
+        "seed": FAULT_SEED,
+    }
+
+    def _collect_round():
+        with faults.injection(fault_plan):
+            results, _ = _timed(configs, table, hierarchies, on_error="collect")
+            log = faults.fired()
+        return _release_prints(results), log
+
+    first_prints, first_log = _collect_round()
+    second_prints, second_log = _collect_round()
+    deterministic = first_prints == second_prints and first_log == second_log
+    n_injected = sum(1 for p in first_prints if p[0] == "failed")
+    failures_structured = all(
+        p == ("failed", "fault")
+        for p in first_prints
+        if p[0] == "failed"
+    )
+    survivors_identical = all(
+        p == ref
+        for p, ref in zip(first_prints, reference_prints)
+        if p[0] != "failed"
+    )
+
+    print_series(
+        f"E39: chaos gate (n={n_rows}, {len(configs)}-job "
+        f"{len(ENVIRONMENTS)}-environment sweep, workers={workers}, "
+        f"{cpu_count()} CPUs)",
+        ["path", "seconds", "byte-identical", "all jobs ok"],
+        [
+            ("sequential (baseline)", sequential_seconds, 1, 1),
+            (f"process workers={workers}", process_seconds, int(process_identical), 1),
+            (
+                "process + worker kill",
+                chaos_seconds,
+                int(chaos_identical),
+                int(all_jobs_ok),
+            ),
+        ],
+    )
+    print(
+        f"shm segments before/after chaos: {len(shm_before)}/{len(shm_after)} "
+        f"(gate: no leak)"
+    )
+    print(
+        f"recovery overhead: {chaos_seconds:.2f}s vs budget "
+        f"{overhead_budget:.2f}s ({OVERHEAD_FACTOR:.0f}x fault-free + "
+        f"{OVERHEAD_CONSTANT:.0f}s)"
+    )
+    print(
+        f"injected-fault round (rate={FAULT_RATE}, seed={FAULT_SEED}): "
+        f"{n_injected} structured failure(s), deterministic: {deterministic}, "
+        f"survivors byte-identical: {survivors_identical}"
+    )
+
+    ok = (
+        process_identical
+        and all_jobs_ok
+        and chaos_identical
+        and shm_clean
+        and overhead_ok
+        and deterministic
+        and failures_structured
+        and survivors_identical
+        and n_injected > 0
+    )
+    elapsed = time.perf_counter() - bench_start
+    write_results(
+        "E39",
+        {
+            "n_rows": n_rows,
+            "n_jobs": len(configs),
+            "workers": workers,
+            "sequential_seconds": sequential_seconds,
+            "process_seconds": process_seconds,
+            "chaos_seconds": chaos_seconds,
+            "overhead_budget_seconds": overhead_budget,
+            "shm_before": len(shm_before),
+            "shm_after": len(shm_after),
+            "injected_failures": n_injected,
+            "total_seconds": elapsed,
+            "process_identical": process_identical,
+            "all_jobs_ok": all_jobs_ok,
+            "chaos_identical": chaos_identical,
+            "shm_clean": shm_clean,
+            "overhead_ok": overhead_ok,
+            "deterministic": deterministic,
+            "failures_structured": failures_structured,
+            "survivors_identical": survivors_identical,
+            "ok": ok,
+        },
+    )
+    return ok
+
+
+def test_e39_chaos():
+    # Small instance for the pytest tier: every gate is size-independent.
+    assert run_bench(n_rows=20_000, workers=2), "chaos run must survive intact"
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=200_000,
+                        help="synthetic table size (CI default)")
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args()
+    sys.exit(0 if run_bench(n_rows=args.rows, workers=args.workers) else 1)

@@ -30,10 +30,13 @@ serving anonymization as a multi-tenant service.
 from .config import AnonymizationConfig, build_hierarchies, build_schema
 from .executor import (
     BACKENDS,
+    ON_ERROR,
     PLANS,
     AnonymizationResult,
     BatchPlan,
     BatchPlanner,
+    FailurePolicy,
+    JobFailure,
     execute,
     jsonable,
     run,
@@ -54,8 +57,11 @@ __all__ = [
     "BACKENDS",
     "BatchPlan",
     "BatchPlanner",
+    "FailurePolicy",
+    "JobFailure",
     "MetricContext",
     "MetricRegistry",
+    "ON_ERROR",
     "PLANS",
     "Registry",
     "algorithm_registry",

@@ -27,6 +27,7 @@ Validation errors always name the offending key.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Mapping
 
@@ -104,6 +105,13 @@ class AnonymizationConfig:
     #: None evaluates in one shot. Bounds the engine's per-QI intermediate
     #: arrays to ``chunk_rows`` elements without changing any result.
     chunk_rows: int | None = None
+    #: Cooperative per-job time budget in seconds; None means unbounded.
+    #: Enforced at node-evaluation checkpoints (engine algorithms), so an
+    #: overrunning job is interrupted with
+    #: :class:`~repro.errors.JobTimeoutError` at the next node boundary.
+    #: In a batch, the tighter of this and ``run_batch(job_timeout=...)``
+    #: wins per job.
+    job_timeout: float | None = None
 
     def __post_init__(self):
         # Normalize sequence fields to tuples so configs hash/compare sanely
@@ -196,6 +204,18 @@ class AnonymizationConfig:
                     f"key 'backend' = 'process' does not apply to algorithm "
                     f"{algorithm_registry.name_of(algorithm)!r} (no lattice "
                     "engine); remove the key or pick a full-domain algorithm"
+                )
+        if self.job_timeout is not None:
+            value = self.job_timeout
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not math.isfinite(value)
+                or value <= 0
+            ):
+                raise ConfigError(
+                    f"key 'job_timeout' must be a positive number of seconds, "
+                    f"got {value!r}"
                 )
         if self.chunk_rows is not None:
             try:

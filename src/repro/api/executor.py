@@ -34,24 +34,34 @@ clones whose memos merge back between waves (``BatchPlanner(shard=True)``).
 
 from __future__ import annotations
 
+import math
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..core import faults
 from ..core.cache import (
     DEFAULT_CACHE_BYTES,
     EngineCacheStore,
     check_cache_bytes,
     estimate_cache_footprint,
 )
+from ..core.deadline import Deadline, current_deadline, deadline_scope, tightest
 from ..core.engine import LatticeEvaluator
 from ..core.release import Release
 from ..core.schema import Schema
 from ..core.table import Table
-from ..errors import ConfigError
+from ..errors import (
+    BatchDeadlineError,
+    ConfigError,
+    HierarchyError,
+    SchemaError,
+    classify_error,
+)
 from .config import AnonymizationConfig, build_hierarchies, build_schema
 from .registry import (
     MetricContext,
@@ -65,6 +75,9 @@ __all__ = [
     "BACKENDS",
     "BatchPlan",
     "BatchPlanner",
+    "FailurePolicy",
+    "JobFailure",
+    "ON_ERROR",
     "PLANS",
     "execute",
     "run",
@@ -77,6 +90,148 @@ PLANS = ("auto", "waves", "shared")
 
 #: Recognized ``backend=`` values for :func:`run_batch`.
 BACKENDS = ("thread", "process")
+
+#: Recognized ``on_error=`` values for :func:`run_batch`.
+ON_ERROR = ("raise", "collect")
+
+#: Deterministic input errors that a retry can never fix (same config, same
+#: table, same verdict), plus the batch deadline — once it has passed, every
+#: further attempt is born expired.
+_NON_RETRYABLE = (ConfigError, SchemaError, HierarchyError, BatchDeadlineError)
+
+#: Seam for tests: the backoff sleeper (monkeypatch to assert the schedule
+#: without actually waiting).
+_sleep = time.sleep
+
+
+def _check_seconds(key: str, value: Any) -> None:
+    """Reject non-positive / non-finite time budgets with the key-naming style."""
+    if value is None:
+        return
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not math.isfinite(value)
+        or value <= 0
+    ):
+        raise ConfigError(
+            f"key {key!r} must be a positive number of seconds, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """Validated failure-handling policy of one batch.
+
+    ``on_error="raise"`` (default) preserves the historic contract: the
+    first failing job aborts the whole batch with its original exception.
+    ``"collect"`` turns each failing job into a :class:`JobFailure` record
+    in the results list instead, optionally after ``retries`` extra
+    attempts spaced by exponential backoff (``retry_backoff * 2**(attempt-1)``
+    seconds). ``job_timeout`` and ``batch_deadline`` are cooperative
+    budgets enforced at the engine's node-evaluation checkpoints.
+    Validation happens at construction — nonsense combinations fail before
+    any job runs.
+    """
+
+    on_error: str = "raise"
+    job_timeout: float | None = None
+    batch_deadline: float | None = None
+    retries: int = 0
+    retry_backoff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ON_ERROR:
+            raise ConfigError(
+                f"key 'on_error' must be one of {', '.join(ON_ERROR)}; "
+                f"got {self.on_error!r}"
+            )
+        _check_seconds("job_timeout", self.job_timeout)
+        _check_seconds("batch_deadline", self.batch_deadline)
+        if (
+            isinstance(self.retries, bool)
+            or not isinstance(self.retries, int)
+            or self.retries < 0
+        ):
+            raise ConfigError(
+                f"key 'retries' must be a non-negative integer, got {self.retries!r}"
+            )
+        if (
+            isinstance(self.retry_backoff, bool)
+            or not isinstance(self.retry_backoff, (int, float))
+            or not math.isfinite(self.retry_backoff)
+            or self.retry_backoff < 0
+        ):
+            raise ConfigError(
+                f"key 'retry_backoff' must be a non-negative number of seconds, "
+                f"got {self.retry_backoff!r}"
+            )
+        if self.retries and self.on_error == "raise":
+            raise ConfigError(
+                "key 'retries' only applies with on_error='collect'; under "
+                "'raise' the first failure aborts the batch, so a retry "
+                "budget could never be spent"
+            )
+        if self.retry_backoff and not self.retries:
+            raise ConfigError(
+                "key 'retry_backoff' without 'retries' is a silent knob; "
+                "set 'retries' >= 1 or drop 'retry_backoff'"
+            )
+
+
+@dataclass
+class JobFailure:
+    """Structured record of one job's failure inside a collected batch.
+
+    Takes a failed job's slot in the :func:`run_batch` results list under
+    ``on_error="collect"``. ``error`` is ``{"type", "message", "traceback"}``
+    — ``type`` being the :data:`repro.errors.ERROR_TAXONOMY` label of the
+    final attempt's exception — and ``attempts`` holds one record per
+    attempt (``attempt``, ``seconds``, ``error``, and ``backoff`` when a
+    retry followed). ``release``/``engine`` are always ``None`` and
+    ``status`` is ``"failed"``, so result-shaped consumers can branch on
+    the same attributes they read from :class:`AnonymizationResult`.
+    """
+
+    config: AnonymizationConfig | None
+    error: dict[str, Any]
+    attempts: list[dict[str, Any]] = field(default_factory=list)
+    status: str = "failed"
+
+    # Result-shaped accessors (class attributes, not fields: a failure
+    # never carries a release or an engine).
+    release = None
+    engine = None
+
+    @property
+    def error_type(self) -> str:
+        return str(self.error.get("type", "runtime"))
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "status": self.status,
+            "algorithm": (
+                self.config.algorithm.get("algorithm")
+                if self.config is not None
+                else None
+            ),
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+        if self.config is not None:
+            out["config"] = self.config.to_dict()
+        return jsonable(out)
+
+
+def _failure_record(exc: BaseException) -> dict[str, Any]:
+    """The picklable ``{"type", "message", "traceback"}`` view of an error."""
+    return {
+        "type": classify_error(exc),
+        "message": str(exc),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    }
 
 
 def jsonable(value: Any) -> Any:
@@ -111,6 +266,15 @@ class AnonymizationResult:
     timings: dict[str, float] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
     engine: LatticeEvaluator | None = None
+    #: ``"ok"`` always — the failed counterpart is a :class:`JobFailure`
+    #: (``status="failed"``); the shared field lets result consumers branch
+    #: without isinstance checks.
+    status: str = "ok"
+    #: Error record of the *last failed attempt* when the job only
+    #: succeeded after retries; ``None`` for a first-attempt success.
+    error: dict[str, Any] | None = None
+    #: Number of attempts it took to produce this result (1 = no retries).
+    attempts: int = 1
 
     @property
     def table(self) -> Table:
@@ -127,12 +291,16 @@ class AnonymizationResult:
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
+            "status": self.status,
             "algorithm": self.release.algorithm,
             "models": [getattr(m, "name", str(m)) for m in self.models],
             "summary": self.release.summary(),
             "timings": {k: round(v, 6) for k, v in self.timings.items()},
             "metrics": self.metrics,
+            "attempts": self.attempts,
         }
+        if self.error is not None:
+            out["error"] = self.error
         if self.engine is not None:
             out["engine_cache"] = self.engine.cache_info()
         if self.config is not None:
@@ -266,8 +434,20 @@ def run(
         >>> result.release.table.column("zip").decode()
         ['130', '130', '148', '148']
         >>> sorted(result.to_dict())  # JSON-safe report for logs/services
-        ['algorithm', 'config', 'metrics', 'models', 'summary', 'timings']
+        ['algorithm', 'attempts', 'config', 'metrics', 'models', 'status', 'summary', 'timings']
     """
+    if config.job_timeout is not None and current_deadline() is None:
+        # Single-job entry: arm the config's own budget here. Batch
+        # execution arms the effective (config + policy + batch) deadline
+        # itself before calling in, signalled by an already-active scope.
+        with deadline_scope(Deadline(config.job_timeout, kind="job-timeout")):
+            return run(
+                config,
+                table,
+                evaluator=evaluator,
+                hierarchies=hierarchies,
+                environment=environment,
+            )
     timings: dict[str, float] = {}
     start = time.perf_counter()
     schema, built, models, algorithm = _resolve(
@@ -305,6 +485,81 @@ def run(
     )
     result.timings = {**timings, **result.timings}
     return result
+
+
+def _effective_deadline(
+    config: AnonymizationConfig,
+    policy: FailurePolicy,
+    batch_deadline: Deadline | None,
+) -> Deadline | None:
+    """Tightest of the job's own timeout(s) and the batch deadline.
+
+    Per-job timeouts restart on every attempt (a fresh :class:`Deadline`
+    each call); the batch deadline is one shared absolute instant.
+    """
+    job_seconds = [
+        s for s in (config.job_timeout, policy.job_timeout) if s is not None
+    ]
+    job = Deadline(min(job_seconds), kind="job-timeout") if job_seconds else None
+    return tightest(job, batch_deadline)
+
+
+def _attempt_job(
+    config: AnonymizationConfig,
+    table: Table,
+    policy: FailurePolicy,
+    batch_deadline: Deadline | None,
+    evaluator: LatticeEvaluator | None = None,
+    environment: tuple[Schema, dict] | None = None,
+) -> "AnonymizationResult | JobFailure":
+    """Run one batch job under the failure policy: deadlines, retries, backoff.
+
+    The shared job runner of every execution tier — the in-parent
+    sequential loop, the thread pool, and the process-backend worker all
+    funnel through it, so retry/timeout semantics cannot drift between
+    backends. Under ``on_error="raise"`` the first failure propagates
+    unchanged (the historic contract); under ``"collect"`` the job's final
+    failure comes back as a :class:`JobFailure` carrying every attempt's
+    timing and error record.
+    """
+    attempts: list[dict[str, Any]] = []
+    total = policy.retries + 1
+    for attempt in range(1, total + 1):
+        started = time.perf_counter()
+        try:
+            if batch_deadline is not None:
+                batch_deadline.check()
+            with deadline_scope(
+                _effective_deadline(config, policy, batch_deadline)
+            ):
+                result = run(config, table, evaluator=evaluator, environment=environment)
+        except Exception as exc:  # noqa: BLE001 - isolating a bad job is the point
+            record: dict[str, Any] = {
+                "attempt": attempt,
+                "seconds": round(time.perf_counter() - started, 6),
+                "error": _failure_record(exc),
+            }
+            attempts.append(record)
+            if policy.on_error == "raise":
+                raise
+            if attempt < total and not isinstance(exc, _NON_RETRYABLE):
+                backoff = policy.retry_backoff * (2 ** (attempt - 1))
+                if batch_deadline is not None:
+                    # Sleeping past the batch deadline would only convert
+                    # this failure into a less informative "deadline" one.
+                    backoff = min(backoff, max(batch_deadline.remaining(), 0.0))
+                record["backoff"] = round(backoff, 6)
+                if backoff > 0:
+                    _sleep(backoff)
+                continue
+            return JobFailure(config=config, error=record["error"], attempts=attempts)
+        result.attempts = attempt
+        if attempts:
+            # Succeeded after retries: keep the last failed attempt's error
+            # on the result for the audit trail.
+            result.error = attempts[-1]["error"]
+        return result
+    raise AssertionError("unreachable: every attempt returns or raises")
 
 
 def _environment_key(config: AnonymizationConfig) -> tuple[str, str]:
@@ -350,7 +605,12 @@ def run_batch(
     plan: str = "auto",
     cache_bytes: int | None = None,
     backend: str | None = None,
-) -> list[AnonymizationResult]:
+    on_error: str = "raise",
+    job_timeout: float | None = None,
+    batch_deadline: float | None = None,
+    retries: int = 0,
+    retry_backoff: float = 0.0,
+) -> "list[AnonymizationResult | JobFailure]":
     """Execute many jobs on one table, sharing lattice evaluation.
 
     Configs that agree on QI roles and hierarchy specs (the typical sweep:
@@ -397,6 +657,21 @@ def run_batch(
     plan only decides how much silent recomputation an over-budget sweep
     pays (``cache_info()["recomputed_after_evict"]``).
 
+    The failure-policy arguments make a batch survive bad jobs (see
+    :class:`FailurePolicy` and ``docs/architecture.md`` — *Fault tolerance
+    & the degradation ladder*). ``on_error="raise"`` (default) keeps the
+    historic all-or-nothing contract; ``on_error="collect"`` returns a
+    structured :class:`JobFailure` in the failed job's slot instead of
+    aborting its siblings, optionally retrying each failed job
+    ``retries`` times with exponential ``retry_backoff``. ``job_timeout``
+    and ``batch_deadline`` are cooperative budgets (seconds) enforced
+    between node evaluations; the tighter of ``job_timeout`` and a job's
+    own ``AnonymizationConfig.job_timeout`` wins. On the process backend a
+    crashed worker does not kill the batch either way: its group's
+    unfinished jobs are requeued down the degradation ladder (fresh
+    process pool → thread tier → in-parent sequential) and completed
+    releases stay byte-identical to sequential execution.
+
     Example (doctested)::
 
         >>> from repro.core.table import Table
@@ -427,6 +702,11 @@ def run_batch(
         plan=plan,
         cache_bytes=cache_bytes,
         backend=backend,
+        on_error=on_error,
+        job_timeout=job_timeout,
+        batch_deadline=batch_deadline,
+        retries=retries,
+        retry_backoff=retry_backoff,
     )
     return planner.execute()
 
@@ -577,7 +857,21 @@ class BatchPlanner:
         cache_bytes: int | None = None,
         shard: bool = False,
         backend: str | None = None,
+        on_error: str = "raise",
+        job_timeout: float | None = None,
+        batch_deadline: float | None = None,
+        retries: int = 0,
+        retry_backoff: float = 0.0,
     ):
+        # FailurePolicy validates the whole failure-handling surface at
+        # construction time: bad combinations fail before any job runs.
+        self.policy = FailurePolicy(
+            on_error=on_error,
+            job_timeout=job_timeout,
+            batch_deadline=batch_deadline,
+            retries=retries,
+            retry_backoff=retry_backoff,
+        )
         if plan not in PLANS:
             raise ConfigError(
                 f"key 'plan' must be one of {', '.join(PLANS)}; got {plan!r}"
@@ -603,6 +897,11 @@ class BatchPlanner:
         self._groups: list[_EnvGroup] = []
         self._wave_groups: list[list[_EnvGroup]] = []
         self._jobs: list[tuple[AnonymizationConfig, tuple[Schema, dict], _EnvGroup]] = []
+        self._batch_deadline: Deadline | None = None
+        #: Supervision audit trail of the last :meth:`execute` — one dict
+        #: per recovery action the process tier took (worker crash detected,
+        #: rung changes). Empty on a healthy run.
+        self.supervision_events: list[dict[str, Any]] = []
 
     def _resolve_backend(self, backend: str | None) -> str:
         """One backend for the whole batch, argument over declarations.
@@ -785,16 +1084,41 @@ class BatchPlanner:
                 chunk_rows=group.chunk_rows,
             )
 
-    def execute(self) -> list[AnonymizationResult]:
+    def _run_job(
+        self, index: int, evaluator: LatticeEvaluator | None
+    ) -> "AnonymizationResult | JobFailure":
+        """One in-parent job under the batch's failure policy."""
+        config, environment, _ = self._jobs[index]
+        return _attempt_job(
+            config,
+            self.table,
+            self.policy,
+            self._batch_deadline,
+            evaluator=evaluator,
+            environment=environment,
+        )
+
+    def execute(self) -> "list[AnonymizationResult | JobFailure]":
         """Run the batch per the plan; results come back in input order."""
         plan = self.plan()
+        self.supervision_events = []
+        self._batch_deadline = (
+            Deadline(
+                walltime=time.time() + self.policy.batch_deadline,
+                kind="batch-deadline",
+            )
+            if self.policy.batch_deadline is not None
+            else None
+        )
         if self.backend == "process" and self.workers > 1 and len(self._groups) > 1:
             return self._execute_process(plan)
         # Process requests that cannot parallelize anything (one worker, or
         # a single environment whose jobs must run in order anyway) take
         # the in-parent path below — byte-identical by construction, minus
         # a pool and a shared-memory block that would buy nothing.
-        results: list[AnonymizationResult | None] = [None] * len(self.configs)
+        results: list[AnonymizationResult | JobFailure | None] = [None] * len(
+            self.configs
+        )
         last_wave = len(self._wave_groups) - 1
         for wave_index, wave in enumerate(self._wave_groups):
             for group in wave:
@@ -809,25 +1133,13 @@ class BatchPlanner:
             # shared store would scramble.
             if self.workers <= 1 or len(jobs) <= 1 or self.backend == "process":
                 for index in jobs:
-                    config, environment, _ = self._jobs[index]
-                    results[index] = run(
-                        config,
-                        self.table,
-                        evaluator=assignments[index],
-                        environment=environment,
-                    )
+                    results[index] = self._run_job(index, assignments[index])
             else:
                 with ThreadPoolExecutor(
                     max_workers=min(self.workers, len(jobs))
                 ) as pool:
                     futures = {
-                        index: pool.submit(
-                            run,
-                            self._jobs[index][0],
-                            self.table,
-                            evaluator=assignments[index],
-                            environment=self._jobs[index][1],
-                        )
+                        index: pool.submit(self._run_job, index, assignments[index])
                         for index in jobs
                     }
                     for index, future in futures.items():
@@ -893,8 +1205,93 @@ class BatchPlanner:
 
     # -- the process tier ------------------------------------------------------
 
-    def _execute_process(self, plan: BatchPlan) -> list[AnonymizationResult]:
-        """Dispatch environment groups across worker processes.
+    def _note_supervision(self, event: str, **details: Any) -> None:
+        self.supervision_events.append({"event": event, **jsonable(details)})
+
+    def _deliver_group_payload(
+        self,
+        group: _EnvGroup,
+        payload: Mapping[str, Any],
+        results: "list[AnonymizationResult | JobFailure | None]",
+    ) -> None:
+        """Fold one worker's payload into the batch: merge memos, re-point
+        engines, and reassemble releases around this process's arrays."""
+        self._ensure_evaluator(group)
+        if payload["snapshot"] is not None:
+            assert group.evaluator is not None
+            group.evaluator.import_cache(payload["snapshot"])
+        for index, result, used_engine, order, shipped in payload["results"]:
+            if isinstance(result, JobFailure):
+                results[index] = result
+                continue
+            if used_engine:
+                result.engine = group.evaluator
+            # Reassemble the release around this process's own arrays for
+            # passthrough columns (the worker shipped only rewritten ones).
+            have = {col.name: col for col in shipped}
+            result.release.table = Table(
+                [
+                    self.table.column(name) if passthrough else have[name]
+                    for name, passthrough in order
+                ]
+            )
+            results[index] = result
+
+    def _run_group_in_parent(
+        self,
+        group: _EnvGroup,
+        results: "list[AnonymizationResult | JobFailure | None]",
+    ) -> None:
+        """Run one environment group in this process, jobs in ascending order.
+
+        The bottom rungs of the degradation ladder. Idempotent per job —
+        each result slot is simply rewritten — so a group interrupted
+        halfway down one rung can be re-run whole on the next.
+        """
+        self._ensure_evaluator(group)
+        for index in sorted(group.job_indices):
+            results[index] = self._run_job(index, group.evaluator)
+
+    def _run_groups_degraded(
+        self,
+        groups: "list[_EnvGroup]",
+        results: "list[AnonymizationResult | JobFailure | None]",
+    ) -> str:
+        """Thread rung of the ladder, in-parent sequential as the last rung.
+
+        Returns the rung that completed the groups (``"thread"`` or
+        ``"sequential"``). Job-level errors are the failure policy's domain
+        and propagate (under ``on_error="raise"``) — only infrastructure
+        trouble inside the thread tier drops to the sequential rung.
+        """
+        from ..errors import ReproError
+
+        if self.workers > 1 and len(groups) > 1:
+            try:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(groups))
+                ) as pool:
+                    futures = [
+                        pool.submit(self._run_group_in_parent, group, results)
+                        for group in groups
+                    ]
+                    for future in futures:
+                        future.result()
+                return "thread"
+            except ReproError:
+                raise  # a job's own verdict, not a crash — don't degrade
+            except Exception as exc:  # pragma: no cover - thread-tier failure
+                self._note_supervision(
+                    "thread-rung-failed", error=_failure_record(exc)["message"]
+                )
+        for group in groups:
+            self._run_group_in_parent(group, results)
+        return "sequential"
+
+    def _execute_process(
+        self, plan: BatchPlan
+    ) -> "list[AnonymizationResult | JobFailure]":
+        """Dispatch environment groups across supervised worker processes.
 
         Determinism comes from the dispatch granularity: one worker runs a
         whole environment group's jobs **sequentially in ascending job
@@ -905,82 +1302,143 @@ class BatchPlanner:
         byte-for-byte. Parallelism is across groups within a wave.
 
         Data travels once: the table's code columns and every group's
-        hierarchy LUTs are published to shared memory before the pool
+        hierarchy LUTs are published to shared memory before any pool
         starts, and the ``try``/``finally`` guarantees the block is
-        unlinked on every exit — a worker crash surfaces as the future's
-        exception and still runs the ``finally``. Workers ship back
-        pickled results plus an :meth:`LatticeEvaluator.export_cache`
+        unlinked on every exit — worker crashes included. Workers ship
+        back pickled results plus an :meth:`LatticeEvaluator.export_cache`
         snapshot; the parent rebuilds each group's canonical evaluator,
         adopts the snapshot (``merge_from`` semantics, counters folded),
         and re-points ``result.engine`` so batch callers see the same
         object graph as every other execution mode.
+
+        **Supervision.** A crashed worker (``BrokenProcessPool`` / dead
+        pipe) cannot be told apart from its pool-mates' fates, so the
+        whole broken pool is retired and every group whose payload had not
+        yet arrived is requeued down the degradation ladder: once more on
+        a **fresh process pool**, then the **thread tier**, then
+        **in-parent sequential**. Completed groups keep their delivered
+        results; requeued groups re-run whole (their jobs are pure
+        functions of config + table, so re-execution is byte-identical —
+        only cache *counters* can differ after recovery, since the dead
+        worker's memo snapshot died with it). Each recovery action is
+        recorded in :attr:`supervision_events`.
         """
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
         from ..core.shm import SharedDataset
 
-        results: list[AnonymizationResult | None] = [None] * len(self.configs)
+        crash_types = (BrokenProcessPool, BrokenPipeError, EOFError, OSError)
+        results: list[AnonymizationResult | JobFailure | None] = [None] * len(
+            self.configs
+        )
         group_ids = {id(group): i for i, group in enumerate(self._groups)}
         dataset = SharedDataset(
             self.table,
             {i: group.hierarchies for i, group in enumerate(self._groups)},
         )
         last_wave = len(self._wave_groups) - 1
-        try:
-            max_workers = min(
-                self.workers, max(len(wave) for wave in self._wave_groups)
+        max_workers = min(self.workers, max(len(wave) for wave in self._wave_groups))
+        pool: ProcessPoolExecutor | None = None
+        deadline_walltime = (
+            self._batch_deadline.walltime if self._batch_deadline is not None else None
+        )
+
+        def ensure_pool() -> ProcessPoolExecutor:
+            nonlocal pool
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=max_workers,
+                    initializer=_process_worker_init,
+                    # Forward the armed fault plan so chaos drills reach
+                    # workers under any start method, not just fork.
+                    initargs=(dataset.descriptor(), faults.export_plan()),
+                )
+            return pool
+
+        def retire_pool() -> None:
+            nonlocal pool
+            if pool is not None:
+                # The pool may be broken: don't wait on dead workers, and
+                # drop anything still queued — requeued groups re-run on a
+                # lower rung instead.
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+
+        def submit_group(group: _EnvGroup):
+            jobs = [
+                (index, self.configs[index]) for index in sorted(group.job_indices)
+            ]
+            return ensure_pool().submit(
+                _process_worker_run,
+                group_ids[id(group)],
+                jobs,
+                max(group.budget, 1),
+                group.chunk_rows,
+                self.policy,
+                deadline_walltime,
             )
-            with ProcessPoolExecutor(
-                max_workers=max_workers,
-                initializer=_process_worker_init,
-                initargs=(dataset.descriptor(),),
-            ) as pool:
-                for wave_index, wave in enumerate(self._wave_groups):
-                    futures = []
-                    for group in wave:
-                        jobs = [
-                            (index, self.configs[index])
-                            for index in sorted(group.job_indices)
-                        ]
-                        futures.append(
-                            (
-                                group,
-                                pool.submit(
-                                    _process_worker_run,
-                                    group_ids[id(group)],
-                                    jobs,
-                                    max(group.budget, 1),
-                                    group.chunk_rows,
-                                ),
-                            )
+
+        try:
+            for wave_index, wave in enumerate(self._wave_groups):
+                pending = list(wave)
+                # Process rungs: the planned pool, then one fresh pool for
+                # groups orphaned by a crash.
+                for rung in ("process", "process-retry"):
+                    if not pending:
+                        break
+                    survivors: list[_EnvGroup] = []
+                    try:
+                        futures = [(group, submit_group(group)) for group in pending]
+                    except crash_types as exc:
+                        # The pool broke before/while submitting (e.g. an
+                        # initializer crash): every pending group survives
+                        # to the next rung.
+                        self._note_supervision(
+                            "worker-pool-broken",
+                            rung=rung,
+                            wave=wave_index,
+                            phase="submit",
+                            error=str(exc) or type(exc).__name__,
                         )
+                        retire_pool()
+                        continue
                     for group, future in futures:
-                        payload = future.result()
-                        self._ensure_evaluator(group)
-                        if payload["snapshot"] is not None:
-                            assert group.evaluator is not None
-                            group.evaluator.import_cache(payload["snapshot"])
-                        for index, result, used_engine, order, shipped in payload[
-                            "results"
-                        ]:
-                            if used_engine:
-                                result.engine = group.evaluator
-                            # Reassemble the release around this process's
-                            # own arrays for passthrough columns (the
-                            # worker shipped only rewritten ones).
-                            have = {col.name: col for col in shipped}
-                            result.release.table = Table(
-                                [
-                                    self.table.column(name) if passthrough else have[name]
-                                    for name, passthrough in order
-                                ]
+                        try:
+                            payload = future.result()
+                        except crash_types as exc:
+                            survivors.append(group)
+                            self._note_supervision(
+                                "worker-crashed",
+                                rung=rung,
+                                wave=wave_index,
+                                group=group_ids[id(group)],
+                                jobs=sorted(group.job_indices),
+                                error=str(exc) or type(exc).__name__,
                             )
-                            results[index] = result
-                    if plan.mode == "waves" and wave_index != last_wave:
-                        for group in wave:
-                            if group.evaluator is not None:
-                                group.evaluator.cache.clear()
+                            continue
+                        # Any other exception is a job's own error escaping
+                        # under on_error="raise" (workers collect failures
+                        # otherwise) — the historic abort contract; the
+                        # finally below still unlinks the arena.
+                        self._deliver_group_payload(group, payload, results)
+                    pending = survivors
+                    if pending:
+                        retire_pool()
+                if pending:
+                    rung = self._run_groups_degraded(pending, results)
+                    self._note_supervision(
+                        "groups-recovered",
+                        rung=rung,
+                        wave=wave_index,
+                        groups=[group_ids[id(g)] for g in pending],
+                    )
+                if plan.mode == "waves" and wave_index != last_wave:
+                    for group in wave:
+                        if group.evaluator is not None:
+                            group.evaluator.cache.clear()
         finally:
+            retire_pool()
             dataset.unlink()
         return results  # type: ignore[return-value]
 
@@ -990,11 +1448,18 @@ class BatchPlanner:
 _WORKER_DATASET = None
 
 
-def _process_worker_init(descriptor: Mapping[str, Any]) -> None:
-    """Pool initializer: attach this worker to the shared dataset once."""
+def _process_worker_init(
+    descriptor: Mapping[str, Any], fault_plan: Mapping[str, Any] | None = None
+) -> None:
+    """Pool initializer: arm any forwarded fault plan, then attach the
+    shared dataset once. Arming comes first so ``shm-attach`` drills hit
+    the attach below; an initializer crash surfaces in the parent as a
+    broken pool and rides the degradation ladder like any worker crash."""
     global _WORKER_DATASET
     from ..core.shm import attach_dataset
 
+    if fault_plan is not None:
+        faults.arm(fault_plan)  # fresh per-process counters, by design
     _WORKER_DATASET = attach_dataset(descriptor)
 
 
@@ -1003,6 +1468,8 @@ def _process_worker_run(
     jobs: Sequence[tuple[int, AnonymizationConfig]],
     cache_budget: int,
     chunk_rows: int | None,
+    policy: FailurePolicy | None = None,
+    deadline_walltime: float | None = None,
 ) -> dict[str, Any]:
     """Run one environment group's jobs sequentially against shared arrays.
 
@@ -1011,14 +1478,32 @@ def _process_worker_run(
     jobs in ascending index order, and returns a picklable payload: the
     results (engines stripped — the parent re-points them at the canonical
     evaluator) plus the memo-store snapshot for the parent-side merge.
+
+    The failure policy runs *inside* the worker through the same
+    :func:`_attempt_job` path as every other tier: under ``"collect"`` a
+    bad job becomes a :class:`JobFailure` entry in the payload and its
+    siblings keep running, so only genuine crashes break the future.
+    ``deadline_walltime`` is the batch deadline as an absolute
+    ``time.time()`` instant — the one clock both sides of the process
+    boundary agree on.
     """
     dataset = _WORKER_DATASET
     assert dataset is not None, "worker pool initializer must run first"
+    if policy is None:
+        policy = FailurePolicy()
+    batch_deadline = (
+        Deadline(walltime=deadline_walltime, kind="batch-deadline")
+        if deadline_walltime is not None
+        else None
+    )
     table = dataset.table
     hierarchies = dataset.hierarchies(env_id)
     evaluator: LatticeEvaluator | None = None
     out = []
-    for index, config in jobs:
+    for ordinal, (index, config) in enumerate(jobs, start=1):
+        # Chaos drills kill workers here — "at the Nth job", per process.
+        if faults.any_armed():
+            faults.fire("worker-kill", env=env_id, job=index, ordinal=ordinal)
         schema = build_schema(config, table)
         if evaluator is None and _uses_evaluator(config):
             store = EngineCacheStore(
@@ -1027,12 +1512,17 @@ def _process_worker_run(
             evaluator = _make_evaluator(
                 table, schema, hierarchies, cache=store, chunk_rows=chunk_rows
             )
-        result = run(
+        result = _attempt_job(
             config,
             table,
+            policy,
+            batch_deadline,
             evaluator=evaluator,
             environment=(schema, hierarchies),
         )
+        if isinstance(result, JobFailure):
+            out.append((index, result, False, None, None))
+            continue
         used_engine = result.engine is not None
         result.engine = None  # engines don't pickle; the parent re-points
         # Ship only the columns this job actually rewrote. Columns that

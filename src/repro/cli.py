@@ -27,6 +27,14 @@ thread|process`` picks the batch execution tier — outputs are identical at
 any budget, plan, backend, or worker count. ``--chunk-rows`` streams
 lattice group packing through fixed-size row chunks in either mode.
 
+Batch failure handling mirrors :func:`repro.api.run_batch`: with
+``--on-error collect`` a failing job is recorded instead of aborting its
+siblings — its numbered output file is skipped, a one-line summary goes to
+stderr, its ``--report`` entry carries the structured failure, and the
+exit code is 1 when any job failed (0 otherwise). ``--retries N`` re-runs
+failed jobs, and ``--job-timeout SECONDS`` bounds each job cooperatively
+(also valid for single jobs, where it sets the config's ``job_timeout``).
+
 Flags are parsed into the same :class:`repro.api.AnonymizationConfig` a
 ``--config`` file deserializes to, and both run through
 :func:`repro.api.run` — the CLI has no private algorithm table or wiring of
@@ -42,7 +50,16 @@ import json
 import sys
 from pathlib import Path
 
-from .api import BACKENDS, PLANS, AnonymizationConfig, algorithm_registry, run, run_batch
+from .api import (
+    BACKENDS,
+    ON_ERROR,
+    PLANS,
+    AnonymizationConfig,
+    JobFailure,
+    algorithm_registry,
+    run,
+    run_batch,
+)
 from .core.io import read_csv, write_csv
 from .errors import ConfigError, ReproError
 
@@ -96,6 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "environment group in a worker process against "
                              "shared-memory column arrays; outputs are "
                              "identical either way (batch mode only)")
+    parser.add_argument("--on-error", choices=list(ON_ERROR), default=None,
+                        help="batch failure policy: 'raise' (default) aborts "
+                             "the whole batch on the first failing job, "
+                             "'collect' records the failure, keeps the "
+                             "siblings running, skips the failed job's "
+                             "numbered output, and exits 1 (batch mode only)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="cooperative per-job time budget in seconds, "
+                             "enforced between lattice-node evaluations; in "
+                             "batch mode the tighter of this and a job's own "
+                             "'job_timeout' key wins")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-attempt each failed job up to N times "
+                             "(requires --on-error collect; batch mode only)")
     parser.add_argument("--chunk-rows", type=int, default=None, metavar="ROWS",
                         help="stream lattice group packing through chunks of "
                              "this many rows instead of materializing "
@@ -160,6 +192,7 @@ def config_from_args(args: argparse.Namespace) -> AnonymizationConfig:
         bins=args.bins,
         cache_bytes=args.cache_bytes,
         chunk_rows=args.chunk_rows,
+        job_timeout=args.job_timeout,
     )
 
 
@@ -177,6 +210,11 @@ def _apply_cli_overrides(
         # Chunking is a per-environment execution knob, so unlike
         # --cache-bytes it applies per job in batch mode too.
         overrides["chunk_rows"] = args.chunk_rows
+    if args.job_timeout is not None and not batch:
+        # In batch mode --job-timeout goes to run_batch, where the tighter
+        # of it and a job's own 'job_timeout' key wins — overriding the
+        # config here would silently widen a job's declared budget.
+        overrides["job_timeout"] = args.job_timeout
     if args.report and not config.metrics:
         overrides["metrics"] = _REPORT_METRICS + (
             ("homogeneity",) if config.sensitive else ()
@@ -255,17 +293,25 @@ def _reject_job_flags_with_config(parser: argparse.ArgumentParser,
         parser.error(
             f"{', '.join(conflicting)} cannot be combined with --config "
             "(the job file describes the whole job; only --max-suppression, "
-            "--cache-bytes, --chunk-rows, --plan, --backend, --workers and "
-            "--report apply on top)"
+            "--cache-bytes, --chunk-rows, --plan, --backend, --workers, "
+            "--on-error, --job-timeout, --retries and --report apply on top)"
         )
 
 
 def _report_payload(result) -> dict:
     report = result.to_dict()
     # Keep risk/utility values at the top level (historic CLI shape)
-    # alongside the structured result.
-    report.update(report.pop("metrics"))
+    # alongside the structured result. JobFailure reports have no metrics.
+    report.update(report.pop("metrics", {}))
     return report
+
+
+def _failure_summary(index: int, failure: JobFailure) -> str:
+    """The one-line per-job failure summary printed to stderr."""
+    return (
+        f"job {index} failed [{failure.error_type}] after "
+        f"{len(failure.attempts)} attempt(s): {failure.error.get('message', '')}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -273,6 +319,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
     if args.config is None:
         if args.workers != 1:
             parser.error("--workers requires --config with a JSON list of jobs")
@@ -280,6 +328,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--plan requires --config with a JSON list of jobs")
         if args.backend is not None:
             parser.error("--backend requires --config with a JSON list of jobs")
+        if args.on_error is not None:
+            parser.error("--on-error requires --config with a JSON list of jobs")
+        if args.retries:
+            parser.error("--retries requires --config with a JSON list of jobs")
         if not args.qi and not args.numeric_qi:
             parser.error("declare at least one --qi or --numeric-qi (or use --config)")
         if (args.l or args.t) and not args.sensitive:
@@ -307,6 +359,16 @@ def main(argv: list[str] | None = None) -> int:
                     "--backend applies to batch mode: --config must hold a "
                     "JSON list of jobs, got a single job object"
                 )
+            if not is_batch and args.on_error is not None:
+                raise ConfigError(
+                    "--on-error applies to batch mode: --config must hold a "
+                    "JSON list of jobs, got a single job object"
+                )
+            if not is_batch and args.retries:
+                raise ConfigError(
+                    "--retries applies to batch mode: --config must hold a "
+                    "JSON list of jobs, got a single job object"
+                )
         else:
             configs, is_batch = [config_from_args(args)], False
         categorical, numeric = _column_roles(configs)
@@ -320,14 +382,24 @@ def main(argv: list[str] | None = None) -> int:
                 plan=args.plan,
                 cache_bytes=args.cache_bytes,
                 backend=args.backend,
+                on_error=args.on_error or "raise",
+                job_timeout=args.job_timeout,
+                retries=args.retries,
             )
             output = Path(args.output)
+            failed = 0
             for index, result in enumerate(results, start=1):
+                if isinstance(result, JobFailure):
+                    # No numbered output for a failed job: a partial or
+                    # stale file would read as a published release.
+                    failed += 1
+                    print(_failure_summary(index, result), file=sys.stderr)
+                    continue
                 write_csv(result.release.table, _numbered_output(output, index))
             if args.report:
                 payload = [_report_payload(result) for result in results]
                 print(json.dumps(payload, indent=2), file=sys.stderr)
-            return 0
+            return 1 if failed else 0
 
         result = run(configs[0], table)
         write_csv(result.release.table, args.output)

@@ -409,7 +409,9 @@ class EngineCacheStore:
             self._stratum_index.clear()
             self._cached_bytes = 0
 
-    def merge_from(self, source: "EngineCacheStore", engine: Any = None) -> int:
+    def merge_from(
+        self, source: "EngineCacheStore | None", engine: Any = None
+    ) -> int:
         """Destructively adopt ``source``'s entries; returns the count adopted.
 
         The memo merge step of sharded batch execution: a per-worker shard
@@ -420,7 +422,13 @@ class EngineCacheStore:
         lazy growth is accounted against *this* store from now on.
         ``source`` is emptied and its counters are folded into this store's
         — it must be discarded afterwards.
+
+        ``source=None`` merges nothing and returns 0: a worker that died
+        before shipping its snapshot simply contributes no memo entries,
+        and the supervised merge-back loop need not special-case it.
         """
+        if source is None:
+            return 0
         with source._mutex:
             items = list(source._entries.items())
             footprints = dict(source._accounted)

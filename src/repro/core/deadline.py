@@ -1,0 +1,149 @@
+"""Cooperative deadlines for job and batch execution.
+
+The executor cannot preempt a running evaluation — everything is in-process
+numpy work — so timeouts are *cooperative*: the executor arms a
+:class:`Deadline` around each job via :func:`deadline_scope`, and the engine
+calls :func:`check_deadline` between node evaluations
+(:meth:`LatticeEvaluator.stats`). A job that overruns its budget is
+interrupted at the next checkpoint with :class:`~repro.errors.JobTimeoutError`
+or :class:`~repro.errors.BatchDeadlineError` depending on which budget
+expired.
+
+Two clocks are used deliberately:
+
+- per-job timeouts run on ``time.monotonic()`` (immune to wall-clock steps,
+  never crosses a process boundary — each attempt re-arms it locally);
+- batch deadlines are an absolute ``time.time()`` timestamp so the same
+  instant can be shipped to process-backend workers and enforced there.
+
+The scope is a :class:`contextvars.ContextVar`, so concurrent jobs on the
+thread backend each see only their own deadline.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from ..errors import BatchDeadlineError, ExecutionError, JobTimeoutError
+
+__all__ = [
+    "Deadline",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "tightest",
+]
+
+#: ``kind`` → exception raised when that deadline expires.
+_KIND_ERRORS: dict[str, type[ExecutionError]] = {
+    "job-timeout": JobTimeoutError,
+    "batch-deadline": BatchDeadlineError,
+}
+
+
+class Deadline:
+    """One cooperative time budget: a relative monotonic one or an absolute
+    wall-clock one.
+
+    Exactly one of ``seconds`` (relative, monotonic clock) or ``walltime``
+    (absolute ``time.time()`` timestamp) must be given. ``kind`` selects the
+    exception raised on expiry and is part of the failure taxonomy.
+    """
+
+    __slots__ = ("kind", "budget", "_monotonic_expiry", "_wall_expiry")
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        *,
+        walltime: Optional[float] = None,
+        kind: str = "job-timeout",
+    ) -> None:
+        if kind not in _KIND_ERRORS:
+            raise ValueError(
+                f"deadline kind must be one of {sorted(_KIND_ERRORS)}; got {kind!r}"
+            )
+        if (seconds is None) == (walltime is None):
+            raise ValueError("exactly one of 'seconds' or 'walltime' is required")
+        self.kind = kind
+        if seconds is not None:
+            self.budget = float(seconds)
+            self._monotonic_expiry: Optional[float] = time.monotonic() + self.budget
+            self._wall_expiry: Optional[float] = None
+        else:
+            self.budget = max(0.0, float(walltime) - time.time())
+            self._monotonic_expiry = None
+            self._wall_expiry = float(walltime)
+
+    @property
+    def walltime(self) -> Optional[float]:
+        """The absolute expiry timestamp, or ``None`` for monotonic deadlines."""
+        return self._wall_expiry
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        if self._monotonic_expiry is not None:
+            return self._monotonic_expiry - time.monotonic()
+        return self._wall_expiry - time.time()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self) -> None:
+        """Raise the deadline's exception if the budget is spent."""
+        if self.expired():
+            raise _KIND_ERRORS[self.kind](
+                f"cooperative {self.kind.replace('-', ' ')} of "
+                f"{self.budget:.6g}s exceeded"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(kind={self.kind!r}, budget={self.budget:.6g}, "
+            f"remaining={self.remaining():.6g})"
+        )
+
+
+def tightest(*deadlines: Optional[Deadline]) -> Optional[Deadline]:
+    """The deadline with the least time remaining, ignoring ``None``s."""
+    live = [d for d in deadlines if d is not None]
+    if not live:
+        return None
+    return min(live, key=lambda d: d.remaining())
+
+
+_ACTIVE: ContextVar[Optional[Deadline]] = ContextVar("repro_deadline", default=None)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline armed for the calling context, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Arm ``deadline`` for the duration of the ``with`` block.
+
+    Passing ``None`` explicitly clears any inherited deadline, so a nested
+    unbudgeted task cannot be interrupted by an outer scope it knows nothing
+    about.
+    """
+    token = _ACTIVE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _ACTIVE.reset(token)
+
+
+def check_deadline() -> None:
+    """Checkpoint: raise if the context's armed deadline has expired.
+
+    Called between node evaluations in the engine hot path; one context-var
+    read when no deadline is armed.
+    """
+    deadline = _ACTIVE.get()
+    if deadline is not None:
+        deadline.check()

@@ -73,7 +73,9 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from ..errors import HierarchyError, SchemaError
+from . import faults
 from .cache import EngineCacheStore
+from .deadline import check_deadline
 from .generalize import HierarchyLike, apply_node
 from .hierarchy import Hierarchy
 from .partition import EquivalenceClasses, classes_from_labels
@@ -414,9 +416,19 @@ class LatticeEvaluator:
         one computes it (from rows or by roll-up) while the others block on
         the computation's in-flight marker and then read the freshly cached
         entry — counted under ``coalesced`` in :meth:`cache_info`.
+
+        This is also the executor's cooperative checkpoint: an armed
+        :class:`~repro.core.deadline.Deadline` is checked between node
+        evaluations here, so an overrunning search is interrupted with a
+        timeout/deadline error at the next node boundary. The
+        ``evaluate-node`` fault-injection point fires here too (no-op
+        unless a fault plan is armed).
         """
         names = self.qi_names if names is None else tuple(names)
         node = tuple(int(lv) for lv in node)
+        check_deadline()
+        if faults.any_armed():
+            faults.fire("evaluate-node", names=names, node=node)
 
         def compute(ancestor: GroupStats | None) -> GroupStats:
             if ancestor is not None:
@@ -527,7 +539,7 @@ class LatticeEvaluator:
             )
         return {"entries": records, "counters": counters}
 
-    def import_cache(self, snapshot: dict) -> int:
+    def import_cache(self, snapshot: dict | None) -> int:
         """Adopt an :meth:`export_cache` snapshot into this evaluator's store.
 
         Rebuilds the records into :class:`GroupStats` homed on this
@@ -536,7 +548,12 @@ class LatticeEvaluator:
         merges via :meth:`EngineCacheStore.merge_from` — so budgets,
         counter folding, and the ``merged`` tally behave exactly like a
         live thread-shard :meth:`adopt`. Returns the entries adopted.
+
+        ``None`` (a crashed worker shipped no snapshot) merges nothing and
+        returns 0, mirroring :meth:`EngineCacheStore.merge_from`.
         """
+        if snapshot is None:
+            return 0
         shard_store = EngineCacheStore(
             cache_limit=None, cache_bytes=2**62, policy=self.cache.policy
         )

@@ -50,6 +50,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from . import faults
 from .hierarchy import Hierarchy
 from .table import Column, Table
 
@@ -154,6 +155,8 @@ class ShmArena:
         crash-cleanup backstop.
         """
         name = descriptor["name"]
+        if faults.any_armed():
+            faults.fire("shm-attach", name=name)
         try:
             block = shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
         except TypeError:  # Python < 3.13: no track flag; see docstring
