@@ -1,3 +1,21 @@
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single-sourced version: parsed (not imported) from repro/_version.py so a
+# build does not need the runtime dependencies installed.
+_version_text = (Path(__file__).parent / "src" / "repro" / "_version.py").read_text()
+VERSION = re.search(r'^__version__ = "([^"]+)"', _version_text, re.M).group(1)
+
+setup(
+    name="repro",
+    version=VERSION,
+    description="Privacy-preserving data publishing: algorithms, models, attacks, and an anonymization service",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro.data": ["*.json"]},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -19,6 +19,7 @@ Quickstart::
     print(anon.risk_report(release))
 """
 
+from ._version import __version__
 from .api import (
     AnonymizationConfig,
     AnonymizationResult,
@@ -77,8 +78,6 @@ from .privacy import (
     RecursiveCLDiversity,
     TCloseness,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "AlphaKAnonymity",

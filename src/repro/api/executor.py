@@ -35,14 +35,17 @@ clones whose memos merge back between waves (``BatchPlanner(shard=True)``).
 from __future__ import annotations
 
 import math
+import signal
+import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from .._version import __version__
 from ..core import faults
 from ..core.cache import (
     DEFAULT_CACHE_BYTES,
@@ -292,6 +295,7 @@ class AnonymizationResult:
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "status": self.status,
+            "version": __version__,
             "algorithm": self.release.algorithm,
             "models": [getattr(m, "name", str(m)) for m in self.models],
             "summary": self.release.summary(),
@@ -434,7 +438,7 @@ def run(
         >>> result.release.table.column("zip").decode()
         ['130', '130', '148', '148']
         >>> sorted(result.to_dict())  # JSON-safe report for logs/services
-        ['algorithm', 'attempts', 'config', 'metrics', 'models', 'status', 'summary', 'timings']
+        ['algorithm', 'attempts', 'config', 'metrics', 'models', 'status', 'summary', 'timings', 'version']
     """
     if config.job_timeout is not None and current_deadline() is None:
         # Single-job entry: arm the config's own budget here. Batch
@@ -610,6 +614,7 @@ def run_batch(
     batch_deadline: float | None = None,
     retries: int = 0,
     retry_backoff: float = 0.0,
+    cache_stores: Mapping[str, EngineCacheStore] | None = None,
 ) -> "list[AnonymizationResult | JobFailure]":
     """Execute many jobs on one table, sharing lattice evaluation.
 
@@ -693,6 +698,19 @@ def run_batch(
         [(0,), (0,)]
         >>> results[0].engine is results[1].engine  # one shared evaluator
         True
+
+    ``cache_stores`` is the cross-batch warm-start seam: a mapping from
+    environment evaluator keys (:func:`_environment_key`) to long-lived
+    :class:`~repro.core.cache.EngineCacheStore` objects. An environment
+    whose key appears in the mapping uses the given store as its canonical
+    memo store instead of building a fresh one — entries cached by an
+    earlier batch over a byte-identical table are memo hits here
+    (``hits`` grow, ``from_rows`` stays put), and this batch's entries stay
+    behind in the store for the next. Injected stores keep their own byte
+    budgets (the planner never re-slices them) and are never cleared
+    between waves; the caller owns their lifecycle. This is the hook the
+    multi-tenant service (:mod:`repro.service`) keeps per-tenant caches
+    warm through.
     """
     planner = BatchPlanner(
         configs,
@@ -707,6 +725,7 @@ def run_batch(
         batch_deadline=batch_deadline,
         retries=retries,
         retry_backoff=retry_backoff,
+        cache_stores=cache_stores,
     )
     return planner.execute()
 
@@ -773,6 +792,10 @@ class _EnvGroup:
     budget: int = 0
     chunk_rows: int | None = None
     evaluator: LatticeEvaluator | None = None
+    #: True when the canonical store was injected via ``cache_stores`` —
+    #: the store is externally owned: its budget is not re-sliced and it is
+    #: never cleared between waves (its warmth is the whole point).
+    external_store: bool = False
 
 
 @dataclass(frozen=True)
@@ -862,6 +885,7 @@ class BatchPlanner:
         batch_deadline: float | None = None,
         retries: int = 0,
         retry_backoff: float = 0.0,
+        cache_stores: Mapping[str, EngineCacheStore] | None = None,
     ):
         # FailurePolicy validates the whole failure-handling surface at
         # construction time: bad combinations fail before any job runs.
@@ -892,6 +916,7 @@ class BatchPlanner:
         self.requested_plan = plan
         self.cache_bytes = cache_bytes
         self.shard = bool(shard)
+        self.cache_stores = dict(cache_stores) if cache_stores else {}
         self.backend = self._resolve_backend(backend)
         self._plan: BatchPlan | None = None
         self._groups: list[_EnvGroup] = []
@@ -967,6 +992,10 @@ class BatchPlanner:
                 )
                 if config.cache_bytes is not None:
                     group.base_budget = config.cache_bytes
+                if evaluator_key in self.cache_stores:
+                    # An injected warm store brings its own budget contract.
+                    group.external_store = True
+                    group.base_budget = self.cache_stores[evaluator_key].cache_bytes
                 group.chunk_rows = config.chunk_rows  # part of the env key
                 groups[evaluator_key] = group
                 self._groups.append(group)
@@ -1036,7 +1065,12 @@ class BatchPlanner:
             for group in wave:
                 if not group.uses_evaluator:
                     continue
-                if budget is None:
+                if group.external_store:
+                    # Externally-owned stores are budgeted by their owner
+                    # (the tenant cache ladder); the planner reports but
+                    # never re-slices them.
+                    group.budget = self.cache_stores[group.evaluator_key].cache_bytes
+                elif budget is None:
                     group.budget = group.base_budget
                 else:
                     # Scale the wave's leftover budget out proportionally,
@@ -1069,6 +1103,22 @@ class BatchPlanner:
     def _ensure_evaluator(self, group: _EnvGroup) -> None:
         """Build the group's canonical evaluator on its planned budget."""
         if group.uses_evaluator and group.evaluator is None:
+            if group.external_store:
+                # Warm start: the injected store is the canonical store.
+                # Its entries were filled through a previous evaluator over
+                # a byte-identical table, so they are re-homed onto this
+                # batch's evaluator (lazy growth accounting and column
+                # lookups must not pin the retired request's objects).
+                store = self.cache_stores[group.evaluator_key]
+                group.evaluator = _make_evaluator(
+                    self.table,
+                    group.schema,
+                    group.hierarchies,
+                    cache=store,
+                    chunk_rows=group.chunk_rows,
+                )
+                store.rebind(group.evaluator)
+                return
             # Bytes are the planner's contract: no entry cap, so an
             # ample byte budget can never thrash on a huge lattice.
             store = EngineCacheStore(
@@ -1160,9 +1210,11 @@ class BatchPlanner:
             if plan.mode == "waves" and wave_index != last_wave:
                 # Release the finished wave's working sets so the next
                 # wave's evaluators fill into a freed budget (counters and
-                # result.engine telemetry survive the clear).
+                # result.engine telemetry survive the clear). Injected warm
+                # stores are exempt: they are budgeted by their owner and
+                # their residency is the next request's warm start.
                 for group in wave:
-                    if group.evaluator is not None:
+                    if group.evaluator is not None and not group.external_store:
                         group.evaluator.cache.clear()
         return results  # type: ignore[return-value]
 
@@ -1333,10 +1385,7 @@ class BatchPlanner:
             self.configs
         )
         group_ids = {id(group): i for i, group in enumerate(self._groups)}
-        dataset = SharedDataset(
-            self.table,
-            {i: group.hierarchies for i, group in enumerate(self._groups)},
-        )
+        dataset: SharedDataset | None = None
         last_wave = len(self._wave_groups) - 1
         max_workers = min(self.workers, max(len(wave) for wave in self._wave_groups))
         pool: ProcessPoolExecutor | None = None
@@ -1356,9 +1405,20 @@ class BatchPlanner:
                 )
             return pool
 
-        def retire_pool() -> None:
+        def retire_pool(kill: bool = False) -> None:
             nonlocal pool
             if pool is not None:
+                if kill:
+                    # Abnormal exit: live workers may be mid-job with no
+                    # one left to collect their results. shutdown(wait=
+                    # False) alone would leave them running (and holding
+                    # shm mappings) after the parent returns — terminate
+                    # them so a SIGTERM'd batch leaves no orphans behind.
+                    for proc in list(getattr(pool, "_processes", {}).values()):
+                        try:
+                            proc.terminate()
+                        except Exception:  # pragma: no cover - already dead
+                            pass
                 # The pool may be broken: don't wait on dead workers, and
                 # drop anything still queued — requeued groups re-run on a
                 # lower rung instead.
@@ -1379,7 +1439,16 @@ class BatchPlanner:
                 deadline_walltime,
             )
 
+        interrupted = False
+        # Arm before publishing: a SIGTERM landing between the arena
+        # publish and the arming would take the default disposition, skip
+        # the ``finally`` below, and leak the segment in /dev/shm.
+        restore_signals = _arm_signal_conversion()
         try:
+            dataset = SharedDataset(
+                self.table,
+                {i: group.hierarchies for i, group in enumerate(self._groups)},
+            )
             for wave_index, wave in enumerate(self._wave_groups):
                 pending = list(wave)
                 # Process rungs: the planned pool, then one fresh pool for
@@ -1403,6 +1472,10 @@ class BatchPlanner:
                         )
                         retire_pool()
                         continue
+                    # Submitting may have forked pool workers; a signal
+                    # converted inside an at-fork callback is latched, not
+                    # raised — re-check before blocking on results.
+                    _raise_if_signalled()
                     for group, future in futures:
                         try:
                             payload = future.result()
@@ -1422,10 +1495,12 @@ class BatchPlanner:
                         # otherwise) — the historic abort contract; the
                         # finally below still unlinks the arena.
                         self._deliver_group_payload(group, payload, results)
+                        _raise_if_signalled()
                     pending = survivors
                     if pending:
                         retire_pool()
                 if pending:
+                    _raise_if_signalled()
                     rung = self._run_groups_degraded(pending, results)
                     self._note_supervision(
                         "groups-recovered",
@@ -1435,12 +1510,92 @@ class BatchPlanner:
                     )
                 if plan.mode == "waves" and wave_index != last_wave:
                     for group in wave:
-                        if group.evaluator is not None:
+                        if group.evaluator is not None and not group.external_store:
                             group.evaluator.cache.clear()
+        except BaseException:
+            # Abnormal exit (a job error escaping under on_error="raise",
+            # KeyboardInterrupt, or SIGTERM converted by the armed handler):
+            # the batch is aborted, so don't leave orphaned workers running
+            # jobs nobody will collect — terminate them before unlinking.
+            interrupted = True
+            raise
         finally:
-            retire_pool()
-            dataset.unlink()
+            restore_signals()
+            retire_pool(kill=interrupted)
+            if dataset is not None:
+                dataset.unlink()
         return results  # type: ignore[return-value]
+
+
+def _arm_signal_conversion() -> "Callable[[], None]":
+    """Convert SIGTERM/SIGINT into exceptions for the process tier's scope.
+
+    ``_execute_process`` guarantees cleanup (pool retirement, shm unlink)
+    through a ``finally`` — which only runs if termination arrives as an
+    exception. SIGINT already does (``KeyboardInterrupt``); SIGTERM's
+    default disposition kills the interpreter outright, skipping every
+    ``finally`` and leaking the arena in ``/dev/shm``. While a process
+    batch is running, both signals raise ``KeyboardInterrupt`` in the main
+    thread instead, so a terminated batch walks the same abort path as ^C:
+    workers killed, arena unlinked, exception propagated.
+
+    Raising from the handler alone is not enough: Python may invoke it
+    inside a context that cannot propagate exceptions — most notably
+    ``os.register_at_fork`` callbacks while the pool is forking workers
+    (logging's after-fork hook, for instance), where CPython prints
+    "Exception ignored in" and drops the ``KeyboardInterrupt`` on the
+    floor. The handler therefore *also* latches the signal number in
+    ``_SIGNAL_TRIPPED``; :func:`_raise_if_signalled` re-checks the latch
+    at safe points in the dispatch loop so a swallowed conversion still
+    aborts the batch.
+
+    Returns a restore callable (idempotent) that reinstates the previous
+    handlers. Off the main thread — where Python forbids ``signal.signal``
+    — this is a no-op and the embedding application (e.g. the service,
+    which runs batches on queue worker threads) owns signal handling.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    _SIGNAL_TRIPPED.clear()
+
+    def _raise(signum: int, frame: Any) -> None:
+        _SIGNAL_TRIPPED.append(signum)
+        raise KeyboardInterrupt(f"terminated by signal {signum}")
+
+    previous: dict[int, Any] = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _raise)
+        except (ValueError, OSError):  # pragma: no cover - exotic embeddings
+            pass
+
+    def restore() -> None:
+        while previous:
+            sig, handler = previous.popitem()
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    return restore
+
+
+#: Signal numbers latched by the armed conversion handler (main thread
+#: only; cleared on each arming).
+_SIGNAL_TRIPPED: "list[int]" = []
+
+
+def _raise_if_signalled() -> None:
+    """Re-raise a converted signal whose ``KeyboardInterrupt`` was lost.
+
+    See :func:`_arm_signal_conversion`: when the armed handler fires in an
+    unraisable context (an at-fork callback during worker spawn), the
+    exception is discarded but the latch survives. The process-tier
+    dispatch loop calls this between blocking stretches so the batch still
+    walks the abort path.
+    """
+    if _SIGNAL_TRIPPED:
+        raise KeyboardInterrupt(f"terminated by signal {_SIGNAL_TRIPPED[-1]}")
 
 
 # -- process-tier worker half (module level: importable under any start method)

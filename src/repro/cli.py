@@ -35,6 +35,11 @@ exit code is 1 when any job failed (0 otherwise). ``--retries N`` re-runs
 failed jobs, and ``--job-timeout SECONDS`` bounds each job cooperatively
 (also valid for single jobs, where it sets the config's ``job_timeout``).
 
+A third form runs the long-lived anonymization service (HTTP job API with
+per-tenant warm caches — see :mod:`repro.service`)::
+
+    python -m repro serve --port 8035 --queue-workers 2
+
 Flags are parsed into the same :class:`repro.api.AnonymizationConfig` a
 ``--config`` file deserializes to, and both run through
 :func:`repro.api.run` — the CLI has no private algorithm table or wiring of
@@ -63,7 +68,7 @@ from .api import (
 from .core.io import read_csv, write_csv
 from .errors import ConfigError, ReproError
 
-__all__ = ["main", "build_parser", "config_from_args"]
+__all__ = ["main", "build_parser", "build_serve_parser", "config_from_args"]
 
 #: Suppression budgets the flag-mode CLI has always used per algorithm
 #: (registry defaults are library-wide; these preserve CLI behavior).
@@ -314,7 +319,96 @@ def _failure_summary(index: int, failure: JobFailure) -> str:
     )
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the long-lived anonymization service (HTTP job API).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8035,
+                        help="bind port (default 8035; 0 picks a free port)")
+    parser.add_argument("--queue-workers", type=int, default=2, metavar="N",
+                        help="worker threads draining the job queue")
+    parser.add_argument("--queue-depth", type=int, default=32, metavar="N",
+                        help="max queued batches before POSTs get 503")
+    parser.add_argument("--tenants-config", default=None, metavar="JSON",
+                        help="per-tenant policy file: {tenant: {'cache_bytes': "
+                             "N, 'max_environments': M}}; unlisted tenants "
+                             "get the defaults")
+    parser.add_argument("--replay-log", default=None, metavar="PATH",
+                        help="append-only JSONL log of every accepted job and "
+                             "outcome; replayable to byte-identical releases")
+    parser.add_argument("--data-root", default=None, metavar="DIR",
+                        help="allow jobs to reference server-side CSVs via "
+                             "{'path': ...} resolved under this directory "
+                             "(inline CSV is always allowed)")
+    parser.add_argument("--service-cache-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="global cap on the sum of live tenants' warm-"
+                             "cache budgets; exceeding it evicts LRU tenants")
+    parser.add_argument("--default-cache-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="warm-cache budget for tenants not in "
+                             "--tenants-config")
+    return parser
+
+
+def _serve(argv: list[str]) -> int:
+    from .api.executor import _arm_signal_conversion
+    from .service import AnonymizationService, create_server
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    tenants_config = None
+    if args.tenants_config is not None:
+        try:
+            tenants_config = json.loads(Path(args.tenants_config).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: --tenants-config: {exc}", file=sys.stderr)
+            return 2
+    try:
+        service = AnonymizationService(
+            tenants_config=tenants_config,
+            queue_workers=args.queue_workers,
+            queue_depth=args.queue_depth,
+            replay_path=args.replay_log,
+            data_root=args.data_root,
+            service_cache_bytes=args.service_cache_bytes,
+            default_cache_bytes=args.default_cache_bytes,
+        )
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = create_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    # Flushed line with the bound port so wrappers (CI smoke, benchmarks)
+    # can parse it even when --port 0 asked for an ephemeral one.
+    print(f"repro service listening on http://{host}:{port}", flush=True)
+    # Install our own SIGINT/SIGTERM handlers: shells start background
+    # children (`repro serve ... &`) with SIGINT ignored, and SIGTERM's
+    # default disposition would skip the shutdown path below entirely.
+    restore = _arm_signal_conversion()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        restore()
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # The anonymize parser has two positionals; dispatch the service
+        # subcommand before it so `repro serve --port N` never parses as
+        # input/output paths.
+        return _serve(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.workers < 1:

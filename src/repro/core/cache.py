@@ -393,6 +393,81 @@ class EngineCacheStore:
                 "policy": self.policy,
             }
 
+    def occupancy(self) -> dict:
+        """Structured snapshot of what currently occupies the store.
+
+        The service/metrics view of residency (where :meth:`info` is the
+        counter view): total entries/bytes against the configured budget,
+        plus a per-QI-subset breakdown — entry count, accounted bytes, and
+        the cached level-sum strata — so an operator can see *which*
+        environments and lattice regions a warm store is holding. Taken
+        under the mutex; cheap (O(entries)).
+        """
+        with self._mutex:
+            by_names: dict[str, dict[str, Any]] = {}
+            for (names, node), _ in self._entries.items():
+                slot = by_names.setdefault(
+                    ",".join(names), {"entries": 0, "bytes": 0, "strata": set()}
+                )
+                slot["entries"] += 1
+                slot["bytes"] += self._accounted[(names, node)]
+                slot["strata"].add(sum(node))
+            for slot in by_names.values():
+                slot["strata"] = sorted(slot["strata"])
+            return {
+                "entries": len(self._entries),
+                "bytes": self._cached_bytes,
+                "cache_bytes": self.cache_bytes,
+                "utilization": (
+                    round(self._cached_bytes / self.cache_bytes, 4)
+                    if self.cache_bytes
+                    else 0.0
+                ),
+                "policy": self.policy,
+                "by_names": by_names,
+            }
+
+    def resize(self, cache_bytes: int) -> int:
+        """Change the byte budget and evict down to it immediately.
+
+        The multi-tenant seam: a tenant's budget is re-sliced across its
+        live environment stores as environments come and go, and a shrink
+        must take effect now — not at the next insert — or a dormant store
+        would squat on bytes its tenant no longer has. At least one entry
+        survives (matching the insert-path invariant that a single
+        over-budget entry is kept). Returns the number of evictions.
+        """
+        try:
+            budget = check_cache_bytes(cache_bytes)
+        except ValueError as exc:
+            raise ValueError(f"cache_bytes {exc}") from None
+        with self._mutex:
+            self.cache_bytes = budget
+            evicted = 0
+            while len(self._entries) > 1 and self._cached_bytes > self.cache_bytes:
+                self._evict_one()
+                evicted += 1
+            return evicted
+
+    def rebind(self, engine: Any) -> int:
+        """Re-home every cached entry's lazy-growth hooks onto ``engine``.
+
+        The cross-request warm-start seam: a store that outlives the
+        evaluator it was filled through (the service keeps one per tenant ×
+        environment) is handed to the next request's fresh evaluator, and
+        its entries' ``_engine`` references — used for lazy histogram /
+        row-label growth and byte accounting — must point at the live
+        evaluator, not the retired one (which would otherwise pin the
+        previous request's table). Safe exactly when the new evaluator is
+        built over a byte-identical table and equal hierarchies, which is
+        what the environment fingerprint guarantees. Returns the number of
+        entries rebound.
+        """
+        with self._mutex:
+            for stats in self._entries.values():
+                stats._engine = engine
+            return len(self._entries)
+
     def clear(self) -> None:
         """Drop every cached entry (counters survive; they are cumulative).
 

@@ -44,6 +44,9 @@ the descriptor instead.
 
 from __future__ import annotations
 
+import secrets
+import signal
+import threading
 import weakref
 from multiprocessing import shared_memory
 from typing import Any, Mapping
@@ -58,6 +61,75 @@ __all__ = ["ShmArena", "SharedDataset", "attach_dataset"]
 
 #: Per-array alignment inside the block (cache-line sized).
 _ALIGN = 64
+
+
+def _defer_signals():
+    """Block SIGINT/SIGTERM delivery on the main thread; return a restorer.
+
+    ``SharedMemory(create=True)`` creates the kernel object *inside* the C
+    call: a signal converted to ``KeyboardInterrupt`` between that point
+    and the ``ShmArena`` constructor arming its finalizer would orphan a
+    segment no Python object references. Masking is the only closure of
+    that window — the pending signal is delivered (and the converted
+    exception raised) right after the mask is restored, where an owner
+    with a cleanup backstop already exists. No-op off the main thread
+    (where the interpreter never raises converted signals anyway) and on
+    platforms without ``pthread_sigmask``.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    try:
+        old = signal.pthread_sigmask(
+            signal.SIG_BLOCK, {signal.SIGINT, signal.SIGTERM}
+        )
+    except (AttributeError, ValueError, OSError):  # pragma: no cover
+        return lambda: None
+    return lambda: signal.pthread_sigmask(signal.SIG_SETMASK, old)
+
+
+def _prewarm_resource_tracker() -> None:
+    """Spawn multiprocessing's resource tracker before any signal mask.
+
+    CPython's ``ResourceTracker.ensure_running`` unconditionally
+    *unblocks* SIGINT/SIGTERM after its first spawn (it cannot know the
+    caller deliberately masked them), and the spawn happens lazily inside
+    the first ``SharedMemory(create=True)`` — i.e. exactly in the middle
+    of the window :func:`_defer_signals` closes. Warming the tracker
+    first makes the in-constructor ``ensure_running`` a no-op that leaves
+    the caller's mask alone.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+
+
+def _create_block(size: int) -> shared_memory.SharedMemory:
+    """``SharedMemory(create=True)`` that cannot orphan a kernel segment.
+
+    The stdlib constructor can raise *after* ``shm_open`` succeeded
+    (tracker registration runs last, and a converted signal can fire
+    inside it); with a stdlib-generated anonymous name the caller then
+    has nothing to unlink by. Naming the segment ourselves keeps a
+    handle for cleanup on any failure. The ``psm_`` prefix matches the
+    stdlib's so ``/dev/shm`` hygiene checks need only one pattern.
+    """
+    while True:
+        name = f"psm_repro_{secrets.token_hex(8)}"
+        try:
+            return shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:  # pragma: no cover - 64-bit collision
+            continue
+        except BaseException:
+            try:
+                stale = shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, OSError):  # died before shm_open
+                pass
+            else:
+                _unlink_quietly(stale)
+            raise
 
 
 def _unlink_quietly(block: shared_memory.SharedMemory) -> None:
@@ -112,14 +184,30 @@ class ShmArena:
             offset = -(-offset // _ALIGN) * _ALIGN  # round up to alignment
             layout[key] = (array.dtype.str, array.shape, offset)
             offset += array.nbytes
-        block = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        for key, array in arrays.items():
-            array = np.ascontiguousarray(array)
-            dtype, shape, off = layout[key]
-            dst = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf, offset=off)
-            np.copyto(dst, array)
-            del dst  # views must not outlive the copy: close() would refuse
-        return ShmArena(block, layout, owner=True)
+        _prewarm_resource_tracker()
+        restore_mask = _defer_signals()
+        try:
+            block = _create_block(max(offset, 1))
+            try:
+                for key, array in arrays.items():
+                    array = np.ascontiguousarray(array)
+                    dtype, shape, off = layout[key]
+                    dst = np.ndarray(
+                        shape, dtype=np.dtype(dtype), buffer=block.buf, offset=off
+                    )
+                    np.copyto(dst, array)
+                    del dst  # views must not outlive the copy: close() refuses
+            except BaseException:
+                # Interrupted mid-copy (a fault injection, OOM, ...): no
+                # ShmArena owns the block yet, so its finalizer backstop
+                # cannot fire — unlink here or the segment outlives us.
+                _unlink_quietly(block)
+                raise
+            return ShmArena(block, layout, owner=True)
+        finally:
+            # A masked signal fires here at the earliest — after the owner
+            # (and its unlink backstop) exists.
+            restore_mask()
 
     def descriptor(self) -> dict[str, Any]:
         """Picklable attachment recipe: block name + per-array layout."""

@@ -1,0 +1,108 @@
+"""Thin stdlib HTTP client for the anonymization service.
+
+``urllib.request`` only — the client must be importable anywhere the
+library is, including the CI smoke job and the benchmark harness. Errors
+come back as :class:`ServiceError` carrying the HTTP status and the
+server's ``error`` message, so callers can branch on 503 (queue full,
+retry later) versus 400 (fix the payload).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Client bound to one base URL and one tenant."""
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8035",
+        tenant: str | None = None,
+        timeout: float = 30.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- submission ------------------------------------------------------------
+
+    def submit_job(self, config: dict, data: dict, **options: Any) -> dict:
+        """POST /v1/jobs; returns ``{"job_id", "batch_id", "status"}``."""
+        payload = {"config": config, "data": data, **options}
+        return self._request("POST", "/v1/jobs", payload)
+
+    def submit_batch(self, jobs: list[dict], data: dict, **options: Any) -> dict:
+        """POST /v1/batches; returns ``{"batch_id", "job_ids", "status"}``."""
+        payload = {"jobs": jobs, "data": data, **options}
+        return self._request("POST", "/v1/batches", payload)
+
+    # -- retrieval -------------------------------------------------------------
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def batch(self, batch_id: str) -> dict:
+        return self._request("GET", f"/v1/batches/{batch_id}")
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state (``done``/``failed``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def release_csv(self, job_id: str) -> bytes:
+        """GET /v1/jobs/{id}/release — the anonymized table, CSV bytes."""
+        return self._request("GET", f"/v1/jobs/{job_id}/release", raw=True)
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None, raw: bool = False
+    ) -> Any:
+        headers = {"Content-Type": "application/json"}
+        if self.tenant is not None:
+            headers["X-Tenant"] = self.tenant
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                content = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                message = json.loads(detail).get("error", detail.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = detail.decode(errors="replace")
+            raise ServiceError(exc.code, message) from None
+        return content if raw else json.loads(content)

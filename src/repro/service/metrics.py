@@ -1,0 +1,117 @@
+"""Service telemetry: counters and latency histograms for ``/metrics``.
+
+Everything here is stdlib-only, thread-safe, and cheap to read — the
+``/metrics`` endpoint snapshots under one lock while queue workers observe
+under the same lock, so a scrape never sees a half-updated histogram.
+
+Latencies are recorded into fixed log-spaced buckets
+(:data:`LATENCY_BUCKETS`, 1 ms → 60 s) in the cumulative "observations at
+or below this bound" convention, so the JSON snapshot converts directly to
+a Prometheus-style histogram if an exporter ever fronts the service.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any
+
+__all__ = ["LATENCY_BUCKETS", "LatencyHistogram", "ServiceMetrics"]
+
+#: Histogram bucket upper bounds in seconds (log-spaced, 1 ms → 60 s);
+#: observations above the last bound land in the implicit +Inf bucket.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (unlocked; callers hold the lock)."""
+
+    __slots__ = ("_counts", "count", "total")
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(LATENCY_BUCKETS) + 1)  # last = +Inf
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._counts[bisect_left(LATENCY_BUCKETS, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+
+    def snapshot(self) -> dict[str, Any]:
+        """Cumulative ``le`` buckets plus count/sum, JSON-safe."""
+        buckets = []
+        running = 0
+        for bound, n in zip(LATENCY_BUCKETS, self._counts):
+            running += n
+            buckets.append({"le": bound, "count": running})
+        buckets.append({"le": "inf", "count": self.count})
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "avg": round(self.total / self.count, 6) if self.count else 0.0,
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """The service's counter/histogram registry.
+
+    Tracks job lifecycle counts (accepted / completed / failed / rejected)
+    globally and per tenant, plus two latency histograms: ``queue_seconds``
+    (accept → start, the queueing delay under load) and ``run_seconds``
+    (start → finish, the execution cost — where warm tenant caches show up
+    as a left-shifted distribution).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {
+            "accepted": 0, "completed": 0, "failed": 0, "rejected": 0,
+        }
+        self._by_tenant: dict[str, dict[str, int]] = {}
+        self.queue_seconds = LatencyHistogram()
+        self.run_seconds = LatencyHistogram()
+
+    def _tenant(self, tenant: str) -> dict[str, int]:
+        slot = self._by_tenant.get(tenant)
+        if slot is None:
+            slot = self._by_tenant[tenant] = {
+                "accepted": 0, "completed": 0, "failed": 0,
+            }
+        return slot
+
+    def accepted(self, tenant: str, jobs: int = 1) -> None:
+        with self._lock:
+            self._counts["accepted"] += jobs
+            self._tenant(tenant)["accepted"] += jobs
+
+    def rejected(self, jobs: int = 1) -> None:
+        with self._lock:
+            self._counts["rejected"] += jobs
+
+    def finished(
+        self,
+        tenant: str,
+        ok: bool,
+        queue_seconds: float,
+        run_seconds: float,
+    ) -> None:
+        with self._lock:
+            key = "completed" if ok else "failed"
+            self._counts[key] += 1
+            self._tenant(tenant)[key] += 1
+            self.queue_seconds.observe(queue_seconds)
+            self.run_seconds.observe(run_seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "jobs": dict(self._counts),
+                "by_tenant": {t: dict(c) for t, c in self._by_tenant.items()},
+                "queue_seconds": self.queue_seconds.snapshot(),
+                "run_seconds": self.run_seconds.snapshot(),
+            }

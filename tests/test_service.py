@@ -1,0 +1,616 @@
+"""Service-layer contract tests.
+
+What must hold:
+
+* the HTTP surface (jobs, batches, release streaming, healthz, metrics)
+  answers correctly, and a release fetched over HTTP is byte-identical to
+  the same config executed through :func:`repro.api.run` in-process;
+* tenancy isolates: another tenant's job id is a 404, a tenant's second
+  identical-environment batch is served warm (memo hits, no row rescans)
+  while a different tenant's first batch stays cold;
+* budgets bind: tenant slices re-divide across environments, shrinks evict
+  immediately, the environment/tenant LRU ladders fire deterministically;
+* the replay log re-runs to byte-identical releases;
+* ``cache_stores`` warm-starts work at the executor level across two
+  separate :func:`run_batch` calls;
+* SIGTERM during a process-backend batch leaves zero ``/dev/shm`` residue
+  (the graceful-shutdown satellite), verified by a subprocess leak census.
+"""
+
+import glob
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.api import AnonymizationConfig, run, run_batch
+from repro.api.executor import _environment_key
+from repro.core.cache import EngineCacheStore
+from repro.errors import ConfigError
+from repro.service import (
+    AnonymizationService,
+    QueueFull,
+    ServiceClient,
+    ServiceError,
+    TenantCaches,
+    create_server,
+    read_events,
+    replay,
+)
+from repro.service.data import load_data_spec, release_csv_bytes, table_sha256
+from repro.service.metrics import LATENCY_BUCKETS, LatencyHistogram, ServiceMetrics
+
+CSV_TEXT = (
+    "zipcode,job,age,disease\n"
+    "13053,engineer,29,flu\n"
+    "13068,teacher,31,hiv\n"
+    "13053,engineer,35,ulcer\n"
+    "13068,nurse,40,flu\n"
+    "14850,teacher,22,flu\n"
+    "14850,nurse,24,cancer\n"
+    "14853,engineer,28,hiv\n"
+    "14853,teacher,33,ulcer\n"
+)
+
+JOB = {
+    "quasi_identifiers": ["zipcode", "job"],
+    "numeric_quasi_identifiers": ["age"],
+    "sensitive": ["disease"],
+    "models": [{"model": "k-anonymity", "k": 2}],
+    "algorithm": {"algorithm": "flash"},
+}
+
+DATA = {
+    "csv": CSV_TEXT,
+    "categorical": ["zipcode", "job", "disease"],
+    "numeric": ["age"],
+}
+
+#: Same table, different QI roles — a second environment for ladder tests.
+JOB_OTHER_ENV = {**JOB, "quasi_identifiers": ["zipcode"]}
+
+
+def _wait(service, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = service.job(record_tenant(service, job_id), job_id)
+        if record is not None and record.status in ("done", "failed"):
+            return record
+        time.sleep(0.01)
+    raise TimeoutError(f"job {job_id} not terminal after {timeout}s")
+
+
+def record_tenant(service, job_id):
+    with service._lock:
+        return service._jobs[job_id].tenant
+
+
+@pytest.fixture
+def service():
+    svc = AnonymizationService(queue_workers=1, queue_depth=8)
+    yield svc
+    svc.close()
+
+
+# ---------------------------------------------------------------------------
+# metrics
+
+
+class TestMetrics:
+    def test_histogram_buckets_are_cumulative(self):
+        hist = LatencyHistogram()
+        for value in (0.0005, 0.3, 0.3, 1e9):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        by_le = {b["le"]: b["count"] for b in snap["buckets"]}
+        assert by_le[0.001] == 1
+        assert by_le[0.5] == 3
+        assert by_le["inf"] == 4
+        assert len(snap["buckets"]) == len(LATENCY_BUCKETS) + 1
+
+    def test_registry_counts_per_tenant(self):
+        metrics = ServiceMetrics()
+        metrics.accepted("a", 2)
+        metrics.finished("a", True, 0.01, 0.5)
+        metrics.finished("a", False, 0.01, 0.5)
+        metrics.rejected(3)
+        snap = metrics.snapshot()
+        assert snap["jobs"] == {
+            "accepted": 2, "completed": 1, "failed": 1, "rejected": 3,
+        }
+        assert snap["by_tenant"]["a"]["completed"] == 1
+        assert snap["run_seconds"]["count"] == 2
+
+
+# ---------------------------------------------------------------------------
+# data specs
+
+
+class TestDataSpec:
+    def test_inline_round_trip_and_digest(self):
+        table, digest, normalized = load_data_spec(DATA)
+        assert table.n_rows == 8
+        assert normalized["csv"] == CSV_TEXT
+        # digest covers roles, not just bytes
+        _, other, _ = load_data_spec({**DATA, "numeric": []})
+        assert digest != other
+
+    def test_path_requires_data_root(self):
+        with pytest.raises(ConfigError, match="data root"):
+            load_data_spec({"path": "x.csv"})
+
+    def test_path_cannot_escape_root(self, tmp_path):
+        (tmp_path / "ok.csv").write_text(CSV_TEXT)
+        table, _, normalized = load_data_spec(
+            {"path": "ok.csv", "categorical": DATA["categorical"],
+             "numeric": ["age"]},
+            data_root=tmp_path,
+        )
+        assert table.n_rows == 8 and normalized["path"] == "ok.csv"
+        with pytest.raises(ConfigError, match="escapes"):
+            load_data_spec({"path": "../etc/passwd"}, data_root=tmp_path)
+
+    def test_rejects_malformed_specs(self):
+        for bad in (None, [], {"csv": ""}, {"neither": 1},
+                    {"csv": CSV_TEXT, "categorical": "zipcode"}):
+            with pytest.raises(ConfigError):
+                load_data_spec(bad)
+
+
+# ---------------------------------------------------------------------------
+# tenant caches: slicing and the eviction ladder
+
+
+class TestTenantCaches:
+    def test_stores_keyed_by_data_and_evaluator(self):
+        caches = TenantCaches()
+        first = caches.stores_for("a", "digest1", ["env1"])["env1"]
+        again = caches.stores_for("a", "digest1", ["env1"])["env1"]
+        assert again is first  # warm: same store object survives
+        other_data = caches.stores_for("a", "digest2", ["env1"])["env1"]
+        assert other_data is not first  # different table bytes: no reuse
+        other_tenant = caches.stores_for("b", "digest1", ["env1"])["env1"]
+        assert other_tenant is not first  # tenants never share stores
+
+    def test_budget_reslices_across_environments(self):
+        budget = 64 << 20
+        caches = TenantCaches({"a": {"cache_bytes": budget}})
+        store1 = caches.stores_for("a", "d", ["e1"])["e1"]
+        assert store1.cache_bytes == budget
+        caches.stores_for("a", "d", ["e2"])
+        assert store1.cache_bytes == budget // 2  # re-sliced on growth
+
+    def test_environment_lru_cap(self):
+        caches = TenantCaches({"a": {"max_environments": 2}})
+        caches.stores_for("a", "d", ["e1"])
+        caches.stores_for("a", "d", ["e2"])
+        caches.stores_for("a", "d", ["e3"])  # evicts e1
+        assert caches.counters["environments_evicted"] == 1
+        store = caches.stores_for("a", "d", ["e1"])["e1"]
+        assert store.cache_bytes  # recreated cold, not an error
+
+    def test_global_tenant_lru_eviction(self):
+        byte_budget = 8 << 20
+        caches = TenantCaches(
+            {t: {"cache_bytes": byte_budget} for t in "abc"},
+            service_cache_bytes=2 * byte_budget,
+        )
+        caches.stores_for("a", "d", ["e"])
+        caches.stores_for("b", "d", ["e"])
+        caches.stores_for("c", "d", ["e"])  # sum 3x budget: evict LRU ("a")
+        assert caches.counters["tenants_evicted"] == 1
+        occupancy = caches.occupancy()
+        assert set(occupancy["tenants"]) == {"b", "c"}
+
+    def test_resize_evicts_immediately(self):
+        store = EngineCacheStore(cache_limit=None, cache_bytes=1 << 30)
+        table, _, _ = load_data_spec(DATA)
+        result = run(AnonymizationConfig.from_dict(JOB), table)
+        # seed entries through a real evaluator sharing the store
+        config = AnonymizationConfig.from_dict(JOB)
+        run_batch([config], table,
+                  cache_stores={_environment_key(config)[0]: store})
+        assert store.occupancy()["entries"] > 1
+        evicted = store.resize(1 << 20)
+        assert evicted >= 0 and store.cache_bytes == 1 << 20
+        assert store.occupancy()["entries"] >= 1
+        assert result is not None
+
+
+# ---------------------------------------------------------------------------
+# executor warm starts across run_batch calls (satellite)
+
+
+class TestCacheStoreWarmStart:
+    def test_second_run_batch_is_memo_served(self):
+        table, _, _ = load_data_spec(DATA)
+        config = AnonymizationConfig.from_dict(JOB)
+        key = _environment_key(config)[0]
+        store = EngineCacheStore(cache_limit=None)
+        cold = run_batch([config], table, cache_stores={key: store})
+        after_cold = dict(store.counters)
+        assert after_cold["from_rows"] >= 1  # the cold run scanned rows
+        warm = run_batch([config], table, cache_stores={key: store})
+        after_warm = dict(store.counters)
+        # warm run: every node a memo hit, zero row rescans, zero rollups
+        assert after_warm["from_rows"] == after_cold["from_rows"]
+        assert after_warm["rollups"] == after_cold["rollups"]
+        assert after_warm["hits"] > after_cold["hits"]
+        assert (release_csv_bytes(cold[0].release.table)
+                == release_csv_bytes(warm[0].release.table))
+
+    def test_injected_store_budget_is_respected_not_resliced(self):
+        table, _, _ = load_data_spec(DATA)
+        config = AnonymizationConfig.from_dict(JOB)
+        key = _environment_key(config)[0]
+        store = EngineCacheStore(cache_limit=None, cache_bytes=32 << 20)
+        run_batch([config], table, cache_stores={key: store},
+                  cache_bytes=256 << 20)
+        assert store.cache_bytes == 32 << 20  # planner left it alone
+
+    def test_uninjected_environments_unaffected(self):
+        table, _, _ = load_data_spec(DATA)
+        config = AnonymizationConfig.from_dict(JOB)
+        other = AnonymizationConfig.from_dict(JOB_OTHER_ENV)
+        store = EngineCacheStore(cache_limit=None)
+        key = _environment_key(config)[0]
+        results = run_batch([config, other], table, cache_stores={key: store})
+        assert all(r.status == "ok" for r in results)
+        assert store.counters["misses"] > 0  # injected env went through store
+
+
+# ---------------------------------------------------------------------------
+# service: admission, lookup, tenancy, warm serving
+
+
+class TestService:
+    def test_job_lifecycle_and_release_byte_identity(self, service):
+        out = service.submit_job("acme", {"config": JOB, "data": DATA})
+        record = _wait(service, out["job_id"])
+        assert record.status == "done"
+        payload = record.to_dict()
+        assert payload["result"]["version"] == repro.__version__
+        assert payload["result"]["status"] == "ok"
+        served = service.release_bytes("acme", out["job_id"])
+        table, _, _ = load_data_spec(DATA)
+        direct = run(AnonymizationConfig.from_dict(JOB), table)
+        assert served == release_csv_bytes(direct.release.table)
+        assert table_sha256(direct.release.table) == record.release_sha256
+
+    def test_batch_submission_and_status(self, service):
+        out = service.submit_batch(
+            "acme", {"jobs": [JOB, JOB_OTHER_ENV], "data": DATA, "workers": 2}
+        )
+        assert len(out["job_ids"]) == 2
+        for job_id in out["job_ids"]:
+            assert _wait(service, job_id).status == "done"
+        records = service.batch("acme", out["batch_id"])
+        assert [r.status for r in records] == ["done", "done"]
+
+    def test_cross_tenant_lookup_is_404_shaped(self, service):
+        out = service.submit_job("acme", {"config": JOB, "data": DATA})
+        _wait(service, out["job_id"])
+        assert service.job("rival", out["job_id"]) is None
+        assert service.batch("rival", out["batch_id"]) is None
+        assert service.release_bytes("rival", out["job_id"]) is None
+
+    def test_second_identical_batch_served_warm_other_tenant_cold(self, service):
+        first = service.submit_job("acme", {"config": JOB, "data": DATA})
+        _wait(service, first["job_id"])
+        occupancy = service.caches.occupancy()
+        (env,) = occupancy["tenants"]["acme"]["environments"].values()
+        cold_counters = env["counters"]
+        assert cold_counters["from_rows"] >= 1
+        second = service.submit_job("acme", {"config": JOB, "data": DATA})
+        _wait(service, second["job_id"])
+        occupancy = service.caches.occupancy()
+        (env,) = occupancy["tenants"]["acme"]["environments"].values()
+        warm_counters = env["counters"]
+        # warm: no new row scans or rollups, strictly more memo hits
+        assert warm_counters["from_rows"] == cold_counters["from_rows"]
+        assert warm_counters["rollups"] == cold_counters["rollups"]
+        assert warm_counters["hits"] > cold_counters["hits"]
+        # a different tenant starts cold in its own store
+        other = service.submit_job("rival", {"config": JOB, "data": DATA})
+        _wait(service, other["job_id"])
+        occupancy = service.caches.occupancy()
+        (rival_env,) = occupancy["tenants"]["rival"]["environments"].values()
+        assert rival_env["counters"]["from_rows"] >= 1
+        assert rival_env["counters"]["hits"] == 0 or (
+            rival_env["counters"]["from_rows"] >= 1
+        )
+
+    def test_failed_job_is_collected_not_fatal(self, service):
+        infeasible = {**JOB, "models": [{"model": "k-anonymity", "k": 10**9}]}
+        out = service.submit_batch(
+            "acme", {"jobs": [infeasible, JOB], "data": DATA}
+        )
+        bad = _wait(service, out["job_ids"][0])
+        good = _wait(service, out["job_ids"][1])
+        assert bad.status == "failed" and bad.error["error"]["type"]
+        assert good.status == "done"
+        with pytest.raises(Exception):
+            service.release_bytes("acme", out["job_ids"][0])
+
+    def test_admission_validation(self, service):
+        with pytest.raises(ConfigError, match="non-empty list"):
+            service.submit_batch("acme", {"jobs": [], "data": DATA})
+        with pytest.raises(ConfigError, match="unknown batch keys"):
+            service.submit_batch(
+                "acme", {"jobs": [JOB], "data": DATA, "on_error": "raise"}
+            )
+        with pytest.raises(ConfigError, match="'plan'"):
+            service.submit_batch(
+                "acme", {"jobs": [JOB], "data": DATA, "plan": "nope"}
+            )
+        with pytest.raises(ConfigError):
+            service.submit_job("acme", {"data": DATA})
+
+    def test_queue_full_rejects_and_rolls_back(self, monkeypatch):
+        gate = threading.Event()
+        from repro.service import queue as queue_module
+        real = queue_module.run_batch
+
+        def blocked(*args, **kwargs):
+            gate.wait(30)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(queue_module, "run_batch", blocked)
+        svc = AnonymizationService(queue_workers=1, queue_depth=1)
+        try:
+            running = svc.submit_job("a", {"config": JOB, "data": DATA})
+            time.sleep(0.05)  # let the worker pick it up and block
+            queued = svc.submit_job("a", {"config": JOB, "data": DATA})
+            with pytest.raises(QueueFull):
+                svc.submit_job("a", {"config": JOB, "data": DATA})
+            # the rejected job left no registry orphan
+            assert len(svc._jobs) == 2
+            assert svc.metrics.snapshot()["jobs"]["rejected"] == 1
+            gate.set()
+            assert _wait(svc, running["job_id"]).status == "done"
+            assert _wait(svc, queued["job_id"]).status == "done"
+        finally:
+            gate.set()
+            svc.close()
+
+
+# ---------------------------------------------------------------------------
+# replay log
+
+
+class TestReplay:
+    def test_log_records_and_replays_byte_identical(self, tmp_path):
+        log_path = tmp_path / "replay.jsonl"
+        svc = AnonymizationService(
+            queue_workers=1, queue_depth=8, replay_path=str(log_path)
+        )
+        try:
+            out = svc.submit_batch("acme", {"jobs": [JOB], "data": DATA})
+            _wait(svc, out["job_ids"][0])
+        finally:
+            svc.close()
+        events = list(read_events(log_path))
+        kinds = [e["event"] for e in events]
+        assert kinds == ["accepted", "completed"]
+        assert events[0]["tenant"] == "acme"
+        assert events[0]["data"]["csv"] == CSV_TEXT
+        assert events[1]["status"] == "ok" and events[1]["release_sha256"]
+        report = replay(log_path)
+        assert [entry["match"] for entry in report] == [True]
+        assert report[0]["release_sha256"] == events[1]["release_sha256"]
+
+    def test_failed_jobs_logged_and_matched(self, tmp_path):
+        log_path = tmp_path / "replay.jsonl"
+        infeasible = {**JOB, "models": [{"model": "k-anonymity", "k": 10**9}]}
+        svc = AnonymizationService(
+            queue_workers=1, queue_depth=8, replay_path=str(log_path)
+        )
+        try:
+            out = svc.submit_job("acme", {"config": infeasible, "data": DATA})
+            _wait(svc, out["job_id"])
+        finally:
+            svc.close()
+        report = replay(log_path)
+        assert report[0]["status"] == "failed"
+        assert report[0]["match"] is True
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface (live ThreadingHTTPServer on an ephemeral port)
+
+
+@pytest.fixture
+def http_service():
+    svc = AnonymizationService(queue_workers=1, queue_depth=4)
+    server = create_server(svc, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    yield svc, f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+    svc.close()
+
+
+class TestHTTP:
+    def test_end_to_end_over_http(self, http_service):
+        _, base = http_service
+        client = ServiceClient(base, tenant="acme")
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"] == repro.__version__
+        out = client.submit_job(JOB, DATA)
+        record = client.wait(out["job_id"], timeout=30)
+        assert record["status"] == "done"
+        assert record["result"]["version"] == repro.__version__
+        served = client.release_csv(out["job_id"])
+        table, _, _ = load_data_spec(DATA)
+        direct = run(AnonymizationConfig.from_dict(JOB), table)
+        assert served == release_csv_bytes(direct.release.table)
+        metrics = client.metrics()
+        assert metrics["jobs"]["completed"] >= 1
+        assert "acme" in metrics["caches"]["tenants"]
+        assert metrics["queue"]["capacity"] == 4
+
+    def test_http_error_mapping(self, http_service):
+        _, base = http_service
+        client = ServiceClient(base, tenant="acme")
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("j99999999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_batch([], DATA)
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_job({**JOB, "models": [{"model": "nope"}]}, DATA)
+        assert excinfo.value.status == 400
+        bad_tenant = ServiceClient(base, tenant="..")
+        with pytest.raises(ServiceError) as excinfo:
+            bad_tenant.healthz()
+        assert excinfo.value.status == 400
+
+    def test_release_before_done_is_409(self, http_service):
+        svc, base = http_service
+        client = ServiceClient(base, tenant="acme")
+        # register a record directly, bypassing the queue, so it stays queued
+        from repro.service.queue import JobRecord
+        with svc._lock:
+            svc._jobs["j77777777"] = JobRecord(
+                id="j77777777", batch_id="b0", tenant="acme",
+                config=AnonymizationConfig.from_dict(JOB),
+            )
+        with pytest.raises(ServiceError) as excinfo:
+            client.release_csv("j77777777")
+        assert excinfo.value.status == 409
+
+    def test_unknown_path_404(self, http_service):
+        _, base = http_service
+        client = ServiceClient(base)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v2/nope")
+        assert excinfo.value.status == 404
+
+
+# ---------------------------------------------------------------------------
+# CLI serve subcommand
+
+
+class TestServeCLI:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+        args = build_serve_parser().parse_args([])
+        assert args.port == 8035 and args.queue_workers == 2
+
+    def test_serve_subprocess_round_trip(self, tmp_path):
+        tenants = tmp_path / "tenants.json"
+        tenants.write_text(json.dumps({"acme": {"cache_bytes": 64 << 20}}))
+        env = {**os.environ, "PYTHONPATH": "src"}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--queue-workers", "1", "--tenants-config", str(tenants)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env, cwd=Path(__file__).resolve().parent.parent,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            match = re.search(r"http://([\d.]+):(\d+)$", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            client = ServiceClient(
+                f"http://{match.group(1)}:{match.group(2)}", tenant="acme"
+            )
+            out = client.submit_job(JOB, DATA)
+            record = client.wait(out["job_id"], timeout=30)
+            assert record["status"] == "done"
+        finally:
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=15) == 0
+
+
+# ---------------------------------------------------------------------------
+# graceful shutdown: SIGTERM mid process-backend batch leaks no shm
+
+
+_SIGTERM_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.api import AnonymizationConfig, run_batch
+from repro.core.io import read_csv
+
+table = read_csv({csv_path!r},
+                 categorical=["zipcode", "job", "disease"], numeric=["age"])
+# Two distinct environments: the process tier only engages with more than
+# one environment group (one worker process per group).
+configs = [AnonymizationConfig.from_dict(job) for job in ({job!r}, {other!r})]
+print("READY", flush=True)
+try:
+    run_batch(configs * 2, table, backend="process", workers=2)
+except KeyboardInterrupt:
+    print("INTERRUPTED", flush=True)
+    raise SystemExit(3)
+print("DONE", flush=True)
+"""
+
+
+class TestGracefulShutdown:
+    def test_sigterm_mid_process_batch_leaves_no_shm(self, tmp_path):
+        csv_path = tmp_path / "data.csv"
+        csv_path.write_text(CSV_TEXT)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        script = _SIGTERM_SCRIPT.format(
+            src=src, csv_path=str(csv_path), job=JOB, other=JOB_OTHER_ENV
+        )
+        env = {
+            **os.environ,
+            # slow every node evaluation so SIGTERM lands mid-batch
+            "REPRO_FAULTS": json.dumps(
+                {"points": {"evaluate-node": {"every": 1, "delay": 0.05}}}
+            ),
+        }
+        before = set(glob.glob("/dev/shm/psm_*"))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            # wait until the shared dataset is actually published
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                if set(glob.glob("/dev/shm/psm_*")) - before:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("shared dataset never appeared in /dev/shm")
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        except Exception:
+            proc.kill()
+            raise
+        assert proc.returncode == 3, f"stdout={out!r} stderr={err!r}"
+        assert "INTERRUPTED" in out
+        # the leak census: nothing new survives the interrupted batch
+        leaked = set(glob.glob("/dev/shm/psm_*")) - before
+        assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+
+    def test_sigint_equivalent_conversion(self):
+        from repro.api.executor import _arm_signal_conversion
+        restore = _arm_signal_conversion()
+        try:
+            with pytest.raises(KeyboardInterrupt, match="terminated by signal"):
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(1)  # give the handler a bytecode boundary
+        finally:
+            restore()
+        # handlers restored: SIGTERM's previous (default) disposition back
+        assert signal.getsignal(signal.SIGTERM) in (
+            signal.SIG_DFL, signal.default_int_handler, signal.Handlers.SIG_DFL,
+        ) or callable(signal.getsignal(signal.SIGTERM))
