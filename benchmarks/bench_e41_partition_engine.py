@@ -1,0 +1,215 @@
+"""E41 — Local-recoding throughput: vectorized partition engine vs legacy.
+
+The local-recoding family (Mondrian, TopDownSpecialization, MDAV,
+k-member) historically re-scanned raw rows at every split to rebuild
+group/sensitive-value statistics. The partition engine replaces that with
+per-group row indices, flattened-bincount histograms, and incremental
+split deltas (child histogram = parent − sibling); Mondrian's range-scored
+modes additionally run on a frontier-vectorized BFS driver that derives
+every per-(group, QI) quantity — spans, medians, cut sizes, child
+histograms, model verdicts — from a handful of fused bincounts and
+cumulative sums per tree level. This bench gates the contract:
+
+1. **speedup** — relaxed Mondrian under k=10 + distinct 3-diversity +
+   0.35-t-closeness on a 100k-row Adult-schema table must run at least
+   ``SPEEDUP_GATE`` times faster on ``engine="partition"`` than on
+   ``engine="legacy"`` (typical observed advantage is 6-7x; the gate at
+   5x leaves headroom for wall-clock noise without hiding a regression);
+2. **byte-identity** — the gate run and every rewired algorithm
+   (Mondrian strict/relaxed/InfoGain, TDS, MDAV, k-member) produce
+   releases whose table fingerprints equal the legacy engine's, both
+   sequentially and through ``run_batch`` JSON configs at ``workers=4``;
+3. **no raw rescans** — after the root materialization the gate run
+   serves every feasibility check from cached counts
+   (``raw_rescans == 0``) and exercises the delta-histogram path
+   (``histogram_splits > 0``).
+
+Results are recorded to ``BENCH_E41.json`` via the shared writer.
+Runnable standalone (``python benchmarks/bench_e41_partition_engine.py
+[--rows N]``, non-zero exit on failure — this is what CI runs) or via
+pytest (a small instance; the speedup gate only arms at CI size, the
+identity and counter gates are size-independent).
+"""
+
+import argparse
+import sys
+import time
+
+from conftest import print_series, write_results
+
+from repro.api import AnonymizationConfig, run_batch
+from repro.algorithms import (
+    KMemberClustering,
+    MDAVMicroaggregation,
+    Mondrian,
+    TopDownSpecialization,
+)
+from repro.data import adult_hierarchies, adult_schema, load_adult
+from repro.privacy import DistinctLDiversity, KAnonymity, TCloseness
+
+SENSITIVE = "occupation"
+
+#: Gate 1: partition-engine wall clock vs legacy on the 100k gate run.
+SPEEDUP_GATE = 5.0
+#: The speedup gate only arms at CI scale; below this the timing is noise.
+SPEEDUP_MIN_ROWS = 50_000
+
+#: Family parity runs on a slice this size (k-member is quadratic).
+PARITY_ROWS = 1_200
+KMEMBER_ROWS = 400
+
+
+def _gate_models():
+    return [
+        KAnonymity(10),
+        DistinctLDiversity(3, SENSITIVE),
+        TCloseness(0.35, SENSITIVE),
+    ]
+
+
+def _parity_cases():
+    """(label, factory, rows) for every engine-flagged algorithm."""
+    return [
+        ("mondrian strict", lambda e: Mondrian(mode="strict", engine=e), PARITY_ROWS),
+        ("mondrian relaxed", lambda e: Mondrian(mode="relaxed", engine=e), PARITY_ROWS),
+        ("mondrian infogain", lambda e: Mondrian(target=SENSITIVE, engine=e), PARITY_ROWS),
+        ("tds", lambda e: TopDownSpecialization(engine=e), PARITY_ROWS),
+        ("mdav", lambda e: MDAVMicroaggregation(5, engine=e), PARITY_ROWS),
+        ("kmember", lambda e: KMemberClustering(4, engine=e), KMEMBER_ROWS),
+    ]
+
+
+def _batch_jobs(schema):
+    def job(algorithm):
+        return AnonymizationConfig.from_dict(
+            {
+                "quasi_identifiers": list(schema.categorical_quasi_identifiers),
+                "numeric_quasi_identifiers": list(schema.numeric_quasi_identifiers),
+                "sensitive": [SENSITIVE],
+                "models": [{"model": "k-anonymity", "k": 4}],
+                "algorithm": algorithm,
+            }
+        )
+
+    return [
+        job({"algorithm": "mondrian", "mode": "relaxed"}),
+        job({"algorithm": "mondrian", "mode": "strict"}),
+        job({"algorithm": "tds"}),
+        job({"algorithm": "mdav", "k": 4}),
+        job({"algorithm": "kmember", "k": 4}),
+        job({"algorithm": "anatomy", "l": 3}),
+        job({"algorithm": "slicing", "k": 4}),
+    ]
+
+
+def run_bench(n_rows=100_000, seed=42):
+    schema, hierarchies = adult_schema(), adult_hierarchies()
+    gate_table = load_adult(n_rows=n_rows, seed=seed)
+    models = _gate_models()
+
+    # Gate 1 + 3: the 100k relaxed k/l/t run, timed on both engines. A small
+    # untimed run first so one-time costs (imports, allocator warm-up) don't
+    # land on whichever engine happens to go first.
+    warmup = load_adult(n_rows=min(n_rows, 2_000), seed=seed)
+    for engine in ("partition", "legacy"):
+        Mondrian(mode="relaxed", engine=engine).anonymize(
+            warmup, schema, hierarchies, models
+        )
+
+    start = time.perf_counter()
+    fast = Mondrian(mode="relaxed", engine="partition").anonymize(
+        gate_table, schema, hierarchies, models
+    )
+    fast_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    legacy = Mondrian(mode="relaxed", engine="legacy").anonymize(
+        gate_table, schema, hierarchies, models
+    )
+    legacy_seconds = time.perf_counter() - start
+    speedup = legacy_seconds / fast_seconds if fast_seconds else float("inf")
+    cache = fast.info["partition_cache"]
+
+    gate_identical = fast.table.fingerprint() == legacy.table.fingerprint()
+    ok_speed = speedup >= SPEEDUP_GATE or n_rows < SPEEDUP_MIN_ROWS
+    ok_cache = cache["raw_rescans"] == 0 and cache["histogram_splits"] > 0
+
+    print_series(
+        f"E41: gate run (relaxed Mondrian, k=10 + l=3 + t=0.35, n={n_rows})",
+        ["engine", "seconds", "rows/sec", "speedup"],
+        [
+            ("legacy", legacy_seconds, n_rows / legacy_seconds, 1.0),
+            ("partition", fast_seconds, n_rows / fast_seconds, speedup),
+        ],
+    )
+
+    # Gate 2a: sequential family parity on a small slice.
+    parity_table = load_adult(n_rows=min(n_rows, PARITY_ROWS), seed=7)
+    kmember_table = load_adult(n_rows=min(n_rows, KMEMBER_ROWS), seed=3)
+    parity_rows = []
+    ok_family = True
+    for label, make, rows in _parity_cases():
+        table = kmember_table if rows == KMEMBER_ROWS else parity_table
+        fast_fp = make("partition").anonymize(
+            table, schema, hierarchies, [KAnonymity(4)]
+        ).table.fingerprint()
+        legacy_fp = make("legacy").anonymize(
+            table, schema, hierarchies, [KAnonymity(4)]
+        ).table.fingerprint()
+        identical = fast_fp == legacy_fp
+        ok_family &= identical
+        parity_rows.append((label, len(table), "ok" if identical else "DIVERGED"))
+    print_series(
+        "E41: family byte-identity (partition vs legacy)",
+        ["algorithm", "rows", "parity"],
+        parity_rows,
+    )
+
+    # Gate 2b: run_batch at workers=4 matches sequential, job for job.
+    jobs = _batch_jobs(schema)
+    sequential = run_batch(jobs, kmember_table, hierarchies=hierarchies, workers=1)
+    parallel = run_batch(jobs, kmember_table, hierarchies=hierarchies, workers=4)
+    ok_batch = all(
+        p.release.table.fingerprint() == s.release.table.fingerprint()
+        for s, p in zip(sequential, parallel)
+    )
+
+    ok = gate_identical and ok_speed and ok_cache and ok_family and ok_batch
+    print(
+        f"\ngates: speedup {speedup:.1f}x (need {SPEEDUP_GATE:.0f}x at CI size)"
+        f" {'ok' if ok_speed else 'FAIL'}"
+        f" | gate-run identity {'ok' if gate_identical else 'FAIL'}"
+        f" | raw_rescans={cache['raw_rescans']}"
+        f" histogram_splits={cache['histogram_splits']}"
+        f" {'ok' if ok_cache else 'FAIL'}"
+        f" | family {'ok' if ok_family else 'FAIL'}"
+        f" | batch workers=4 {'ok' if ok_batch else 'FAIL'}"
+    )
+    write_results(
+        "E41",
+        {
+            "n_rows": n_rows,
+            "legacy_seconds": legacy_seconds,
+            "partition_seconds": fast_seconds,
+            "speedup": speedup,
+            "speedup_gate": SPEEDUP_GATE,
+            "partition_cache": cache,
+            "gate_identical": gate_identical,
+            "family_identical": ok_family,
+            "batch_identical": ok_batch,
+            "ok": ok,
+        },
+    )
+    return ok
+
+
+def test_e41_partition_engine():
+    # Small instance for the pytest tier; the speedup gate arms in CI only.
+    assert run_bench(n_rows=8_000), "partition-engine gates must hold"
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=100_000,
+                        help="gate-run table size (CI default)")
+    args = parser.parse_args()
+    sys.exit(0 if run_bench(n_rows=args.rows) else 1)

@@ -1,4 +1,24 @@
-"""Anonymization algorithms."""
+"""Anonymization algorithms.
+
+Two execution substrates back the family:
+
+* The **lattice** algorithms (Datafly, Incognito, OLA, Flash, and
+  BottomUpGeneralization in ``bug.py``) enumerate full-domain
+  generalization nodes through :class:`~repro.core.engine.LatticeEvaluator`
+  and its ``GroupStats`` cache.
+* The **local-recoding** algorithms (Mondrian, TopDownSpecialization,
+  MDAVMicroaggregation, KMemberClustering, Anatomy, Slicing) refine explicit
+  row partitions; those with per-candidate feasibility checks run on
+  :class:`~repro.core.partition_engine.PartitionEngine` (selectable per
+  instance via ``engine="partition" | "legacy"``), the rest share its
+  flattened grouped-histogram kernel.
+
+BottomUpGeneralization stays on the lattice/legacy full-domain path by
+design: it walks generalization *nodes* bottom-up (no per-row partition to
+refine incrementally), so ``PartitionStats`` offers it nothing the
+``GroupStats`` roll-up does not already provide. It is registered in
+``repro.api.registry`` as ``"bottom-up"`` like the rest of the family.
+"""
 
 from .anatomy import AnatomizedRelease, Anatomy
 from .bug import BottomUpGeneralization

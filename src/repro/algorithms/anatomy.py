@@ -24,6 +24,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.generalize import HierarchyLike
+from ..core.partition_engine import grouped_histograms
 from ..core.release import Release
 from ..core.schema import Schema
 from ..core.table import Column, Table
@@ -96,7 +97,12 @@ class Anatomy:
         for bucket in buckets:
             rng.shuffle(bucket)
 
+        # group_cats[gid] mirrors groups[gid]'s distinct sensitive values so
+        # residual placement tests membership in O(1) per group instead of
+        # rescanning every member (a group drawn from buckets ``largest``
+        # holds exactly those sensitive codes).
         groups: list[list[int]] = []
+        group_cats: list[set[int]] = []
         while True:
             sizes = np.array([len(b) for b in buckets])
             if np.count_nonzero(sizes) < self.l:
@@ -104,16 +110,21 @@ class Anatomy:
             largest = np.argsort(sizes)[::-1][: self.l]
             group = [buckets[b].pop() for b in largest]
             groups.append(group)
+            group_cats.append({int(b) for b in largest})
 
         # Residual records: append to a group lacking their sensitive value.
         dropped: list[int] = []
         for cat, bucket in enumerate(buckets):
             for row in bucket:
-                home = self._find_group_without(groups, codes, cat)
+                home = next(
+                    (gid for gid, cats in enumerate(group_cats) if cat not in cats),
+                    None,
+                )
                 if home is None:
                     dropped.append(row)
                 else:
                     groups[home].append(row)
+                    group_cats[home].add(cat)
 
         if not groups:
             raise InfeasibleError(
@@ -136,22 +147,19 @@ class Anatomy:
             kept_table.drop(s_name)
             .with_column(Column.numeric("group_id", group_ids))
         )
-        st: list[dict] = []
         s_categories = original.column(s_name).categories
         kept_codes = codes[kept]
-        for group in remapped_groups:
-            histogram = np.bincount(kept_codes[group], minlength=n_cats)
-            st.append({s_categories[c]: int(n) for c, n in enumerate(histogram) if n})
+        # One flattened bincount covers every group's sensitive histogram.
+        histograms = grouped_histograms(
+            group_ids, kept_codes, len(remapped_groups), n_cats
+        )
+        st: list[dict] = [
+            {s_categories[c]: int(n) for c, n in enumerate(histogram) if n}
+            for histogram in histograms
+        ]
 
         release = AnatomizedRelease(qit=qit, st=st, groups=remapped_groups)
         return release, kept
-
-    @staticmethod
-    def _find_group_without(groups: list[list[int]], codes: np.ndarray, cat: int) -> int | None:
-        for gid, group in enumerate(groups):
-            if all(codes[row] != cat for row in group):
-                return gid
-        return None
 
     def __repr__(self) -> str:
         return f"Anatomy(l={self.l})"

@@ -34,15 +34,25 @@ __all__ = ["KMemberClustering"]
 class KMemberClustering:
     """Greedy loss-minimizing clusters of exactly k records."""
 
-    def __init__(self, k: int, sample_candidates: int = 64, seed: int = 0):
+    def __init__(self, k: int, sample_candidates: int = 64, seed: int = 0,
+                 engine: str = "partition"):
         if k < 2:
             raise ValueError(f"k must be >= 2, got {k}")
+        if engine not in ("partition", "legacy"):
+            raise ValueError(
+                f"engine must be 'partition' or 'legacy', got {engine!r}"
+            )
         self.k = int(k)
         # Evaluating every remaining record per addition is O(n^2 k); we
         # evaluate a random sample of candidates instead, which preserves
         # the greedy quality on real data at a fraction of the cost.
         self.sample_candidates = int(sample_candidates)
         self.seed = seed
+        # "partition": marginal losses come from cached per-cluster running
+        # aggregates (min/max, sorted distinct codes + covering level)
+        # instead of rescanning the cluster per candidate — same floats,
+        # same rng call sequence, byte-identical releases.
+        self.engine = engine
         self.name = f"kmember[k={k}]"
 
     def anonymize(
@@ -56,7 +66,8 @@ class KMemberClustering:
         if original.n_rows < self.k:
             raise InfeasibleError(f"table has fewer than k={self.k} rows")
 
-        loss_model = _LossModel(original, schema, hierarchies)
+        loss_cls = _CachedLossModel if self.engine == "partition" else _LossModel
+        loss_model = loss_cls(original, schema, hierarchies)
         rng = np.random.default_rng(self.seed)
 
         remaining = list(range(original.n_rows))
@@ -156,11 +167,128 @@ class _LossModel:
         return sum(self.cluster_loss(list(g)) * len(g) for g in groups)
 
 
-def _covering_level(hierarchy: Hierarchy, distinct_codes: np.ndarray) -> int:
-    """Lowest level whose mapping unifies the distinct ground codes."""
+class _CachedLossModel(_LossModel):
+    """Drop-in :class:`_LossModel` with per-cluster running aggregates.
+
+    ``marginal_loss`` (the inner loop of cluster growth) degrades from
+    O(cluster × attributes) rescans to O(attributes) updates: each live
+    cluster list carries running numeric min/max, a sorted distinct-code
+    array per categorical QI, and its cached covering level. Losses are
+    recomputed from the aggregates in the same accumulation order as
+    :meth:`_LossModel.cluster_loss`, and running min/max equals
+    ``subset.min()``/``subset.max()`` exactly, so every float — and thus
+    every greedy choice — is identical to the uncached model's.
+
+    Aggregates are keyed by ``id(cluster)``: safe because every cluster
+    list the algorithm passes here stays alive in ``clusters`` for the
+    whole run (no id reuse), and clusters only ever grow (missing rows are
+    folded in from ``cluster[seen:]``).
+    """
+
+    def __init__(self, table: Table, schema: Schema, hierarchies: Mapping[str, HierarchyLike]):
+        super().__init__(table, schema, hierarchies)
+        self._stats: dict[int, "_ClusterAggregates"] = {}
+
+    def _aggregates(self, cluster: Sequence[int]) -> "_ClusterAggregates":
+        stats = self._stats.get(id(cluster))
+        if stats is None or stats.n > len(cluster):
+            stats = _ClusterAggregates(self)
+            self._stats[id(cluster)] = stats
+        for row in cluster[stats.n:]:
+            stats.add(row)
+        return stats
+
+    def marginal_loss(self, cluster: Sequence[int], candidate: int) -> float:
+        stats = self._aggregates(cluster)
+        return stats.loss_with(candidate) - stats.loss()
+
+
+class _ClusterAggregates:
+    """Running per-attribute aggregates of one growing cluster."""
+
+    __slots__ = ("model", "n", "mins", "maxs", "distincts", "levels", "_loss")
+
+    def __init__(self, model: _LossModel):
+        self.model = model
+        self.n = 0
+        self.mins: dict[str, np.floating] = {}
+        self.maxs: dict[str, np.floating] = {}
+        self.distincts: dict[str, np.ndarray] = {}
+        self.levels: dict[str, int] = {}
+        self._loss: float | None = None
+
+    def add(self, row: int) -> None:
+        first = self.n == 0
+        for name, values in self.model.numeric.items():
+            value = values[row]
+            if first:
+                self.mins[name] = value
+                self.maxs[name] = value
+            else:
+                if value < self.mins[name]:
+                    self.mins[name] = value
+                if value > self.maxs[name]:
+                    self.maxs[name] = value
+        for name, (codes, hierarchy) in self.model.categorical.items():
+            code = codes[row]
+            if first:
+                self.distincts[name] = np.array([code], dtype=np.int64)
+                self.levels[name] = 0
+            else:
+                distinct = self.distincts[name]
+                at = int(np.searchsorted(distinct, code))
+                if at == distinct.size or distinct[at] != code:
+                    grown = np.insert(distinct, at, code)
+                    self.distincts[name] = grown
+                    self.levels[name] = _covering_level(
+                        hierarchy, grown, start=self.levels[name]
+                    )
+        self.n += 1
+        self._loss = None
+
+    def loss(self) -> float:
+        """Same accumulation order as ``_LossModel.cluster_loss``."""
+        if self._loss is None:
+            total = 0.0
+            for name in self.model.numeric:
+                total += float(self.maxs[name] - self.mins[name]) / self.model.spans[name]
+            for name, (codes, hierarchy) in self.model.categorical.items():
+                total += self.levels[name] / max(hierarchy.height, 1)
+            self._loss = total
+        return self._loss
+
+    def loss_with(self, row: int) -> float:
+        """Loss if ``row`` joined, without mutating the aggregates."""
+        total = 0.0
+        for name, values in self.model.numeric.items():
+            value = values[row]
+            low = self.mins[name] if self.mins[name] <= value else value
+            high = self.maxs[name] if self.maxs[name] >= value else value
+            total += float(high - low) / self.model.spans[name]
+        for name, (codes, hierarchy) in self.model.categorical.items():
+            code = codes[row]
+            distinct = self.distincts[name]
+            at = int(np.searchsorted(distinct, code))
+            if at < distinct.size and distinct[at] == code:
+                level = self.levels[name]
+            else:
+                level = _covering_level(
+                    hierarchy, np.insert(distinct, at, code), start=self.levels[name]
+                )
+            total += level / max(hierarchy.height, 1)
+        return total
+
+
+def _covering_level(hierarchy: Hierarchy, distinct_codes: np.ndarray, start: int = 0) -> int:
+    """Lowest level whose mapping unifies the distinct ground codes.
+
+    ``start`` skips levels already known not to unify a *subset* of the
+    codes — sound because a level failing to unify fewer codes cannot unify
+    more.
+    """
     if distinct_codes.size <= 1:
         return 0
-    for level in range(1, hierarchy.height + 1):
+    for level in range(max(start, 1), hierarchy.height + 1):
         if np.unique(hierarchy.map_codes(distinct_codes.astype(np.int32), level)).size == 1:
             return level
     return hierarchy.height

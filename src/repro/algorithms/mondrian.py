@@ -17,6 +17,25 @@ Two modes, matching the paper:
 Numeric QIs split on the value median; categorical QIs split on the ordered
 category-code median (a standard, hierarchy-free treatment; the hierarchy is
 still used to label the recoded regions).
+
+Two execution engines produce byte-identical releases:
+
+* ``engine="partition"`` (default) runs on
+  :class:`~repro.core.partition_engine.PartitionEngine`: feasibility checks
+  go through the privacy models' ``check_stats`` fast path with sensitive
+  histograms derived incrementally (child = parent − sibling), the median
+  and the parent label entropy are computed once per node, and the relaxed
+  median-balancing assignment is closed-form vectorized. Range-scored runs
+  (``target=None``) additionally use a frontier-vectorized BFS driver that
+  derives every per-(group, QI) quantity — spans, medians, cut sizes, child
+  histograms, batched k/l/t verdicts — from fused bincounts and cumulative
+  sums over a whole tree level at once, then re-emits leaves in legacy DFS
+  order; InfoGain runs stay on the per-node fast path. Cache counters ride
+  in ``release.info["partition_cache"]``.
+* ``engine="legacy"`` preserves the historic per-node path — a fresh
+  :class:`EquivalenceClasses` plus ``model.check`` per candidate cut, the
+  per-row Python append loop in relaxed mode, double median computation in
+  InfoGain mode — as the parity and benchmark baseline (``bench_e41``).
 """
 
 from __future__ import annotations
@@ -27,15 +46,78 @@ import numpy as np
 
 from ..core.generalize import HierarchyLike, apply_partition_recoding
 from ..core.hierarchy import Hierarchy
-from ..core.partition import EquivalenceClasses
+from ..core.partition import classes_from_groups
+from ..core.partition_engine import (
+    PartitionEngine,
+    PartitionGroup,
+    grouped_histograms,
+)
 from ..core.release import Release
 from ..core.schema import Schema
 from ..core.table import Table
 from ..errors import InfeasibleError
 from ..privacy.base import PrivacyModel
+from ..privacy.k_anonymity import KAnonymity
+from ..privacy.l_diversity import DistinctLDiversity, EntropyLDiversity
+from ..privacy.t_closeness import TCloseness
 from .base import prepare_input
 
 __all__ = ["Mondrian"]
+
+_INFEASIBLE_MSG = (
+    "the whole table as one class violates the privacy models; "
+    "no partitioning can help"
+)
+
+
+def _hist_entropy(counts: np.ndarray) -> float:
+    """Shannon entropy of a count vector (zero bins ignored)."""
+    probs = counts[counts > 0] / counts.sum()
+    return float(-(probs * np.log2(probs)).sum())
+
+
+class _FrontierStats:
+    """Minimal stats shim feeding a model's matrix fast path per frontier.
+
+    Carries one (n_groups, n_cats) histogram and the global distribution so
+    ``TCloseness.distances_stats`` runs unchanged over a whole level's
+    candidate children at once. All its per-group math is row-local
+    (elementwise plus fixed-width axis-1 reductions), so verdicts are
+    bit-identical to the two-row per-candidate evaluation.
+    """
+
+    __slots__ = ("_hist", "_global", "n_groups")
+
+    def __init__(self, hist: np.ndarray, global_dist: np.ndarray):
+        self._hist = hist
+        self._global = global_dist
+        self.n_groups = int(hist.shape[0])
+
+    def histogram(self, name: str) -> np.ndarray:
+        return self._hist
+
+    def global_distribution(self, name: str) -> np.ndarray:
+        return self._global
+
+
+def _frontier_verdict_kind(model) -> str | None:
+    """How (if at all) a model's per-candidate verdict batches per level.
+
+    ``"sizes"`` — verdict from child sizes alone; ``"mask"`` — the model's
+    own ``_ok_mask`` over child sensitive histograms; ``"emd"`` — t-closeness
+    distances over the same histograms. ``None`` — not batchable (the
+    frontier falls back to a per-candidate ``engine.check``). Exact types
+    only: a subclass may override ``check``/``check_stats`` arbitrarily.
+    """
+    if type(model) is KAnonymity:
+        return "sizes"
+    if type(model) in (DistinctLDiversity, EntropyLDiversity):
+        return "mask"
+    if type(model) is TCloseness and model.ground_distance in ("equal", "ordered"):
+        # The hierarchical ground runs through a matmul whose summation
+        # order may depend on operand shape; keep it per-candidate.
+        return "emd"
+    return None
 
 
 class Mondrian:
@@ -47,11 +129,17 @@ class Mondrian:
     trading a little geometric balance for classification utility.
     """
 
-    def __init__(self, mode: str = "strict", target: str | None = None):
+    def __init__(self, mode: str = "strict", target: str | None = None,
+                 engine: str = "partition"):
         if mode not in ("strict", "relaxed"):
             raise ValueError(f"mode must be 'strict' or 'relaxed', got {mode!r}")
+        if engine not in ("partition", "legacy"):
+            raise ValueError(
+                f"engine must be 'partition' or 'legacy', got {engine!r}"
+            )
         self.mode = mode
         self.target = target
+        self.engine = engine
         suffix = ",infogain" if target else ""
         self.name = f"mondrian[{mode}{suffix}]"
 
@@ -80,12 +168,368 @@ class Mondrian:
 
         label_codes = original.codes(self.target) if self.target else None
 
+        cache_info = None
+        if self.engine == "partition":
+            leaves, cache_info = self._partition_fast(
+                original, qi_names, views, spans, models
+            )
+        else:
+            leaves = self._partition_legacy(
+                original, qi_names, views, spans, models, label_codes
+            )
+
+        categorical = {
+            name: hierarchies[name]
+            for name in schema.categorical_quasi_identifiers
+        }
+        recoded = apply_partition_recoding(
+            original,
+            leaves,
+            categorical_qis=categorical,  # type: ignore[arg-type]
+            numeric_qis=schema.numeric_quasi_identifiers,
+        )
+        info = {"n_leaves": len(leaves), "mode": self.mode}
+        if cache_info is not None:
+            info["partition_cache"] = cache_info
+        return Release(
+            table=recoded,
+            schema=schema,
+            algorithm=self.name,
+            node=None,
+            suppressed=0,
+            original_n_rows=original.n_rows,
+            kept_rows=None,
+            info=info,
+        )
+
+    # -- partition-engine path ----------------------------------------------
+
+    def _partition_fast(self, original, qi_names, views, spans, models):
+        engine = PartitionEngine(original)
+        root = engine.root()
+        if not engine.check([root], models):
+            raise InfeasibleError(_INFEASIBLE_MSG)
+
+        if self.target is None:
+            leaves = self._partition_frontier(
+                engine, root, qi_names, views, spans, models
+            )
+        else:
+            # InfoGain scoring needs per-candidate label entropies whose
+            # float summation order the level-batched layer cannot
+            # reproduce bit-for-bit; it stays on the per-node fast path.
+            leaves = self._partition_dfs(engine, root, qi_names, views, spans, models)
+        return leaves, engine.cache_info()
+
+    def _partition_dfs(self, engine, root, qi_names, views, spans, models):
+        leaves: list[np.ndarray] = []
+        stack = [root]
+        while stack:
+            group = stack.pop()
+            split = self._best_split_fast(engine, group, qi_names, views, spans, models)
+            if split is None:
+                leaves.append(np.sort(group.rows))
+            else:
+                stack.extend(split)
+        return leaves
+
+    def _partition_frontier(self, engine, root, qi_names, views, spans, models):
+        """Level-synchronous vectorized driver for range-scored Mondrian.
+
+        Instead of re-gathering values and re-deriving statistics one node
+        at a time, each frontier (all groups of one tree depth) is packed
+        into contiguous arrays and every per-(group, QI) quantity — spans,
+        medians, cut sizes, child sensitive histograms, model verdicts —
+        comes out of a handful of fused bincounts and cumulative sums over
+        the whole level. The per-group Python loop only resolves candidate
+        order and materializes the accepted cut (via the same
+        ``_cut_positions`` closed form as the per-node path), so releases
+        stay byte-identical to ``engine="legacy"`` while per-node overhead
+        amortizes away. Leaves are finally re-emitted in the legacy DFS
+        stack order, which recoded-category order depends on.
+        """
+        batched: list[tuple] = []
+        other_models: list = []
+        for model in models:
+            kind = _frontier_verdict_kind(model)
+            if kind is None:
+                other_models.append(model)
+            else:
+                batched.append((model, kind))
+        sens_names = sorted({m.sensitive for m, kind in batched if kind != "sizes"})
+
+        n_qis = len(qi_names)
+        qi_idx = {name: i for i, name in enumerate(qi_names)}
+        # Value-space encodings: sorted distinct values per QI plus per-row
+        # codes into them, so medians/spans/cut counts are exact in the same
+        # float64 value space the legacy path compares in.
+        enc_vals: list[np.ndarray] = []
+        enc_codes: list[np.ndarray] = []
+        for name in qi_names:
+            vals, inverse = np.unique(views[name], return_inverse=True)
+            enc_vals.append(vals)
+            enc_codes.append(inverse.astype(np.int64))
+        sens_codes = {s: engine.column_codes(s) for s in sens_names}
+        sens_cats = {s: engine.column_cats(s) for s in sens_names}
+        relaxed = self.mode == "relaxed"
+
+        children_of: dict[int, tuple[PartitionGroup, PartitionGroup]] = {}
+        frontier = [root]
+        while frontier:
+            active = [g for g in frontier if g.size >= 2]
+            if not active:
+                break
+            n_groups = len(active)
+            sizes = np.array([g.size for g in active], dtype=np.int64)
+            starts = np.zeros(n_groups, dtype=np.int64)
+            np.cumsum(sizes[:-1], out=starts[1:])
+            gid = np.repeat(np.arange(n_groups, dtype=np.int64), sizes)
+            rows_lvl = np.concatenate([g.rows for g in active])
+            sens_lvl = {s: sens_codes[s][rows_lvl] for s in sens_names}
+            sens_hists = {
+                s: grouped_histograms(gid, sens_lvl[s], n_groups, sens_cats[s])
+                for s in sens_names
+            }
+
+            scores = np.empty((n_qis, n_groups))
+            medians = np.empty((n_qis, n_groups))
+            feasible = np.zeros((n_qis, n_groups), dtype=bool)
+            arange_g = np.arange(n_groups)
+            for qi, name in enumerate(qi_names):
+                vals = enc_vals[qi]
+                n_cats = vals.size
+                codes_lvl = enc_codes[qi][rows_lvl]
+                hist = grouped_histograms(gid, codes_lvl, n_groups, n_cats)
+                # cum[:, i] = per-group count of codes < i (leading zero col).
+                cum = np.concatenate(
+                    [np.zeros((n_groups, 1), dtype=np.int64), hist.cumsum(axis=1)],
+                    axis=1,
+                )
+                present = hist > 0
+                first = present.argmax(axis=1)
+                last = n_cats - 1 - present[:, ::-1].argmax(axis=1)
+                scores[qi] = (vals[last] - vals[first]) / spans[name]
+
+                # Median = mean of the two middle order statistics, exactly
+                # as np.median computes it on the gathered float64 values.
+                k_lo = (sizes - 1) // 2
+                k_hi = sizes // 2
+                i_lo = (cum[:, 1:] <= k_lo[:, None]).sum(axis=1)
+                i_hi = (cum[:, 1:] <= k_hi[:, None]).sum(axis=1)
+                median = (vals[i_lo] + vals[i_hi]) / 2.0
+                medians[qi] = median
+
+                idx_lt = np.searchsorted(vals, median, side="left")
+                idx_le = np.searchsorted(vals, median, side="right")
+                n_lt = cum[arange_g, idx_lt]
+                n_le = cum[arange_g, idx_le]
+                n_eq = n_le - n_lt
+
+                if not relaxed:
+                    ok_le = (n_le > 0) & (n_le < sizes)
+                    ok_lt = (n_lt > 0) & (n_lt < sizes)
+                    degenerate = ~ok_le & ~ok_lt
+                    boundary = np.where(ok_le, idx_le, idx_lt)
+                    left_sizes = np.where(ok_le, n_le, n_lt)
+                else:
+                    diff = n_lt - (sizes - n_le)
+                    head_bal = np.minimum(n_eq, 1 - diff)
+                    left_eq_bal = head_bal + (n_eq - head_bal) // 2
+                    head_skip = np.minimum(n_eq, diff)
+                    left_eq_skip = (n_eq - head_skip + 1) // 2
+                    left_eq = np.where(diff <= 0, left_eq_bal, left_eq_skip)
+                    left_sizes = n_lt + left_eq
+                    degenerate = (left_sizes == 0) | (left_sizes == sizes)
+                right_sizes = sizes - left_sizes
+
+                verdict = ~degenerate
+                if sens_names:
+                    if not relaxed:
+                        left_mask = codes_lvl < boundary[gid]
+                    else:
+                        less_mask = codes_lvl < idx_lt[gid]
+                        eq_mask = (codes_lvl >= idx_lt[gid]) & (
+                            codes_lvl < idx_le[gid]
+                        )
+                        # Rank of each median-valued row among its group's
+                        # median block (group row order), then the same
+                        # head-then-alternate assignment as _cut_positions.
+                        eq_cum = np.cumsum(eq_mask)
+                        base = eq_cum[starts] - eq_mask[starts]
+                        rank = eq_cum - 1 - base[gid]
+                        head = np.where(diff <= 0, head_bal, head_skip)[gid]
+                        balance_first = diff[gid] <= 0
+                        go_left = np.where(
+                            balance_first,
+                            (rank < head) | (((rank - head) % 2) == 1),
+                            (rank >= head) & (((rank - head) % 2) == 0),
+                        )
+                        left_mask = less_mask | (eq_mask & go_left)
+                for model, kind in batched:
+                    if kind == "sizes":
+                        verdict &= np.minimum(left_sizes, right_sizes) >= model.k
+                        continue
+                    s = model.sensitive
+                    n_sens = sens_cats[s]
+                    flat = gid * n_sens + sens_lvl[s]
+                    left_hist = np.bincount(
+                        flat[left_mask], minlength=n_groups * n_sens
+                    ).reshape(n_groups, n_sens)
+                    right_hist = sens_hists[s] - left_hist
+                    engine.counters["histogram_splits"] += n_groups
+                    if kind == "mask":
+                        verdict &= model._ok_mask(left_hist)
+                        verdict &= model._ok_mask(right_hist)
+                    else:  # emd
+                        global_dist = engine.global_distribution(s)
+                        tolerance = model.t + 1e-12
+                        verdict &= (
+                            model.distances_stats(_FrontierStats(left_hist, global_dist))
+                            <= tolerance
+                        )
+                        verdict &= (
+                            model.distances_stats(_FrontierStats(right_hist, global_dist))
+                            <= tolerance
+                        )
+                feasible[qi] = verdict
+            if batched:
+                engine.counters["checks_fast"] += n_groups * len(batched)
+
+            next_frontier: list[PartitionGroup] = []
+            for j, group in enumerate(active):
+                candidates = sorted(
+                    ((float(scores[qi, j]), qi_names[qi]) for qi in range(n_qis)),
+                    reverse=True,
+                )
+                split = None
+                for _, name in candidates:
+                    qi = qi_idx[name]
+                    if not feasible[qi, j]:
+                        continue
+                    positions = self._cut_positions(
+                        views[name][group.rows], float(medians[qi, j])
+                    )
+                    left, right = engine.split(group, positions[0], positions[1])
+                    if other_models and not engine.check((left, right), other_models):
+                        continue
+                    split = (left, right)
+                    break
+                if split is not None:
+                    children_of[id(group)] = split
+                    next_frontier.extend(split)
+            frontier = next_frontier
+
+        # Re-emit leaves in the exact order the legacy DFS stack produces
+        # them — recoded category order (hence the byte-level fingerprint)
+        # depends on which leaf is labeled first.
+        leaves: list[np.ndarray] = []
+        stack = [root]
+        while stack:
+            group = stack.pop()
+            kids = children_of.get(id(group))
+            if kids is None:
+                leaves.append(np.sort(group.rows))
+            else:
+                stack.extend(kids)
+        return leaves
+
+    def _best_split_fast(
+        self,
+        engine: PartitionEngine,
+        group: PartitionGroup,
+        qi_names: Sequence[str],
+        views: Mapping[str, np.ndarray],
+        spans: Mapping[str, float],
+        models: Sequence[PrivacyModel],
+    ) -> tuple[PartitionGroup, PartitionGroup] | None:
+        """Try QIs in priority order; first feasible cut wins.
+
+        Same ordering rule as the legacy path, but medians and the parent
+        label entropy are computed once per node, child label histograms are
+        derived by subtraction, and feasibility goes through the engine's
+        stats fast path.
+        """
+        if group.size < 2:
+            return None
+        rows = group.rows
+        scores = []
+        medians: dict[str, float] = {}
+        values_of: dict[str, np.ndarray] = {}
+        if self.target is not None:
+            labels = group.codes(self.target)
+            parent_hist = group.histogram(self.target)
+            parent_entropy = _hist_entropy(parent_hist)
+        for name in qi_names:
+            values = views[name][rows]
+            values_of[name] = values
+            if self.target is None:
+                scores.append((float(values.max() - values.min()) / spans[name], name))
+            else:
+                median = float(np.median(values))
+                medians[name] = median
+                scores.append((
+                    _cut_gain_from_hist(values, median, labels, parent_hist, parent_entropy),
+                    name,
+                ))
+        for _, name in sorted(scores, reverse=True):
+            median = medians.get(name)
+            if median is None:
+                median = float(np.median(values_of[name]))
+            positions = self._cut_positions(values_of[name], median)
+            if positions is None:
+                continue
+            left, right = engine.split(group, positions[0], positions[1])
+            if engine.check((left, right), models):
+                return left, right
+        return None
+
+    def _cut_positions(
+        self, values: np.ndarray, median: float
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Median-cut positions (into ``values``); None if degenerate.
+
+        The relaxed-mode balancing historically appended median-valued rows
+        one at a time to whichever half was smaller; the side each row lands
+        on depends only on the running size difference, so the same
+        assignment is produced closed-form: with ``diff = n_less - n_more``,
+        the first ``|diff|+…`` equal rows top up the smaller half until the
+        halves differ by one, then sides strictly alternate.
+        """
+        if self.mode == "strict":
+            left_mask = values <= median
+            # All median-valued records stay left; degenerate if one side empty.
+            if left_mask.all() or not left_mask.any():
+                # Try strictly-less cut for heavily repeated medians.
+                left_mask = values < median
+                if left_mask.all() or not left_mask.any():
+                    return None
+            return np.flatnonzero(left_mask), np.flatnonzero(~left_mask)
+        less = values < median
+        more = values > median
+        equal = ~less & ~more
+        n_eq = int(equal.sum())
+        diff = int(less.sum()) - int(more.sum())
+        go_left = np.zeros(n_eq, dtype=bool)
+        if diff <= 0:
+            head = min(n_eq, 1 - diff)
+            go_left[:head] = True
+            go_left[head:] = (np.arange(n_eq - head) % 2) == 1
+        else:
+            head = min(n_eq, diff)
+            go_left[head:] = (np.arange(n_eq - head) % 2) == 0
+        equal_positions = np.flatnonzero(equal)
+        left = np.concatenate([np.flatnonzero(less), equal_positions[go_left]])
+        right = np.concatenate([np.flatnonzero(more), equal_positions[~go_left]])
+        if not left.size or not right.size:
+            return None
+        return left, right
+
+    # -- legacy path ---------------------------------------------------------
+
+    def _partition_legacy(self, original, qi_names, views, spans, models, label_codes):
         all_rows = np.arange(original.n_rows)
         if not self._allowable(original, [all_rows], models):
-            raise InfeasibleError(
-                "the whole table as one class violates the privacy models; "
-                "no partitioning can help"
-            )
+            raise InfeasibleError(_INFEASIBLE_MSG)
 
         leaves: list[np.ndarray] = []
         stack = [all_rows]
@@ -98,29 +542,7 @@ class Mondrian:
                 leaves.append(np.sort(rows))
             else:
                 stack.extend(split)
-
-        categorical = {
-            name: hierarchies[name]
-            for name in schema.categorical_quasi_identifiers
-        }
-        recoded = apply_partition_recoding(
-            original,
-            leaves,
-            categorical_qis=categorical,  # type: ignore[arg-type]
-            numeric_qis=schema.numeric_quasi_identifiers,
-        )
-        return Release(
-            table=recoded,
-            schema=schema,
-            algorithm=self.name,
-            node=None,
-            suppressed=0,
-            original_n_rows=original.n_rows,
-            kept_rows=None,
-            info={"n_leaves": len(leaves), "mode": self.mode},
-        )
-
-    # -- splitting -----------------------------------------------------------
+        return leaves
 
     def _best_split(
         self,
@@ -202,12 +624,38 @@ class Mondrian:
 
     def _allowable(self, table: Table, groups: list[np.ndarray], models: Sequence[PrivacyModel]) -> bool:
         """Would these groups, as equivalence classes, satisfy the models?"""
-        partition = EquivalenceClasses(
-            groups=tuple(np.sort(g) for g in groups),
-            qi_names=(),
-            n_rows=table.n_rows,
-        )
+        partition = classes_from_groups(groups, table.n_rows)
         return all(model.check(table, partition) for model in models)
 
     def __repr__(self) -> str:
         return f"Mondrian(mode={self.mode!r})"
+
+
+def _cut_gain_from_hist(
+    values: np.ndarray,
+    median: float,
+    labels: np.ndarray,
+    parent_hist: np.ndarray,
+    parent_entropy: float,
+) -> float:
+    """InfoGain score of the median cut, from the node's cached label counts.
+
+    The right half's histogram is the parent's minus the left's — no second
+    bincount — and the parent entropy arrives precomputed (the legacy path
+    rebuilt it per QI). Identical floats to :meth:`Mondrian._cut_gain`: the
+    histograms differ from the legacy bincounts only in trailing zero bins,
+    which the entropy filters out.
+    """
+    left_mask = values <= median
+    if left_mask.all() or not left_mask.any():
+        left_mask = values < median
+        if left_mask.all() or not left_mask.any():
+            return -np.inf
+    n = labels.shape[0]
+    n_left = int(left_mask.sum())
+    left_hist = np.bincount(labels[left_mask], minlength=parent_hist.shape[0])
+    right_hist = parent_hist - left_hist
+    children = (
+        n_left * _hist_entropy(left_hist) + (n - n_left) * _hist_entropy(right_hist)
+    ) / n
+    return parent_entropy - children

@@ -179,8 +179,14 @@ def _encode(table: Table, name: str) -> np.ndarray:
 
 def _mutual_information(a: np.ndarray, b: np.ndarray) -> float:
     size_a, size_b = int(a.max()) + 1, int(b.max()) + 1
-    joint = np.zeros((size_a, size_b))
-    np.add.at(joint, (a, b), 1.0)
+    # Flattened integer bincount instead of float scatter-add: identical
+    # float64 joint matrix (counts are exact well below 2**53) at a
+    # fraction of the cost of np.add.at.
+    joint = (
+        np.bincount(a * size_b + b, minlength=size_a * size_b)
+        .reshape(size_a, size_b)
+        .astype(np.float64)
+    )
     joint /= joint.sum()
     pa = joint.sum(axis=1, keepdims=True)
     pb = joint.sum(axis=0, keepdims=True)

@@ -162,6 +162,20 @@ class AnonymizationConfig:
                 f"{algorithm_registry.name_of(algorithm)!r} (no suppression "
                 "budget); remove the key or pick a budgeted algorithm"
             )
+        # Structural needs knowable at config time fail at parse time, not
+        # mid-run: MDAV clusters numeric QIs; Anatomy separates exactly one
+        # sensitive column.
+        algorithm_name = algorithm_registry.name_of(algorithm)
+        if algorithm_name == "mdav" and not self.numeric_quasi_identifiers:
+            raise ConfigError(
+                "algorithm 'mdav' needs at least one entry under "
+                "'numeric_quasi_identifiers'"
+            )
+        if algorithm_name == "anatomy" and len(self.sensitive) != 1:
+            raise ConfigError(
+                f"algorithm 'anatomy' needs exactly one 'sensitive' column, "
+                f"got {len(self.sensitive)}"
+            )
         for name in self.metrics:
             if name not in metric_registry:
                 raise ConfigError(

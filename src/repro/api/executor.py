@@ -307,6 +307,11 @@ class AnonymizationResult:
             out["error"] = self.error
         if self.engine is not None:
             out["engine_cache"] = self.engine.cache_info()
+        partition_cache = (self.release.info or {}).get("partition_cache")
+        if partition_cache is not None:
+            # Local-recoding algorithms report their PartitionEngine
+            # counters the same way lattice jobs report engine_cache.
+            out["partition_cache"] = dict(partition_cache)
         if self.config is not None:
             out["config"] = self.config.to_dict()
         return jsonable(out)

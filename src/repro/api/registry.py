@@ -33,12 +33,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from ..algorithms import (
+    Anatomy,
     BottomUpGeneralization,
     Datafly,
     Flash,
     Incognito,
+    KMemberClustering,
+    MDAVMicroaggregation,
     Mondrian,
     OLA,
+    Slicing,
     TopDownSpecialization,
 )
 from ..errors import ConfigError
@@ -266,8 +270,8 @@ model_registry.register("ke-anonymity", KEAnonymity, params=("k", "e", "sensitiv
 algorithm_registry.register(
     "mondrian",
     Mondrian,
-    params=("mode", "target"),
-    defaults={"mode": "strict", "target": None},
+    params=("mode", "target", "engine"),
+    defaults={"mode": "strict", "target": None, "engine": "partition"},
 )
 algorithm_registry.register(
     "datafly",
@@ -293,8 +297,32 @@ algorithm_registry.register(
 algorithm_registry.register(
     "tds",
     TopDownSpecialization,
-    params=("target", "max_steps"),
-    defaults={"target": None, "max_steps": 10_000},
+    params=("target", "max_steps", "engine"),
+    defaults={"target": None, "max_steps": 10_000, "engine": "partition"},
+)
+algorithm_registry.register(
+    "mdav",
+    MDAVMicroaggregation,
+    params=("k", "engine"),
+    defaults={"engine": "partition"},
+)
+algorithm_registry.register(
+    "kmember",
+    KMemberClustering,
+    params=("k", "sample_candidates", "seed", "engine"),
+    defaults={"sample_candidates": 64, "seed": 0, "engine": "partition"},
+)
+algorithm_registry.register(
+    "anatomy",
+    Anatomy,
+    params=("l", "seed"),
+    defaults={"seed": 0},
+)
+algorithm_registry.register(
+    "slicing",
+    Slicing,
+    params=("k", "max_column_width", "seed"),
+    defaults={"max_column_width": 2, "seed": 0},
 )
 
 

@@ -43,7 +43,11 @@ per-tenant warm caches — see :mod:`repro.service`)::
 Flags are parsed into the same :class:`repro.api.AnonymizationConfig` a
 ``--config`` file deserializes to, and both run through
 :func:`repro.api.run` — the CLI has no private algorithm table or wiring of
-its own. Hierarchies default to the ``auto`` builder (prefix/flat for
+its own. ``--algorithm`` therefore accepts every registered algorithm,
+including the whole local-recoding family (``mondrian``, ``tds``, ``mdav``,
+``kmember``, ``anatomy``, ``slicing``) alongside the full-domain lattice
+algorithms; ``mdav`` needs at least one ``--numeric-qi`` and ``anatomy``
+exactly one ``--sensitive``, both enforced at config-parse time. Hierarchies default to the ``auto`` builder (prefix/flat for
 categorical QIs, uniform intervals for numeric QIs); pin them in the config
 file for production use.
 """

@@ -5,7 +5,13 @@ from .generalize import apply_node, apply_partition_recoding, generalized_qi_tab
 from .hierarchy import Hierarchy, IntervalHierarchy, suppression_hierarchy
 from .io import read_csv, write_csv
 from .lattice import GeneralizationLattice
-from .partition import EquivalenceClasses, classes_from_labels, partition_by_qi
+from .partition import (
+    EquivalenceClasses,
+    classes_from_groups,
+    classes_from_labels,
+    partition_by_qi,
+)
+from .partition_engine import PartitionEngine, PartitionGroup, PartitionStats
 from .release import Release
 from .schema import AttributeType, Schema
 from .table import Column, Table
@@ -19,11 +25,15 @@ __all__ = [
     "Hierarchy",
     "IntervalHierarchy",
     "LatticeEvaluator",
+    "PartitionEngine",
+    "PartitionGroup",
+    "PartitionStats",
     "Release",
     "Schema",
     "Table",
     "apply_node",
     "apply_partition_recoding",
+    "classes_from_groups",
     "classes_from_labels",
     "generalized_qi_table",
     "partition_by_qi",

@@ -15,7 +15,12 @@ import numpy as np
 
 from .table import Table, split_by_labels
 
-__all__ = ["EquivalenceClasses", "partition_by_qi", "classes_from_labels"]
+__all__ = [
+    "EquivalenceClasses",
+    "partition_by_qi",
+    "classes_from_labels",
+    "classes_from_groups",
+]
 
 
 @dataclass(frozen=True)
@@ -84,4 +89,19 @@ def classes_from_labels(
     """
     return EquivalenceClasses(
         groups=tuple(split_by_labels(labels)), qi_names=tuple(qi_names), n_rows=int(n_rows)
+    )
+
+
+def classes_from_groups(groups, n_rows: int) -> EquivalenceClasses:
+    """Ad-hoc EC partition from arbitrary row-index groups.
+
+    Used by the local-recoding algorithms (Mondrian's candidate cuts, the
+    partition engine's legacy-check fallback): group row indices are sorted
+    ascending, ``qi_names`` is empty because the groups were not derived
+    from a generalization node.
+    """
+    return EquivalenceClasses(
+        groups=tuple(np.sort(np.asarray(g)) for g in groups),
+        qi_names=(),
+        n_rows=int(n_rows),
     )

@@ -90,7 +90,10 @@ def js_divergence(p: np.ndarray, q: np.ndarray) -> float:
     underflow = (m == 0) & ((p > 0) | (q > 0))
     if underflow.any():
         m = np.where(underflow, np.maximum(p, q), m)
-    return 0.5 * kl_divergence(p, m, smoothing=0.0) + 0.5 * kl_divergence(q, m, smoothing=0.0)
+    js = 0.5 * kl_divergence(p, m, smoothing=0.0) + 0.5 * kl_divergence(q, m, smoothing=0.0)
+    # Rounding in the two KL sums can leave a ~1e-18 negative residue when
+    # p and q are (nearly) identical; the true divergence is >= 0.
+    return max(js, 0.0)
 
 
 @_register

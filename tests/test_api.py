@@ -74,7 +74,8 @@ def table(csv_path):
 # Per-parameter value strategies: every registered class is described by
 # (name, params), so one table drives the whole property test.
 _PARAM_STRATEGIES = {
-    "k": st.integers(1, 50),
+    # Floor of 2: shared with mdav/kmember, whose constructors reject k < 2.
+    "k": st.integers(2, 50),
     "l": st.integers(2, 8),
     "c": st.floats(0.5, 10, allow_nan=False),
     "t": st.floats(0, 1, allow_nan=False),
@@ -88,6 +89,10 @@ _PARAM_STRATEGIES = {
     "mode": st.sampled_from(["strict", "relaxed"]),
     "target": st.none(),
     "max_steps": st.integers(1, 10_000),
+    "engine": st.sampled_from(["partition", "legacy"]),
+    "sample_candidates": st.integers(1, 256),
+    "seed": st.integers(0, 2**31 - 1),
+    "max_column_width": st.integers(1, 4),
 }
 
 

@@ -1,0 +1,390 @@
+"""The partition engine: byte-identity to the legacy paths + cache counters.
+
+Every algorithm rewired onto :class:`~repro.core.partition_engine.PartitionEngine`
+keeps its seed implementation behind ``engine="legacy"``; these tests pin the
+contract that makes the fast path trustworthy:
+
+* **byte-identical releases** — ``engine="partition"`` and ``engine="legacy"``
+  produce the same table fingerprint for Mondrian (strict/relaxed/InfoGain),
+  TopDownSpecialization, MDAV, and k-member across k/l/t model mixes;
+* **no raw rescans** — after the root materialization every feasibility check
+  is served from cached counts (``raw_rescans == 0``), and sensitive-model
+  mixes exercise the delta-histogram path (``histogram_splits > 0``);
+* **batch identity** — the newly registered algorithms run through
+  ``run_batch`` JSON configs with ``workers=2`` byte-identical to sequential;
+* **closed-form relaxed cut** — ``Mondrian._cut_positions`` reproduces the
+  legacy one-row-at-a-time balancing append loop exactly, row for row.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import AnonymizationConfig, run_batch
+from repro.api.registry import algorithm_registry
+from repro.algorithms import (
+    Anatomy,
+    KMemberClustering,
+    MDAVMicroaggregation,
+    Mondrian,
+    Slicing,
+    TopDownSpecialization,
+)
+from repro.core.partition_engine import PartitionEngine, grouped_histograms
+from repro.data import adult_hierarchies, adult_schema, load_adult
+from repro.errors import ConfigError
+from repro.privacy import (
+    DistinctLDiversity,
+    EntropyLDiversity,
+    KAnonymity,
+    TCloseness,
+)
+
+SENSITIVE = "occupation"
+
+
+@pytest.fixture(scope="module")
+def table():
+    return load_adult(n_rows=1200, seed=7)
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return load_adult(n_rows=400, seed=3)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return adult_schema()
+
+
+@pytest.fixture(scope="module")
+def hierarchies():
+    return adult_hierarchies()
+
+
+def _model_mix(name):
+    return {
+        "k": [KAnonymity(5)],
+        "k+l": [KAnonymity(4), DistinctLDiversity(2, SENSITIVE)],
+        "k+el+t": [
+            KAnonymity(4),
+            EntropyLDiversity(2.0, SENSITIVE),
+            TCloseness(0.5, SENSITIVE),
+        ],
+    }[name]
+
+
+def _parity(make, table, schema, hierarchies, models):
+    """Release fingerprints of legacy vs partition engines must agree."""
+    legacy = make("legacy").anonymize(table, schema, hierarchies, models)
+    fast = make("partition").anonymize(table, schema, hierarchies, models)
+    assert fast.table.fingerprint() == legacy.table.fingerprint()
+    return fast
+
+
+# -- byte-identity across the rewired family ---------------------------------
+
+
+@pytest.mark.parametrize("mix", ["k", "k+l", "k+el+t"])
+@pytest.mark.parametrize("mode", ["strict", "relaxed"])
+def test_mondrian_parity(table, schema, hierarchies, mode, mix):
+    release = _parity(
+        lambda e: Mondrian(mode=mode, engine=e),
+        table, schema, hierarchies, _model_mix(mix),
+    )
+    cache = release.info["partition_cache"]
+    assert cache["raw_rescans"] == 0
+    assert cache["checks_legacy"] == 0
+
+
+@pytest.mark.parametrize("mix", ["k", "k+l"])
+def test_mondrian_infogain_parity(table, schema, hierarchies, mix):
+    release = _parity(
+        lambda e: Mondrian(target=SENSITIVE, engine=e),
+        table, schema, hierarchies, _model_mix(mix),
+    )
+    assert release.info["partition_cache"]["raw_rescans"] == 0
+
+
+@pytest.mark.parametrize("mix", ["k", "k+l", "k+el+t"])
+def test_tds_parity(table, schema, hierarchies, mix):
+    release = _parity(
+        lambda e: TopDownSpecialization(engine=e),
+        table, schema, hierarchies, _model_mix(mix),
+    )
+    assert release.info["partition_cache"]["raw_rescans"] == 0
+
+
+def test_tds_infogain_parity(table, schema, hierarchies):
+    _parity(
+        lambda e: TopDownSpecialization(target=SENSITIVE, engine=e),
+        table, schema, hierarchies, _model_mix("k"),
+    )
+
+
+def test_mdav_parity(table, schema, hierarchies):
+    _parity(
+        lambda e: MDAVMicroaggregation(5, engine=e),
+        table, schema, hierarchies, [KAnonymity(5)],
+    )
+
+
+def test_kmember_parity(small_table, schema, hierarchies):
+    _parity(
+        lambda e: KMemberClustering(4, engine=e),
+        small_table, schema, hierarchies, [KAnonymity(4)],
+    )
+
+
+def test_anatomy_and_slicing_deterministic(small_table, schema, hierarchies):
+    # No engine flag — their vectorized internals must be self-consistent.
+    a1, _ = Anatomy(3).anatomize(small_table, schema)
+    a2, _ = Anatomy(3).anatomize(small_table, schema)
+    assert a1.qit.fingerprint() == a2.qit.fingerprint()
+    assert a1.st == a2.st
+    s1 = Slicing(5).anonymize(small_table, schema, hierarchies, [])
+    s2 = Slicing(5).anonymize(small_table, schema, hierarchies, [])
+    assert s1.table.fingerprint() == s2.table.fingerprint()
+
+
+# -- cache counters -----------------------------------------------------------
+
+
+def test_sensitive_models_use_delta_histograms(table, schema, hierarchies):
+    release = Mondrian().anonymize(
+        table, schema, hierarchies, _model_mix("k+l")
+    )
+    cache = release.info["partition_cache"]
+    # Child histograms come from parent − sibling, never a table rescan.
+    assert cache["histogram_splits"] > 0
+    assert cache["raw_rescans"] == 0
+    assert cache["checks_fast"] > 0
+
+
+def test_k_only_needs_no_histograms(table, schema, hierarchies):
+    release = Mondrian().anonymize(table, schema, hierarchies, [KAnonymity(5)])
+    cache = release.info["partition_cache"]
+    assert cache["histogram_splits"] == 0
+    assert cache["histogram_scans"] == 0
+    assert cache["raw_rescans"] == 0
+
+
+def test_model_without_stats_path_counts_raw_rescans(table):
+    class SizeOnly:
+        name = "size-only"
+
+        def check(self, tbl, partition):
+            return all(len(g) >= 2 for g in partition.groups)
+
+    engine = PartitionEngine(table)
+    root = engine.root()
+    half = root.size // 2
+    left, right = engine.split(
+        root, np.arange(half), np.arange(half, root.size)
+    )
+    assert engine.check((left, right), [SizeOnly()])
+    info = engine.cache_info()
+    assert info["raw_rescans"] == 1
+    assert info["checks_legacy"] == 1
+    assert info["checks_fast"] == 0
+
+
+# -- engine primitives --------------------------------------------------------
+
+
+def test_grouped_histograms_matches_per_group_bincount():
+    rng = np.random.default_rng(11)
+    labels = rng.integers(0, 7, size=500)
+    codes = rng.integers(0, 13, size=500)
+    hists = grouped_histograms(labels, codes, 7, 13)
+    for g in range(7):
+        expected = np.bincount(codes[labels == g], minlength=13)
+        assert np.array_equal(hists[g], expected)
+
+
+def test_delta_histogram_equals_direct_bincount(table, schema):
+    engine = PartitionEngine(table)
+    root = engine.root()
+    root_hist = root.histogram(SENSITIVE)
+    codes = engine.column_codes(SENSITIVE)
+    assert np.array_equal(
+        root_hist, np.bincount(codes, minlength=engine.column_cats(SENSITIVE))
+    )
+    left, right = engine.split(
+        root, np.arange(300), np.arange(300, root.size)
+    )
+    left_hist = left.histogram(SENSITIVE)  # direct scan of the smaller side
+    right_hist = right.histogram(SENSITIVE)  # parent − sibling delta
+    assert np.array_equal(left_hist + right_hist, root_hist)
+    assert np.array_equal(
+        right_hist,
+        np.bincount(codes[right.rows], minlength=engine.column_cats(SENSITIVE)),
+    )
+    assert engine.cache_info()["histogram_splits"] >= 1
+
+
+def test_split_by_codes_partitions_rows(table):
+    engine = PartitionEngine(table)
+    root = engine.root()
+    codes = engine.column_codes("sex")
+    children = engine.split_by_codes(root, codes[root.rows])
+    assert sum(child.size for child in children) == root.size
+    seen = np.concatenate([child.rows for child in children])
+    assert np.array_equal(np.sort(seen), root.rows)
+    for child in children:
+        assert np.unique(codes[child.rows]).size == 1
+
+
+def test_split_by_codes_single_value_returns_group_unchanged(table):
+    engine = PartitionEngine(table)
+    root = engine.root()
+    children = engine.split_by_codes(root, np.zeros(root.size, dtype=np.int64))
+    assert len(children) == 1
+    assert children[0] is root
+
+
+# -- relaxed-cut closed form vs the legacy append loop ------------------------
+
+
+def _legacy_relaxed_assignment(values, median):
+    """The seed's one-row-at-a-time balancing loop, on positions."""
+    positions = np.arange(values.size)
+    less = values < median
+    more = values > median
+    equal = ~less & ~more
+    left = list(positions[less])
+    right = list(positions[more])
+    for row in positions[equal]:
+        (left if len(left) <= len(right) else right).append(row)
+    if not left or not right:
+        return None
+    return np.array(left, dtype=np.int64), np.array(right, dtype=np.int64)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_relaxed_cut_positions_match_legacy_loop(seed):
+    rng = np.random.default_rng(seed)
+    # Heavy ties so the median-valued block is large and both branches
+    # (smaller-left and smaller-right head) are exercised.
+    values = rng.integers(0, 5, size=rng.integers(3, 200)).astype(np.float64)
+    median = float(np.median(values))
+    expected = _legacy_relaxed_assignment(values, median)
+    got = Mondrian(mode="relaxed")._cut_positions(values, median)
+    if expected is None:
+        assert got is None
+    else:
+        assert np.array_equal(got[0], expected[0])
+        assert np.array_equal(got[1], expected[1])
+
+
+def test_relaxed_cut_splits_all_equal_block_like_legacy():
+    # The legacy loop alternates all-median rows between halves; the closed
+    # form must reproduce that, not bail out as degenerate.
+    values = np.ones(10)
+    expected = _legacy_relaxed_assignment(values, 1.0)
+    got = Mondrian(mode="relaxed")._cut_positions(values, 1.0)
+    assert np.array_equal(got[0], expected[0])
+    assert np.array_equal(got[1], expected[1])
+
+
+def test_strict_cut_degenerate_returns_none():
+    assert Mondrian()._cut_positions(np.ones(10), 1.0) is None
+
+
+# -- registry, config validation, batch identity ------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        {"algorithm": "mdav", "k": 4},
+        {"algorithm": "kmember", "k": 4},
+        {"algorithm": "anatomy", "l": 3},
+        {"algorithm": "slicing", "k": 4},
+        {"algorithm": "mondrian", "mode": "relaxed", "engine": "legacy"},
+        {"algorithm": "tds", "engine": "legacy"},
+    ],
+)
+def test_registry_round_trip(spec):
+    instance = algorithm_registry.from_spec(spec)
+    back = algorithm_registry.to_spec(instance)
+    assert back["algorithm"] == spec["algorithm"]
+    for key, value in spec.items():
+        assert back[key] == value
+
+
+def test_bad_engine_rejected():
+    with pytest.raises(ValueError, match="engine"):
+        Mondrian(engine="bogus")
+    with pytest.raises(ValueError, match="engine"):
+        TopDownSpecialization(engine="bogus")
+    with pytest.raises(ConfigError):
+        algorithm_registry.from_spec({"algorithm": "mondrian", "engine": "bogus"})
+
+
+def _job(schema, algorithm):
+    return AnonymizationConfig.from_dict(
+        {
+            "quasi_identifiers": list(schema.categorical_quasi_identifiers),
+            "numeric_quasi_identifiers": list(schema.numeric_quasi_identifiers),
+            "sensitive": [SENSITIVE],
+            "models": [{"model": "k-anonymity", "k": 4}],
+            "algorithm": algorithm,
+        }
+    )
+
+
+def test_mdav_config_needs_numeric_qi(schema):
+    with pytest.raises(ConfigError, match="numeric_quasi_identifiers"):
+        AnonymizationConfig.from_dict(
+            {
+                "quasi_identifiers": list(schema.categorical_quasi_identifiers),
+                "models": [{"model": "k-anonymity", "k": 4}],
+                "algorithm": {"algorithm": "mdav", "k": 4},
+            }
+        ).validate()
+
+
+def test_anatomy_config_needs_one_sensitive(schema):
+    with pytest.raises(ConfigError, match="sensitive"):
+        AnonymizationConfig.from_dict(
+            {
+                "quasi_identifiers": list(schema.categorical_quasi_identifiers),
+                "numeric_quasi_identifiers": list(
+                    schema.numeric_quasi_identifiers
+                ),
+                "models": [{"model": "k-anonymity", "k": 4}],
+                "algorithm": {"algorithm": "anatomy", "l": 3},
+            }
+        ).validate()
+
+
+def test_run_batch_workers_identical(small_table, schema, hierarchies):
+    jobs = [
+        _job(schema, {"algorithm": "mondrian", "mode": "relaxed"}),
+        _job(schema, {"algorithm": "tds"}),
+        _job(schema, {"algorithm": "mdav", "k": 4}),
+        _job(schema, {"algorithm": "kmember", "k": 4}),
+        _job(schema, {"algorithm": "anatomy", "l": 3}),
+        _job(schema, {"algorithm": "slicing", "k": 4}),
+    ]
+    sequential = run_batch(jobs, small_table, hierarchies=hierarchies, workers=1)
+    for workers in (2, 4):
+        parallel = run_batch(
+            jobs, small_table, hierarchies=hierarchies, workers=workers
+        )
+        for seq_result, par_result in zip(sequential, parallel):
+            assert (
+                par_result.release.table.fingerprint()
+                == seq_result.release.table.fingerprint()
+            )
+
+
+def test_result_dict_carries_partition_cache(small_table, schema, hierarchies):
+    [result] = run_batch(
+        [_job(schema, {"algorithm": "mondrian"})],
+        small_table,
+        hierarchies=hierarchies,
+    )
+    payload = result.to_dict()
+    assert payload["partition_cache"]["raw_rescans"] == 0
